@@ -1,0 +1,34 @@
+//! # tapioca-baseline
+//!
+//! The comparison baseline of the paper: a ROMIO-like **two-phase
+//! collective buffering** MPI I/O implementation.
+//!
+//! Differences from TAPIOCA, mirroring Sec. II-B/IV of the paper:
+//!
+//! * **Per-call optimization only** — each collective write/read is
+//!   scheduled in isolation. Multi-variable patterns (HACC-IO SoA)
+//!   become independent collective calls that flush partially-filled
+//!   aggregation buffers (paper Fig. 2).
+//! * **Rank-order aggregator placement** — "a strategy consists in
+//!   selecting the bridge node as a first aggregator and the other
+//!   aggregators following a rank order"; no cost model, no topology.
+//! * **No pipelining** — a single aggregation buffer per aggregator;
+//!   the next round's aggregation waits for the current flush.
+//!
+//! Three implementations are provided: a thread-mode RMA-based one
+//! ([`romio::collective_write`], reusing TAPIOCA's own pipeline in its
+//! degenerate per-call configuration so measured differences are
+//! attributable to the behaviours above), an independent thread-mode
+//! **alltoallv** implementation ([`alltoall::collective_write_alltoall`],
+//! the message-passing redistribution real ROMIO performs — the two
+//! must produce byte-identical files, a strong cross-check), and the
+//! simulation-mode driver ([`sim::run_mpiio_sim`]) used for the
+//! figures.
+
+pub mod alltoall;
+pub mod romio;
+pub mod sim;
+
+pub use alltoall::collective_write_alltoall;
+pub use romio::{collective_write, MpiIoConfig};
+pub use sim::run_mpiio_sim;

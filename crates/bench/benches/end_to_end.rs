@@ -1,0 +1,65 @@
+//! Criterion: end-to-end costs — a full simulated collective at reduced
+//! scale, and a real thread-mode write pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tapioca::api::Tapioca;
+use tapioca::config::TapiocaConfig;
+use tapioca::schedule::WriteDecl;
+use tapioca::sim_exec::{run_tapioca_sim, CollectiveSpec, GroupSpec, StorageConfig};
+use tapioca_mpi::{Runtime, SharedFile};
+use tapioca_pfs::{AccessMode, LustreTunables};
+use tapioca_topology::{theta_profile, MIB};
+
+fn bench_sim(c: &mut Criterion) {
+    let profile = theta_profile(64, 4);
+    let storage = StorageConfig::Lustre(LustreTunables::theta_optimized());
+    let nranks = 256;
+    let per = MIB;
+    let spec = CollectiveSpec {
+        groups: vec![GroupSpec {
+            file: 0,
+            ranks: (0..nranks).collect(),
+            decls: (0..nranks as u64)
+                .map(|r| vec![WriteDecl { offset: r * per, len: per }])
+                .collect(),
+        }],
+        mode: AccessMode::Write,
+    };
+    let cfg = TapiocaConfig { num_aggregators: 16, buffer_size: 8 * MIB, ..Default::default() };
+    c.bench_function("sim/ior_256ranks_64nodes", |b| {
+        b.iter(|| black_box(run_tapioca_sim(&profile, &storage, black_box(&spec), &cfg)))
+    });
+}
+
+fn bench_thread_pipeline(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join("tapioca-bench");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("e2e-{}", std::process::id()));
+    c.bench_function("thread/write_pipeline_8ranks_64KiB", |b| {
+        b.iter(|| {
+            let path = path.clone();
+            Runtime::run(8, move |comm| {
+                let file = SharedFile::open_shared(&comm, &path);
+                let r = comm.rank() as u64;
+                let per = 64 * 1024u64;
+                let decls = vec![WriteDecl { offset: r * per, len: per }];
+                let mut io = Tapioca::init(&comm, file, decls, TapiocaConfig {
+                    num_aggregators: 2,
+                    buffer_size: 16 * 1024,
+                    ..Default::default()
+                });
+                io.write(r * per, &vec![r as u8; per as usize]);
+                io.finalize();
+            });
+        })
+    });
+    std::fs::remove_file(&path).ok();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sim, bench_thread_pipeline
+}
+criterion_main!(benches);

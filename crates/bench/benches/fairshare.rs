@@ -1,0 +1,31 @@
+//! Criterion: the max-min fair-share solver, the simulator's hot loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tapioca_netsim::{max_min_rates, FlowDemand};
+
+fn synth_flows(n: usize, links: usize, route_len: usize) -> Vec<FlowDemand> {
+    (0..n)
+        .map(|i| FlowDemand {
+            route: (0..route_len)
+                .map(|h| (i.wrapping_mul(2654435761).wrapping_add(h * 97)) % links)
+                .collect(),
+        })
+        .collect()
+}
+
+fn bench_fairshare(c: &mut Criterion) {
+    let mut group = c.benchmark_group("max_min_rates");
+    for &(flows, links, route) in &[(64usize, 256usize, 6usize), (512, 2048, 8), (4096, 16384, 8)] {
+        let demands = synth_flows(flows, links, route);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{flows}flows_{links}links")),
+            &demands,
+            |b, d| b.iter(|| black_box(max_min_rates(black_box(d), |_| 1e9))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fairshare);
+criterion_main!(benches);

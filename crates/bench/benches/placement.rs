@@ -1,0 +1,60 @@
+//! Criterion: the aggregator election — one partition's full candidate
+//! scan under each strategy (what every partition's MINLOC reduction
+//! computes in aggregate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tapioca::placement::{elect_aggregator, PlacementStrategy};
+use tapioca_topology::{mira_profile, theta_profile, MIB};
+
+fn bench_election(c: &mut Criterion) {
+    let mut group = c.benchmark_group("elect_aggregator");
+    let mira = mira_profile(512, 16);
+    let theta = theta_profile(512, 16);
+
+    for &members_n in &[16usize, 64, 128] {
+        // members spread across the machine, equal weights
+        let members: Vec<usize> = (0..members_n).map(|i| i * 61 * 16 % 8192).collect();
+        let mut sorted = members.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let weights = vec![16 * MIB; sorted.len()];
+
+        group.bench_with_input(
+            BenchmarkId::new("mira/topology-aware", members_n),
+            &sorted,
+            |b, m| {
+                b.iter(|| {
+                    black_box(elect_aggregator(
+                        &mira.machine,
+                        black_box(m),
+                        &weights,
+                        0,
+                        0,
+                        PlacementStrategy::TopologyAware,
+                    ))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("theta/topology-aware", members_n),
+            &sorted,
+            |b, m| {
+                b.iter(|| {
+                    black_box(elect_aggregator(
+                        &theta.machine,
+                        black_box(m),
+                        &weights,
+                        0,
+                        0,
+                        PlacementStrategy::TopologyAware,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_election);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion: cost of computing the round schedule (the `TAPIOCA_Init`
+//! work every rank performs from the allgathered declarations).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tapioca::schedule::{compute_schedule, ScheduleParams};
+use tapioca_topology::MIB;
+use tapioca_workloads::hacc::{HaccIo, Layout};
+
+fn bench_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compute_schedule");
+    for &ranks in &[256usize, 1024, 4096] {
+        for layout in [Layout::ArrayOfStructs, Layout::StructOfArrays] {
+            let w = HaccIo { num_ranks: ranks, particles_per_rank: 25_000, layout };
+            let decls = w.decls();
+            let params = ScheduleParams {
+                num_aggregators: 16.max(ranks / 128),
+                buffer_size: 16 * MIB,
+                align_to_buffer: true,
+            };
+            group.bench_with_input(
+                BenchmarkId::new(format!("{layout:?}"), ranks),
+                &decls,
+                |b, decls| b.iter(|| black_box(compute_schedule(black_box(decls), params))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedule);
+criterion_main!(benches);

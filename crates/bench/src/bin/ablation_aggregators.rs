@@ -1,0 +1,51 @@
+//! Ablation: number of aggregators (the paper tunes 16-32 per Pset on
+//! Mira and 48-384 on Theta; "the number of aggregators or the buffer
+//! size needed in collective I/O remains still an open topic", ref 19).
+//!
+//! Sweep the aggregator count on Theta with everything else at the
+//! paper's tuned values and report the bandwidth curve. Expected shape:
+//! rising while aggregators add OST coverage, flattening once every OST
+//! is kept busy.
+
+use tapioca::config::TapiocaConfig;
+use tapioca::sim_exec::StorageConfig;
+use tapioca_bench::*;
+use tapioca_pfs::{AccessMode, LustreTunables};
+use tapioca_topology::{theta_profile, MIB};
+
+fn main() {
+    let nodes = 512;
+    let profile = theta_profile(nodes, RANKS_PER_NODE);
+    let storage = StorageConfig::Lustre(LustreTunables::theta_optimized());
+    let counts = [6usize, 12, 24, 48, 96, 192, 384];
+
+    println!("# Ablation - aggregator count on {nodes} Theta nodes, IOR 1 MiB/rank, 8 MB buffers = stripe");
+    println!("aggregators,bandwidth_gib_s");
+    let mut rows = Vec::new();
+    for &a in &counts {
+        let cfg = TapiocaConfig {
+            num_aggregators: a,
+            buffer_size: 8 * MIB,
+            ..Default::default()
+        };
+        let spec = ior_theta(nodes, RANKS_PER_NODE, MIB, AccessMode::Write);
+        let r = measure_tapioca(&profile, &storage, &spec, &cfg);
+        println!("{a},{:.4}", r.bandwidth_gib());
+        rows.push((a, r.bandwidth_gib()));
+        eprintln!("  [{a} aggregators] {:.2} GiB/s", r.bandwidth_gib());
+    }
+
+    let few = rows.first().expect("rows").1;
+    let best = rows.iter().map(|r| r.1).fold(0.0, f64::max);
+    let at48 = rows.iter().find(|(a, _)| *a == 48).expect("48 present").1;
+    shape(
+        "too-few-aggregators-starve-the-osts",
+        few < 0.7 * best,
+        &format!("6 aggregators reach {few:.2} vs best {best:.2} GiB/s"),
+    );
+    shape(
+        "about-one-per-ost-suffices",
+        at48 >= 0.6 * best,
+        &format!("48 aggregators (1/OST) reach {:.0}% of best", 100.0 * at48 / best),
+    );
+}

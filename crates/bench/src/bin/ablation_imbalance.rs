@@ -1,0 +1,54 @@
+//! Ablation: load imbalance. Real HACC domains never hold exactly the
+//! same particle count per rank; the declared weights `omega(i, A)` are
+//! precisely how TAPIOCA's Init phase sees that imbalance. Sweep the
+//! per-rank spread and watch bandwidth degrade gracefully — the
+//! partitioning by *bytes* (not by ranks) keeps aggregator load balanced
+//! even when rank loads are not.
+
+use tapioca::config::TapiocaConfig;
+use tapioca::sim_exec::{CollectiveSpec, GroupSpec, StorageConfig};
+use tapioca_bench::*;
+use tapioca_pfs::{AccessMode, LustreTunables};
+use tapioca_topology::{theta_profile, MIB};
+use tapioca_workloads::hacc::{HaccIo, Layout};
+
+fn main() {
+    let nodes = 256;
+    let rpn = RANKS_PER_NODE;
+    let nranks = nodes * rpn;
+    let profile = theta_profile(nodes, rpn);
+    let storage = StorageConfig::Lustre(LustreTunables::theta_hacc());
+    let cfg = TapiocaConfig {
+        num_aggregators: 96,
+        buffer_size: 16 * MIB,
+        ..Default::default()
+    };
+    let mean = 25_000u64; // ~1 MB per rank on average
+
+    println!("# Ablation - per-rank load imbalance, HACC-IO AoS on {nodes} Theta nodes");
+    println!("spread,bandwidth_gib_s");
+    let mut rows = Vec::new();
+    for spread in [0.0, 0.2, 0.5, 0.8] {
+        let counts = HaccIo::imbalanced_counts(nranks, mean, spread, 42);
+        let decls = HaccIo::decls_with_counts(&counts, Layout::ArrayOfStructs);
+        let spec = CollectiveSpec {
+            groups: vec![GroupSpec { file: 0, ranks: (0..nranks).collect(), decls }],
+            mode: AccessMode::Write,
+        };
+        let r = measure_tapioca(&profile, &storage, &spec, &cfg);
+        println!("{spread},{:.4}", r.bandwidth_gib());
+        rows.push((spread, r.bandwidth_gib()));
+        eprintln!("  [spread {spread}] {:.2} GiB/s", r.bandwidth_gib());
+    }
+
+    let balanced = rows[0].1;
+    let worst = rows.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
+    shape(
+        "graceful-degradation-under-imbalance",
+        worst >= 0.7 * balanced,
+        &format!(
+            "byte-partitioning holds bandwidth within {:.0}% of balanced even at 80% spread",
+            100.0 * (1.0 - worst / balanced)
+        ),
+    );
+}

@@ -1,0 +1,67 @@
+//! Ablation: the double-buffer pipeline (paper Sec. IV-A).
+//!
+//! TAPIOCA allocates two buffers per aggregator and overlaps the
+//! aggregation of round `r + 1` with the non-blocking flush of round
+//! `r`. This ablation runs the identical schedule and placement with a
+//! single buffer (round `r + 1` waits for the flush of round `r`),
+//! isolating how much of TAPIOCA's win the overlap is worth on both
+//! machines.
+
+use tapioca::config::TapiocaConfig;
+use tapioca::sim_exec::StorageConfig;
+use tapioca_bench::*;
+use tapioca_pfs::{GpfsTunables, LustreTunables};
+use tapioca_topology::{mira_profile, theta_profile, MIB};
+use tapioca_workloads::hacc::{Layout, PARTICLE_BYTES};
+
+fn main() {
+    let particle_counts: [u64; 4] = [5_000, 25_000, 50_000, 100_000];
+    let mut points = Vec::new();
+
+    // Theta: 512 nodes, 48 OSTs, 16 MB stripes/buffers.
+    let theta = theta_profile(512, RANKS_PER_NODE);
+    let theta_storage = StorageConfig::Lustre(LustreTunables::theta_hacc());
+    // Mira: 512 nodes, file per Pset, 16 aggr/Pset.
+    let mira = mira_profile(512, RANKS_PER_NODE);
+    let mira_storage = StorageConfig::Gpfs(GpfsTunables::mira_optimized());
+
+    for &pp in &particle_counts {
+        let x = mib(pp * PARTICLE_BYTES);
+        for pipelining in [true, false] {
+            let tag = if pipelining { "pipelined" } else { "single-buffer" };
+            let cfg_theta = TapiocaConfig {
+                num_aggregators: 192,
+                buffer_size: 16 * MIB,
+                pipelining,
+                ..Default::default()
+            };
+            let spec = hacc_theta(512, RANKS_PER_NODE, pp, Layout::ArrayOfStructs);
+            let r = measure_tapioca(&theta, &theta_storage, &spec, &cfg_theta);
+            points.push(Point { series: format!("Theta {tag}"), x_mib: x, gib_s: r.bandwidth_gib() });
+
+            let cfg_mira = TapiocaConfig {
+                num_aggregators: 16,
+                buffer_size: 16 * MIB,
+                pipelining,
+                ..Default::default()
+            };
+            let spec = hacc_mira(512, RANKS_PER_NODE, pp, Layout::ArrayOfStructs);
+            let r = measure_tapioca(&mira, &mira_storage, &spec, &cfg_mira);
+            points.push(Point { series: format!("Mira {tag}"), x_mib: x, gib_s: r.bandwidth_gib() });
+        }
+        eprintln!("  [{x:.2} MiB] done");
+    }
+
+    print_csv("Ablation - double-buffer pipelining on/off, HACC-IO AoS, 512 nodes", &points);
+
+    for sys in ["Theta", "Mira"] {
+        let on = series_mean(&points, &format!("{sys} pipelined"));
+        let off = series_mean(&points, &format!("{sys} single-buffer"));
+        shape(
+            &format!("{sys}-pipelining-helps"),
+            on >= off,
+            &format!("{sys}: pipelined {on:.2} vs single-buffer {off:.2} GiB/s ({:+.0}%)",
+                100.0 * (on / off - 1.0)),
+        );
+    }
+}

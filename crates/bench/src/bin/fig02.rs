@@ -1,0 +1,114 @@
+//! Fig. 2 — the mechanism figure: "Calling three independent MPI I/O
+//! collective writes and TAPIOCA."
+//!
+//! The paper illustrates that per-call collective buffering flushes
+//! "three almost empty buffers" while TAPIOCA's declared schedule
+//! aggregates everything into full ones. Here we *measure* it on the
+//! HACC-IO SoA workload: buffer fill factor and flush-segment size for
+//! (a) TAPIOCA's all-variables schedule and (b) each variable scheduled
+//! as its own collective call, plus the simulated bandwidth consequence
+//! on Theta.
+
+use tapioca::config::TapiocaConfig;
+use tapioca::schedule::{compute_schedule, ScheduleParams};
+use tapioca::sim_exec::{run_tapioca_sim, CollectiveSpec, GroupSpec, StorageConfig};
+use tapioca::stats::schedule_stats;
+use tapioca_baseline::romio::MpiIoConfig;
+use tapioca_baseline::sim::run_mpiio_sim;
+use tapioca_bench::*;
+use tapioca_pfs::{AccessMode, LustreTunables};
+use tapioca_topology::{theta_profile, MIB};
+use tapioca_workloads::hacc::{HaccIo, Layout, VAR_NAMES};
+
+fn main() {
+    let nodes = 128;
+    let rpn = RANKS_PER_NODE;
+    let nranks = nodes * rpn;
+    let w = HaccIo {
+        num_ranks: nranks,
+        particles_per_rank: 25_000,
+        layout: Layout::StructOfArrays,
+    };
+    let decls = w.decls();
+    let buffer = 16 * MIB;
+    let aggregators = 48;
+
+    // (a) TAPIOCA: one schedule over all nine declared variables.
+    let tapioca_sched = compute_schedule(&decls, ScheduleParams {
+        num_aggregators: aggregators,
+        buffer_size: buffer,
+        align_to_buffer: true,
+    });
+    let t = schedule_stats(&tapioca_sched);
+
+    println!("# Fig. 2 mechanism - HACC-IO SoA, {nranks} ranks, 9 variables, 16 MB buffers");
+    println!("schedule,mean_buffer_fill,flush_segments,mean_segment_kib");
+    println!(
+        "TAPIOCA (all vars declared),{:.3},{},{:.1}",
+        t.mean_fill,
+        t.flush_segments,
+        t.mean_segment / 1024.0
+    );
+
+    // (b) plain collective I/O: nine independent schedules.
+    let mut call_fills = Vec::new();
+    for v in 0..VAR_NAMES.len() {
+        let call_decls: Vec<_> = decls
+            .iter()
+            .map(|d| d.get(v).map(|&x| vec![x]).unwrap_or_default())
+            .collect();
+        let sched = compute_schedule(&call_decls, ScheduleParams {
+            num_aggregators: aggregators,
+            buffer_size: buffer,
+            align_to_buffer: false, // ROMIO file domains
+        });
+        let st = schedule_stats(&sched);
+        println!(
+            "MPI I/O call {} ({}),{:.3},{},{:.1}",
+            v,
+            VAR_NAMES[v],
+            st.mean_fill,
+            st.flush_segments,
+            st.mean_segment / 1024.0
+        );
+        call_fills.push(st.mean_fill);
+    }
+    let mean_call_fill = call_fills.iter().sum::<f64>() / call_fills.len() as f64;
+
+    // Bandwidth consequence on Theta.
+    let profile = theta_profile(nodes, rpn);
+    let storage = StorageConfig::Lustre(LustreTunables::theta_hacc());
+    let spec = CollectiveSpec {
+        groups: vec![GroupSpec { file: 0, ranks: (0..nranks).collect(), decls }],
+        mode: AccessMode::Write,
+    };
+    let tap = run_tapioca_sim(&profile, &storage, &spec, &TapiocaConfig {
+        num_aggregators: aggregators,
+        buffer_size: buffer,
+        ..Default::default()
+    });
+    let mpi = run_mpiio_sim(&profile, &storage, &spec, &MpiIoConfig {
+        cb_aggregators: aggregators,
+        cb_buffer_size: buffer,
+    });
+    println!("# bandwidth: TAPIOCA {:.2} GiB/s, per-call MPI I/O {:.2} GiB/s",
+        tap.bandwidth_gib(), mpi.bandwidth_gib());
+
+    shape(
+        "tapioca-buffers-are-full",
+        t.mean_fill > 0.999,
+        &format!("declared schedule fills {:.1}% of every non-final buffer", t.mean_fill * 100.0),
+    );
+    shape(
+        "per-call-buffers-are-sparse",
+        mean_call_fill < 0.35,
+        &format!("independent calls fill only {:.1}% on average (9 vars -> ~1/9 density)",
+            mean_call_fill * 100.0),
+    );
+    shape(
+        "full-buffers-win",
+        tap.bandwidth > mpi.bandwidth,
+        &format!("{:.1}x bandwidth from declaring the writes up front",
+            tap.bandwidth / mpi.bandwidth),
+    );
+}

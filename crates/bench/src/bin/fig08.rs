@@ -1,0 +1,80 @@
+//! Fig. 8 — IOR on 512 Theta nodes (16 ranks/node), collective MPI I/O,
+//! default Lustre settings vs user-optimized, read and write (the
+//! paper's y-axis is log-scale because the gap is enormous).
+//!
+//! Paper setup: defaults are stripe_count = 1 OST and 1 MB stripes;
+//! optimized is 48 OSTs, 8 MB stripes, shared file locks, 2 aggregators
+//! per OST.
+//!
+//! Paper shape: reads go from ~0.8 to ~36 GB/s, writes from ~0.2 to
+//! ~10 GB/s — an order of magnitude or more in both directions.
+
+use tapioca::sim_exec::StorageConfig;
+use tapioca_baseline::romio::MpiIoConfig;
+use tapioca_bench::*;
+use tapioca_pfs::{AccessMode, LustreTunables};
+use tapioca_topology::{theta_profile, MIB};
+use tapioca_workloads::ior::fig7_8_sizes;
+
+fn main() {
+    let nodes = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(512);
+    let profile = theta_profile(nodes, RANKS_PER_NODE);
+
+    let mut points = Vec::new();
+    for &bytes in &fig7_8_sizes() {
+        let x = mib(bytes);
+        for (env, storage, cb) in [
+            (
+                "Baseline",
+                StorageConfig::Lustre(LustreTunables::theta_default()),
+                MpiIoConfig { cb_aggregators: 48, cb_buffer_size: 16 * MIB },
+            ),
+            (
+                "Optimized",
+                StorageConfig::Lustre(LustreTunables::theta_optimized()),
+                MpiIoConfig { cb_aggregators: 96, cb_buffer_size: 8 * MIB },
+            ),
+        ] {
+            for (mname, mode) in [("Read", AccessMode::Read), ("Write", AccessMode::Write)] {
+                let spec = ior_theta(nodes, RANKS_PER_NODE, bytes, mode);
+                let r = measure_mpiio(&profile, &storage, &spec, &cb);
+                points.push(Point {
+                    series: format!("{env} - {mname}"),
+                    x_mib: x,
+                    gib_s: r.bandwidth_gib(),
+                });
+            }
+        }
+        eprintln!("  [{x:.2} MiB] done");
+    }
+
+    print_csv(
+        &format!("Fig. 8 - IOR on {nodes} Theta nodes, 16 ranks/node, default Lustre settings vs tuned (log-scale gap)"),
+        &points,
+    );
+
+    let x_hi = mib(*fig7_8_sizes().last().unwrap());
+    let write_gain = series_at(&points, "Optimized - Write", x_hi)
+        / series_at(&points, "Baseline - Write", x_hi);
+    let read_gain = series_at(&points, "Optimized - Read", x_hi)
+        / series_at(&points, "Baseline - Read", x_hi);
+    shape(
+        "write-tuning-gain-order-of-magnitude",
+        write_gain >= 10.0,
+        &format!("optimized/baseline write at 4 MiB = {write_gain:.0}x (paper: ~50x)"),
+    );
+    shape(
+        "read-tuning-gain-order-of-magnitude",
+        read_gain >= 10.0,
+        &format!("optimized/baseline read at 4 MiB = {read_gain:.0}x (paper: ~45x)"),
+    );
+    shape(
+        "tuned-reads-exceed-tuned-writes",
+        series_at(&points, "Optimized - Read", x_hi)
+            > series_at(&points, "Optimized - Write", x_hi),
+        "read ceiling above write ceiling (paper: 36 vs 10 GB/s)",
+    );
+}

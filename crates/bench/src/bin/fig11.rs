@@ -1,0 +1,90 @@
+//! Fig. 11 — HACC-IO on 1,024 Mira nodes (16 ranks/node), one file per
+//! Pset, 16 aggregators per Pset, 16 MB aggregation buffers.
+//!
+//! Paper shape: subfiling + declared multi-variable scheduling lets
+//! TAPIOCA reach up to ~90% of the Pset-limited peak; it outperforms the
+//! (well-tuned) MPI I/O even on large messages, and the gap shrinks as
+//! the data size grows. The SoA layout is where MPI I/O collapses (nine
+//! independent collective calls flushing near-empty buffers, paper
+//! Fig. 2) — the source of the headline "12x faster on BG/Q".
+
+use tapioca::config::TapiocaConfig;
+use tapioca::sim_exec::StorageConfig;
+use tapioca_baseline::romio::MpiIoConfig;
+use tapioca_bench::*;
+use tapioca_pfs::GpfsTunables;
+use tapioca_topology::{mira_profile, GIB, MIB};
+use tapioca_workloads::hacc::{Layout, PARTICLE_BYTES};
+
+fn main() {
+    let nodes = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1024);
+    let profile = mira_profile(nodes, RANKS_PER_NODE);
+    let storage = StorageConfig::Gpfs(GpfsTunables::mira_optimized());
+    let tapioca_cfg = TapiocaConfig {
+        num_aggregators: 16, // per Pset
+        buffer_size: 16 * MIB,
+        ..Default::default()
+    };
+    let mpiio_cfg = MpiIoConfig { cb_aggregators: 16, cb_buffer_size: 16 * MIB };
+
+    let particle_counts: [u64; 6] = [5_000, 10_000, 25_000, 50_000, 75_000, 100_000];
+    let mut points = Vec::new();
+    for &pp in &particle_counts {
+        let x = mib(pp * PARTICLE_BYTES);
+        for layout in [Layout::ArrayOfStructs, Layout::StructOfArrays] {
+            let lname = match layout {
+                Layout::ArrayOfStructs => "AoS",
+                Layout::StructOfArrays => "SoA",
+            };
+            let spec = hacc_mira(nodes, RANKS_PER_NODE, pp, layout);
+            let t = measure_tapioca(&profile, &storage, &spec, &tapioca_cfg);
+            points.push(Point { series: format!("TAPIOCA {lname}"), x_mib: x, gib_s: t.bandwidth_gib() });
+            let b = measure_mpiio(&profile, &storage, &spec, &mpiio_cfg);
+            points.push(Point { series: format!("MPI I/O {lname}"), x_mib: x, gib_s: b.bandwidth_gib() });
+            eprintln!("  [{x:.2} MiB {lname}] tapioca={:.2} mpiio={:.2} GiB/s",
+                t.bandwidth_gib(), b.bandwidth_gib());
+        }
+    }
+
+    let n_psets = nodes / NODES_PER_PSET;
+    print_csv(
+        &format!("Fig. 11 - HACC-IO on {nodes} Mira nodes ({n_psets} Psets), file per Pset, 16 aggr/Pset, 16 MB buffers"),
+        &points,
+    );
+
+    // Peak: each Pset is served by one 2.8 GiB/s GPFS station.
+    let peak_gib = n_psets as f64 * 2.8 * GIB as f64 / GIB as f64;
+    let x_hi = mib(100_000 * PARTICLE_BYTES);
+    let best = series_at(&points, "TAPIOCA AoS", x_hi).max(series_at(&points, "TAPIOCA SoA", x_hi));
+    shape(
+        "tapioca-near-peak",
+        best >= 0.75 * peak_gib,
+        &format!("TAPIOCA reaches {best:.1} of {peak_gib:.1} GiB/s peak ({:.0}%, paper: ~90%)",
+            100.0 * best / peak_gib),
+    );
+    shape(
+        "tapioca-wins-even-on-large-messages",
+        points.iter().filter(|p| p.series.starts_with("TAPIOCA")).all(|p| {
+            let peer = p.series.replace("TAPIOCA", "MPI I/O");
+            p.gib_s >= series_at(&points, &peer, p.x_mib)
+        }),
+        "TAPIOCA >= MPI I/O everywhere",
+    );
+    let x_lo = mib(5_000 * PARTICLE_BYTES);
+    let gap_lo = series_at(&points, "TAPIOCA AoS", x_lo) / series_at(&points, "MPI I/O AoS", x_lo);
+    let gap_hi = series_at(&points, "TAPIOCA AoS", x_hi) / series_at(&points, "MPI I/O AoS", x_hi);
+    shape(
+        "gap-decreases-as-size-increases",
+        gap_hi <= gap_lo,
+        &format!("AoS gap {gap_lo:.2}x at 0.18 MiB -> {gap_hi:.2}x at 3.8 MiB"),
+    );
+    let soa_ratio = series_mean(&points, "TAPIOCA SoA") / series_mean(&points, "MPI I/O SoA");
+    shape(
+        "soa-is-the-headline-layout",
+        soa_ratio >= 3.0,
+        &format!("mean SoA speedup {soa_ratio:.1}x (paper: up to 12x on BG/Q)"),
+    );
+}

@@ -1,0 +1,82 @@
+//! Fig. 12 — HACC-IO on 4,096 Mira nodes (64K ranks), one file per Pset,
+//! 16 aggregators per Pset, 16 MB aggregation buffers.
+//!
+//! Paper shape: "the behavior is similar [to Fig. 11], with the peak I/O
+//! bandwidth almost reached (the peak is estimated to 89.6 GBps on this
+//! node count). As with experiments on 1,024 nodes, the gap with MPI I/O
+//! decreases as the data size increases."
+
+use tapioca::config::TapiocaConfig;
+use tapioca::sim_exec::StorageConfig;
+use tapioca_baseline::romio::MpiIoConfig;
+use tapioca_bench::*;
+use tapioca_pfs::GpfsTunables;
+use tapioca_topology::{mira_profile, MIB};
+use tapioca_workloads::hacc::{Layout, PARTICLE_BYTES};
+
+fn main() {
+    let nodes = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4096);
+    let profile = mira_profile(nodes, RANKS_PER_NODE);
+    let storage = StorageConfig::Gpfs(GpfsTunables::mira_optimized());
+    let tapioca_cfg = TapiocaConfig {
+        num_aggregators: 16, // per Pset
+        buffer_size: 16 * MIB,
+        ..Default::default()
+    };
+    let mpiio_cfg = MpiIoConfig { cb_aggregators: 16, cb_buffer_size: 16 * MIB };
+
+    let particle_counts: [u64; 4] = [5_000, 25_000, 50_000, 100_000];
+    let mut points = Vec::new();
+    for &pp in &particle_counts {
+        let x = mib(pp * PARTICLE_BYTES);
+        for layout in [Layout::ArrayOfStructs, Layout::StructOfArrays] {
+            let lname = match layout {
+                Layout::ArrayOfStructs => "AoS",
+                Layout::StructOfArrays => "SoA",
+            };
+            let spec = hacc_mira(nodes, RANKS_PER_NODE, pp, layout);
+            let t = measure_tapioca(&profile, &storage, &spec, &tapioca_cfg);
+            points.push(Point { series: format!("TAPIOCA {lname}"), x_mib: x, gib_s: t.bandwidth_gib() });
+            let b = measure_mpiio(&profile, &storage, &spec, &mpiio_cfg);
+            points.push(Point { series: format!("MPI I/O {lname}"), x_mib: x, gib_s: b.bandwidth_gib() });
+            eprintln!("  [{x:.2} MiB {lname}] tapioca={:.2} mpiio={:.2} GiB/s",
+                t.bandwidth_gib(), b.bandwidth_gib());
+        }
+    }
+
+    let n_psets = nodes / NODES_PER_PSET;
+    print_csv(
+        &format!("Fig. 12 - HACC-IO on {nodes} Mira nodes ({n_psets} Psets), file per Pset, 16 aggr/Pset, 16 MB buffers"),
+        &points,
+    );
+
+    // The paper's peak estimate for 4,096 nodes: 89.6 GB/s (2.8 GB/s per Pset).
+    let peak_gib = n_psets as f64 * 2.8;
+    let x_hi = mib(100_000 * PARTICLE_BYTES);
+    let best = series_at(&points, "TAPIOCA AoS", x_hi).max(series_at(&points, "TAPIOCA SoA", x_hi));
+    shape(
+        "peak-almost-reached",
+        best >= 0.7 * peak_gib,
+        &format!("TAPIOCA reaches {best:.1} of {peak_gib:.1} GiB/s ({:.0}%, paper: almost peak)",
+            100.0 * best / peak_gib),
+    );
+    let x_lo = mib(5_000 * PARTICLE_BYTES);
+    let gap_lo = series_at(&points, "TAPIOCA AoS", x_lo) / series_at(&points, "MPI I/O AoS", x_lo);
+    let gap_hi = series_at(&points, "TAPIOCA AoS", x_hi) / series_at(&points, "MPI I/O AoS", x_hi);
+    shape(
+        "gap-decreases-with-size",
+        gap_hi <= gap_lo && gap_lo >= 1.0,
+        &format!("AoS gap {gap_lo:.2}x -> {gap_hi:.2}x"),
+    );
+    shape(
+        "improvement-for-both-layouts",
+        points.iter().filter(|p| p.series.starts_with("TAPIOCA")).all(|p| {
+            let peer = p.series.replace("TAPIOCA", "MPI I/O");
+            p.gib_s >= series_at(&points, &peer, p.x_mib)
+        }),
+        "TAPIOCA >= MPI I/O for AoS and SoA at every size",
+    );
+}

@@ -1,0 +1,84 @@
+//! Fig. 13 — HACC-IO on 1,024 Theta nodes (16 ranks/node, 16,384 ranks).
+//!
+//! Paper setup: Lustre with 48 OSTs, 16 MB stripes; TAPIOCA with 192
+//! aggregators (4 per OST) and 16 MB aggregation buffers; MPI I/O with
+//! the same stripe settings and aggregator count. Series: TAPIOCA vs
+//! MPI I/O, each with AoS and SoA layouts, per-rank data 0.2-3.8 MB
+//! (5K-100K particles).
+//!
+//! Paper shape: TAPIOCA greatly surpasses MPI I/O regardless of layout
+//! (~7x around 1 MB/rank); the gap narrows as data size grows.
+
+use tapioca::config::TapiocaConfig;
+use tapioca::sim_exec::StorageConfig;
+use tapioca_baseline::romio::MpiIoConfig;
+use tapioca_bench::*;
+use tapioca_pfs::LustreTunables;
+use tapioca_topology::{theta_profile, MIB};
+use tapioca_workloads::hacc::{Layout, PARTICLE_BYTES};
+
+fn main() {
+    let nodes = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1024);
+    let profile = theta_profile(nodes, RANKS_PER_NODE);
+    let storage = StorageConfig::Lustre(LustreTunables::theta_hacc()); // 48 OSTs, 16 MB stripes
+    let aggregators = 192; // 4 per OST
+    let tapioca_cfg = TapiocaConfig {
+        num_aggregators: aggregators,
+        buffer_size: 16 * MIB,
+        ..Default::default()
+    };
+    let mpiio_cfg = MpiIoConfig { cb_aggregators: aggregators, cb_buffer_size: 16 * MIB };
+
+    // 5K..100K particles per rank (0.18..3.8 MiB)
+    let particle_counts: [u64; 6] = [5_000, 10_000, 25_000, 50_000, 75_000, 100_000];
+    let mut points = Vec::new();
+    for &pp in &particle_counts {
+        let x = mib(pp * PARTICLE_BYTES);
+        for layout in [Layout::ArrayOfStructs, Layout::StructOfArrays] {
+            let lname = match layout {
+                Layout::ArrayOfStructs => "AoS",
+                Layout::StructOfArrays => "SoA",
+            };
+            let spec = hacc_theta(nodes, RANKS_PER_NODE, pp, layout);
+            let t = measure_tapioca(&profile, &storage, &spec, &tapioca_cfg);
+            points.push(Point { series: format!("TAPIOCA {lname}"), x_mib: x, gib_s: t.bandwidth_gib() });
+            let b = measure_mpiio(&profile, &storage, &spec, &mpiio_cfg);
+            points.push(Point { series: format!("MPI I/O {lname}"), x_mib: x, gib_s: b.bandwidth_gib() });
+            eprintln!("  [{x:.2} MiB {lname}] tapioca={:.2} mpiio={:.2} GiB/s",
+                t.bandwidth_gib(), b.bandwidth_gib());
+        }
+    }
+
+    print_csv(
+        &format!("Fig. 13 - HACC-IO on {nodes} Theta nodes, 16 ranks/node, 48 OSTs, 16 MB stripes"),
+        &points,
+    );
+
+    // Shape checks against the paper's qualitative claims.
+    let x_mid = mib(25_000 * PARTICLE_BYTES); // ~1 MB/rank
+    let ratio_mid_aos = series_at(&points, "TAPIOCA AoS", x_mid) / series_at(&points, "MPI I/O AoS", x_mid);
+    let ratio_mid_soa = series_at(&points, "TAPIOCA SoA", x_mid) / series_at(&points, "MPI I/O SoA", x_mid);
+    shape(
+        "tapioca-dominates-both-layouts",
+        points.iter().filter(|p| p.series.starts_with("TAPIOCA")).all(|p| {
+            let peer = p.series.replace("TAPIOCA", "MPI I/O");
+            p.gib_s >= series_at(&points, &peer, p.x_mib)
+        }),
+        "TAPIOCA >= MPI I/O at every size and layout",
+    );
+    shape(
+        "large-speedup-at-1mib",
+        ratio_mid_aos >= 3.0 || ratio_mid_soa >= 3.0,
+        &format!("speedup at ~1 MiB: AoS {ratio_mid_aos:.1}x, SoA {ratio_mid_soa:.1}x (paper ~7x)"),
+    );
+    let x_hi = mib(100_000 * PARTICLE_BYTES);
+    let ratio_hi_aos = series_at(&points, "TAPIOCA AoS", x_hi) / series_at(&points, "MPI I/O AoS", x_hi);
+    shape(
+        "gap-narrows-with-size",
+        ratio_hi_aos < ratio_mid_aos,
+        &format!("AoS speedup {ratio_mid_aos:.1}x at ~1 MiB -> {ratio_hi_aos:.1}x at 3.8 MiB"),
+    );
+}

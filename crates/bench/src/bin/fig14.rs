@@ -1,0 +1,79 @@
+//! Fig. 14 — HACC-IO on 2,048 Theta nodes (16 ranks/node, 32,768 ranks).
+//!
+//! Paper setup: Lustre with 48 OSTs, 16 MB stripes; 384 aggregators
+//! (8 per OST) for both methods; 16 MB aggregation buffers.
+//!
+//! Paper shape: same as Fig. 13 at twice the scale — "even on the
+//! largest case (3.6 MB) and an array of structures data layout, our
+//! method is 4 times faster than MPI I/O".
+
+use tapioca::config::TapiocaConfig;
+use tapioca::sim_exec::StorageConfig;
+use tapioca_baseline::romio::MpiIoConfig;
+use tapioca_bench::*;
+use tapioca_pfs::LustreTunables;
+use tapioca_topology::{theta_profile, MIB};
+use tapioca_workloads::hacc::{Layout, PARTICLE_BYTES};
+
+fn main() {
+    let nodes = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2048);
+    let profile = theta_profile(nodes, RANKS_PER_NODE);
+    let storage = StorageConfig::Lustre(LustreTunables::theta_hacc());
+    let aggregators = 384; // 8 per OST
+    let tapioca_cfg = TapiocaConfig {
+        num_aggregators: aggregators,
+        buffer_size: 16 * MIB,
+        ..Default::default()
+    };
+    let mpiio_cfg = MpiIoConfig { cb_aggregators: aggregators, cb_buffer_size: 16 * MIB };
+
+    let particle_counts: [u64; 5] = [5_000, 25_000, 50_000, 75_000, 100_000];
+    let mut points = Vec::new();
+    for &pp in &particle_counts {
+        let x = mib(pp * PARTICLE_BYTES);
+        for layout in [Layout::ArrayOfStructs, Layout::StructOfArrays] {
+            let lname = match layout {
+                Layout::ArrayOfStructs => "AoS",
+                Layout::StructOfArrays => "SoA",
+            };
+            let spec = hacc_theta(nodes, RANKS_PER_NODE, pp, layout);
+            let t = measure_tapioca(&profile, &storage, &spec, &tapioca_cfg);
+            points.push(Point { series: format!("TAPIOCA {lname}"), x_mib: x, gib_s: t.bandwidth_gib() });
+            let b = measure_mpiio(&profile, &storage, &spec, &mpiio_cfg);
+            points.push(Point { series: format!("MPI I/O {lname}"), x_mib: x, gib_s: b.bandwidth_gib() });
+            eprintln!("  [{x:.2} MiB {lname}] tapioca={:.2} mpiio={:.2} GiB/s",
+                t.bandwidth_gib(), b.bandwidth_gib());
+        }
+    }
+
+    print_csv(
+        &format!("Fig. 14 - HACC-IO on {nodes} Theta nodes, 16 ranks/node, 48 OSTs, 16 MB stripes, 384 aggregators"),
+        &points,
+    );
+
+    let x_hi = mib(100_000 * PARTICLE_BYTES); // ~3.6 MB/rank
+    let ratio_hi_aos = series_at(&points, "TAPIOCA AoS", x_hi) / series_at(&points, "MPI I/O AoS", x_hi);
+    shape(
+        "tapioca-dominates-both-layouts",
+        points.iter().filter(|p| p.series.starts_with("TAPIOCA")).all(|p| {
+            let peer = p.series.replace("TAPIOCA", "MPI I/O");
+            p.gib_s >= series_at(&points, &peer, p.x_mib)
+        }),
+        "TAPIOCA >= MPI I/O at every size and layout",
+    );
+    shape(
+        "aos-speedup-at-largest-size",
+        ratio_hi_aos >= 2.0,
+        &format!("AoS speedup at 3.6 MiB: {ratio_hi_aos:.1}x (paper: 4x)"),
+    );
+    let soa_tap = series_mean(&points, "TAPIOCA SoA");
+    let soa_mpi = series_mean(&points, "MPI I/O SoA");
+    shape(
+        "soa-gap-exceeds-aos-gap",
+        soa_tap / soa_mpi >= ratio_hi_aos,
+        &format!("mean SoA speedup {:.1}x >= AoS {:.1}x", soa_tap / soa_mpi, ratio_hi_aos),
+    );
+}

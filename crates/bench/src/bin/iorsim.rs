@@ -1,0 +1,190 @@
+//! `iorsim` — an IOR-like command-line driver for the simulation
+//! backend: pick a machine, a workload and a method, get a bandwidth
+//! report. The "run your own experiment" tool of this repository.
+//!
+//! ```text
+//! Usage: iorsim [options]
+//!   --machine mira|theta|cluster   platform model      [theta]
+//!   --nodes N                compute nodes             [512]
+//!   --rpn N                  ranks per node            [16]
+//!   --size BYTES             data per rank             [1000000]
+//!   --layout contig|aos|soa  workload layout           [contig]
+//!   --method tapioca|mpiio   I/O library               [tapioca]
+//!   --mode write|read        direction                 [write]
+//!   --aggregators N          aggregators (per Pset on Mira) [48 | 16]
+//!   --buffer BYTES           aggregation buffer        [8388608]
+//!   --stripes N              Lustre stripe count       [48]
+//!   --stripe-size BYTES      Lustre stripe size        [8388608]
+//!   --placement topo|rank|io|random|worst   election   [topo]
+//!   --no-pipeline            disable double buffering
+//! ```
+
+use tapioca::config::TapiocaConfig;
+use tapioca::placement::PlacementStrategy;
+use tapioca::sim_exec::StorageConfig;
+use tapioca_baseline::romio::MpiIoConfig;
+use tapioca_bench::*;
+use tapioca_pfs::{AccessMode, GpfsTunables, LockMode, LustreTunables};
+use tapioca_topology::{cluster_profile, mira_profile, theta_profile, MIB};
+use tapioca_workloads::hacc::{HaccIo, Layout};
+
+#[derive(Debug)]
+struct Args {
+    machine: String,
+    nodes: usize,
+    rpn: usize,
+    size: u64,
+    layout: String,
+    method: String,
+    mode: String,
+    aggregators: Option<usize>,
+    buffer: u64,
+    stripes: usize,
+    stripe_size: u64,
+    placement: String,
+    pipeline: bool,
+}
+
+fn parse() -> Args {
+    let mut a = Args {
+        machine: "theta".into(),
+        nodes: 512,
+        rpn: 16,
+        size: 1_000_000,
+        layout: "contig".into(),
+        method: "tapioca".into(),
+        mode: "write".into(),
+        aggregators: None,
+        buffer: 8 * MIB,
+        stripes: 48,
+        stripe_size: 8 * MIB,
+        placement: "topo".into(),
+        pipeline: true,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let next = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i).unwrap_or_else(|| panic!("missing value for {}", argv[*i - 1])).clone()
+        };
+        match argv[i].as_str() {
+            "--machine" => a.machine = next(&mut i),
+            "--nodes" => a.nodes = next(&mut i).parse().expect("nodes"),
+            "--rpn" => a.rpn = next(&mut i).parse().expect("rpn"),
+            "--size" => a.size = next(&mut i).parse().expect("size"),
+            "--layout" => a.layout = next(&mut i),
+            "--method" => a.method = next(&mut i),
+            "--mode" => a.mode = next(&mut i),
+            "--aggregators" => a.aggregators = Some(next(&mut i).parse().expect("aggregators")),
+            "--buffer" => a.buffer = next(&mut i).parse().expect("buffer"),
+            "--stripes" => a.stripes = next(&mut i).parse().expect("stripes"),
+            "--stripe-size" => a.stripe_size = next(&mut i).parse().expect("stripe-size"),
+            "--placement" => a.placement = next(&mut i),
+            "--no-pipeline" => a.pipeline = false,
+            "--help" | "-h" => {
+                println!("see the module docs at the top of iorsim.rs");
+                std::process::exit(0);
+            }
+            other => panic!("unknown option {other}"),
+        }
+        i += 1;
+    }
+    a
+}
+
+fn main() {
+    let a = parse();
+    let mode = match a.mode.as_str() {
+        "write" => AccessMode::Write,
+        "read" => AccessMode::Read,
+        m => panic!("unknown mode {m}"),
+    };
+    let strategy = match a.placement.as_str() {
+        "topo" => PlacementStrategy::TopologyAware,
+        "rank" => PlacementStrategy::RankOrder,
+        "io" => PlacementStrategy::ShortestPathToIo,
+        "random" => PlacementStrategy::Random { seed: 1 },
+        "worst" => PlacementStrategy::WorstCase,
+        p => panic!("unknown placement {p}"),
+    };
+
+    let (profile, storage, default_aggr) = match a.machine.as_str() {
+        "theta" => (
+            theta_profile(a.nodes, a.rpn),
+            StorageConfig::Lustre(LustreTunables {
+                stripe_count: a.stripes,
+                stripe_size: a.stripe_size,
+                lock_mode: LockMode::Shared,
+            }),
+            48,
+        ),
+        "mira" => (
+            mira_profile(a.nodes, a.rpn),
+            StorageConfig::Gpfs(GpfsTunables::mira_optimized()),
+            16,
+        ),
+        "cluster" => (
+            cluster_profile(a.nodes, a.rpn),
+            StorageConfig::Lustre(LustreTunables {
+                stripe_count: a.stripes.min(32),
+                stripe_size: a.stripe_size,
+                lock_mode: LockMode::Shared,
+            }),
+            32,
+        ),
+        m => panic!("unknown machine {m}"),
+    };
+    let aggregators = a.aggregators.unwrap_or(default_aggr);
+
+    let particles = a.size / 38;
+    let spec = match (a.machine.as_str(), a.layout.as_str()) {
+        ("mira", "contig") => ior_mira(a.nodes, a.rpn, a.size, mode),
+        ("mira", "aos") => hacc_mira(a.nodes, a.rpn, particles, Layout::ArrayOfStructs),
+        ("mira", "soa") => hacc_mira(a.nodes, a.rpn, particles, Layout::StructOfArrays),
+        // Theta and the generic cluster both use one shared file
+        (_, "contig") => ior_theta(a.nodes, a.rpn, a.size, mode),
+        (_, "aos") => hacc_theta(a.nodes, a.rpn, particles, Layout::ArrayOfStructs),
+        (_, "soa") => hacc_theta(a.nodes, a.rpn, particles, Layout::StructOfArrays),
+        (_, l) => panic!("unknown layout {l}"),
+    };
+
+    let report = match a.method.as_str() {
+        "tapioca" => measure_tapioca(&profile, &storage, &spec, &TapiocaConfig {
+            num_aggregators: aggregators,
+            buffer_size: a.buffer,
+            pipelining: a.pipeline,
+            strategy,
+        }),
+        "mpiio" => measure_mpiio(&profile, &storage, &spec, &MpiIoConfig {
+            cb_aggregators: aggregators,
+            cb_buffer_size: a.buffer,
+        }),
+        m => panic!("unknown method {m}"),
+    };
+
+    let gib = (1u64 << 30) as f64;
+    println!("machine      : {}", profile.name);
+    println!("ranks        : {} ({} nodes x {} ranks)", a.nodes * a.rpn, a.nodes, a.rpn);
+    println!("workload     : {} {} of {} bytes/rank", a.layout, a.mode, a.size);
+    println!("method       : {} ({aggregators} aggregators, {} MiB buffers, pipeline {})",
+        a.method, a.buffer / MIB, a.pipeline);
+    if a.machine != "mira" {
+        println!("lustre       : {} OSTs, {} MiB stripes", a.stripes, a.stripe_size / MIB);
+    }
+    println!("data moved   : {:.2} GiB", report.bytes / gib);
+    println!("elapsed      : {:.3} s", report.elapsed);
+    println!("bandwidth    : {:.2} GiB/s", report.bandwidth / gib);
+
+    if let Some(hacc) = match a.layout.as_str() {
+        "aos" | "soa" => Some(HaccIo {
+            num_ranks: a.nodes * a.rpn,
+            particles_per_rank: particles,
+            layout: Layout::ArrayOfStructs,
+        }),
+        _ => None,
+    } {
+        println!("particles    : {} per rank ({} total)", particles,
+            hacc.num_ranks as u64 * particles);
+    }
+}

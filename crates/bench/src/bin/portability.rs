@@ -1,0 +1,111 @@
+//! Portability: the paper's core engineering claim — "we show
+//! substantial improvement of I/O access *without modifying the code
+//! from one system to another*" — extended to a third machine the paper
+//! never evaluated: a commodity fat-tree cluster with Lustre.
+//!
+//! The same TAPIOCA code (schedule, election, pipeline) runs against all
+//! three `TopologyProvider`s; only the machine profile changes. Expected
+//! shape: TAPIOCA >= tuned MPI I/O on every machine, with the familiar
+//! SoA gap.
+
+use tapioca::config::TapiocaConfig;
+use tapioca::sim_exec::StorageConfig;
+use tapioca_baseline::romio::MpiIoConfig;
+use tapioca_bench::*;
+use tapioca_pfs::{GpfsTunables, LockMode, LustreTunables};
+use tapioca_topology::{
+    cluster_profile, mira_profile, theta_profile, MachineProfile, TopologyProvider, MIB,
+};
+use tapioca_workloads::hacc::Layout;
+
+fn main() {
+    let particles = 25_000u64; // ~1 MB/rank
+
+    struct Case {
+        profile: MachineProfile,
+        storage: StorageConfig,
+        aggregators: usize,
+        buffer: u64,
+        mira_style_subfiling: bool,
+    }
+    let cases = [
+        Case {
+            profile: mira_profile(512, RANKS_PER_NODE),
+            storage: StorageConfig::Gpfs(GpfsTunables::mira_optimized()),
+            aggregators: 16,
+            buffer: 16 * MIB,
+            mira_style_subfiling: true,
+        },
+        Case {
+            profile: theta_profile(512, RANKS_PER_NODE),
+            storage: StorageConfig::Lustre(LustreTunables::theta_hacc()),
+            aggregators: 192,
+            buffer: 16 * MIB,
+            mira_style_subfiling: false,
+        },
+        Case {
+            profile: cluster_profile(512, 8),
+            storage: StorageConfig::Lustre(LustreTunables {
+                stripe_count: 32,
+                stripe_size: 8 * MIB,
+                lock_mode: LockMode::Shared,
+            }),
+            aggregators: 64,
+            buffer: 8 * MIB,
+            mira_style_subfiling: false,
+        },
+    ];
+
+    println!("# Portability - identical TAPIOCA code on three machines, HACC-IO ~1 MB/rank");
+    println!("machine,layout,tapioca_gib_s,mpiio_gib_s,speedup");
+    let mut all_win = true;
+    let mut soa_beats_aos_everywhere = true;
+    for case in &cases {
+        let rpn = case.profile.machine.ranks_per_node();
+        let nodes = case.profile.machine.num_nodes();
+        let mut ratios = Vec::new();
+        for layout in [Layout::ArrayOfStructs, Layout::StructOfArrays] {
+            let lname = match layout {
+                Layout::ArrayOfStructs => "AoS",
+                Layout::StructOfArrays => "SoA",
+            };
+            let spec = if case.mira_style_subfiling {
+                hacc_mira(nodes, rpn, particles, layout)
+            } else {
+                hacc_theta(nodes, rpn, particles, layout)
+            };
+            let t = measure_tapioca(&case.profile, &case.storage, &spec, &TapiocaConfig {
+                num_aggregators: case.aggregators,
+                buffer_size: case.buffer,
+                ..Default::default()
+            });
+            let b = measure_mpiio(&case.profile, &case.storage, &spec, &MpiIoConfig {
+                cb_aggregators: case.aggregators,
+                cb_buffer_size: case.buffer,
+            });
+            let ratio = t.bandwidth / b.bandwidth;
+            println!(
+                "{},{lname},{:.2},{:.2},{ratio:.2}",
+                case.profile.name,
+                t.bandwidth_gib(),
+                b.bandwidth_gib()
+            );
+            all_win &= ratio >= 0.999;
+            ratios.push(ratio);
+            eprintln!("  [{}] {lname}: {:.2} vs {:.2} GiB/s",
+                case.profile.name, t.bandwidth_gib(), b.bandwidth_gib());
+        }
+        soa_beats_aos_everywhere &= ratios[1] >= ratios[0] * 0.999;
+    }
+
+    shape(
+        "tapioca-wins-on-every-machine",
+        all_win,
+        "unchanged library code >= tuned MPI I/O on BG/Q, XC40, and a fat-tree cluster",
+    );
+    shape(
+        "soa-gap-is-machine-independent",
+        soa_beats_aos_everywhere,
+        "the declared-schedule advantage on multi-variable layouts appears on all three",
+    );
+}

@@ -1,0 +1,89 @@
+//! `topoinfo` — inspect the machine models: node counts, link tables,
+//! distance distributions, Pset / dragonfly structure, and I/O
+//! attachment. Handy when calibrating or extending the profiles.
+//!
+//! Usage: `topoinfo [mira|theta] [nodes]`
+
+use tapioca_topology::{mira_profile, theta_profile, StorageProfile, TopologyProvider, GIB};
+
+fn main() {
+    let machine = std::env::args().nth(1).unwrap_or_else(|| "theta".into());
+    let nodes: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(512);
+
+    let profile = match machine.as_str() {
+        "mira" => mira_profile(nodes, 16),
+        "theta" => theta_profile(nodes, 16),
+        m => panic!("unknown machine {m}"),
+    };
+    let m = &profile.machine;
+    let net = m.interconnect();
+
+    println!("{}", profile.name);
+    println!("  nodes            : {}", m.num_nodes());
+    println!("  ranks            : {} ({} per node)", m.num_ranks(), m.ranks_per_node());
+    println!("  directed links   : {}", net.num_links());
+    println!("  per-hop latency  : {:.0} ns", net.hop_latency() * 1e9);
+
+    // link class inventory
+    let mut by_class: std::collections::BTreeMap<String, (usize, f64)> = Default::default();
+    for l in 0..net.num_links() {
+        let link = net.link(l);
+        let name = format!("{:?}", link.class);
+        let e = by_class.entry(name).or_insert((0, link.capacity));
+        e.0 += 1;
+    }
+    println!("  link classes:");
+    for (class, (count, cap)) in &by_class {
+        println!("    {class:<12} x{count:<8} {:.1} GiB/s", cap / GIB as f64);
+    }
+
+    // distance histogram over a deterministic node sample
+    let n = m.num_nodes();
+    let sample: Vec<usize> = (0..64.min(n)).map(|i| i * n / 64.min(n)).collect();
+    let mut hist: std::collections::BTreeMap<u32, usize> = Default::default();
+    for &a in &sample {
+        for &b in &sample {
+            if a != b {
+                *hist.entry(net.hop_distance(a, b)).or_default() += 1;
+            }
+        }
+    }
+    println!("  hop-distance histogram (sampled):");
+    let total: usize = hist.values().sum();
+    for (d, c) in &hist {
+        println!("    {d:>3} hops: {:>5.1}%  {}", 100.0 * *c as f64 / total as f64,
+            "#".repeat(60 * c / total));
+    }
+
+    match (&profile.storage, m.fabric().as_torus(), m.fabric().as_dragonfly()) {
+        (StorageProfile::Gpfs { ion_link_bw, ion_service_bw }, Some(t), _) => {
+            println!("  GPFS I/O structure:");
+            println!("    Psets          : {} x {} nodes", t.num_psets(),
+                t.pset_config().unwrap().nodes_per_pset);
+            println!("    bridge nodes   : {:?} (Pset 0)", t.bridge_nodes(0));
+            println!("    ION uplink     : {:.1} GiB/s", ion_link_bw / GIB as f64);
+            println!("    ION service    : {:.1} GiB/s effective", ion_service_bw / GIB as f64);
+            let dmax = (0..t.pset_config().unwrap().nodes_per_pset)
+                .map(|node| t.io_distance(node))
+                .max()
+                .unwrap();
+            println!("    max hops to ION: {dmax} (within a Pset)");
+        }
+        (StorageProfile::Lustre { total_osts, ost_write_bw, ost_read_bw, lnet_bw }, _, Some(d)) => {
+            println!("  dragonfly structure:");
+            let p = d.params();
+            println!("    groups         : {} x ({} x {}) routers x {} nodes",
+                p.groups, p.rows, p.cols, p.nodes_per_router);
+            println!("  Lustre storage:");
+            println!("    OSTs           : {total_osts}");
+            println!("    OST write/read : {:.2} / {:.2} GiB/s each",
+                ost_write_bw / GIB as f64, ost_read_bw / GIB as f64);
+            println!("    LNET aggregate : {:.0} GiB/s", lnet_bw / GIB as f64);
+            println!("    I/O placement  : opaque to the cost model (C2 = 0, as on Theta)");
+        }
+        _ => {}
+    }
+}

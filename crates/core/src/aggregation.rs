@@ -1,0 +1,237 @@
+//! Thread-mode execution of the aggregation pipeline — Algorithm 3 of
+//! the paper, run for real on `tapioca-mpi` primitives.
+//!
+//! Per partition (every rank processes the partitions it has data in, in
+//! ascending index order — a global total order, so overlapping
+//! partition memberships cannot deadlock):
+//!
+//! 1. the members form a sub-communicator and elect their aggregator
+//!    with an `allreduce(MINLOC)` over the placement cost;
+//! 2. the aggregator exposes **two** pipeline buffers in an RMA window;
+//! 3. for each round `r`: members `put` their chunks into buffer
+//!    `r % 2`; a fence closes the epoch; the aggregator launches a
+//!    *non-blocking* flush of that buffer and — before releasing the next
+//!    round — waits for the flush that previously used the *other*
+//!    buffer (round `r-1`'s fill target is only reused in round `r+1`);
+//!    a second fence releases the members into round `r + 1`.
+//!
+//! The net effect is the paper's overlap: the flush of round `r` runs
+//! concurrently with the puts of round `r + 1`.
+
+use tapioca_mpi::{Comm, IoHandle, SharedFile, Window};
+use tapioca_topology::TopologyProvider;
+
+use crate::config::TapiocaConfig;
+use crate::placement::election_cost;
+use crate::schedule::Schedule;
+
+/// Key namespace so several `Tapioca` instances on one communicator
+/// never collide in the subgroup registry.
+fn subgroup_key(epoch: u64, partition: usize) -> u64 {
+    epoch * 1_000_000 + partition as u64
+}
+
+/// Per-rank instrumentation of one pipeline run — what this rank's
+/// thread actually did, for observability and for tests that check the
+/// executed traffic against the schedule's predictions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Partitions this rank participated in.
+    pub partitions: usize,
+    /// Partitions this rank was elected aggregator of.
+    pub elected: usize,
+    /// One-sided puts issued (one per chunk).
+    pub puts: u64,
+    /// Bytes deposited via puts.
+    pub put_bytes: u64,
+    /// Fences passed.
+    pub fences: u64,
+    /// Flush operations issued (as aggregator).
+    pub flushes: u64,
+    /// Bytes flushed to the file (as aggregator).
+    pub flush_bytes: u64,
+}
+
+impl IoStats {
+    /// Accumulate another run's counters.
+    pub fn merge(&mut self, other: &IoStats) {
+        self.partitions += other.partitions;
+        self.elected += other.elected;
+        self.puts += other.puts;
+        self.put_bytes += other.put_bytes;
+        self.fences += other.fences;
+        self.flushes += other.flushes;
+        self.flush_bytes += other.flush_bytes;
+    }
+}
+
+/// Run the write pipeline for this rank. `staged[var]` holds the data of
+/// the rank's declared write `var`; lengths must match the declarations
+/// used to compute `schedule`.
+pub fn run_write_pipeline(
+    comm: &Comm,
+    schedule: &Schedule,
+    staged: &[Vec<u8>],
+    file: &SharedFile,
+    cfg: &TapiocaConfig,
+    topo: &dyn TopologyProvider,
+    epoch: u64,
+) -> IoStats {
+    let me = comm.rank();
+    let b = cfg.buffer_size as usize;
+    let mut stats = IoStats::default();
+
+    for part in &schedule.partitions {
+        if part.members.binary_search(&me).is_err() {
+            continue;
+        }
+        let pcomm = comm.subgroup(&part.members, subgroup_key(epoch, part.index));
+        let my_idx = pcomm.rank();
+
+        // Aggregator election: my cost, MINLOC across the partition.
+        let io = topo.io_nodes_for(&part.members).first().copied().unwrap_or(0);
+        let my_cost = election_cost(
+            topo,
+            &part.members,
+            &part.member_bytes,
+            io,
+            part.index,
+            cfg.strategy,
+            my_idx,
+        );
+        let (_, agg_idx) = pcomm.allreduce_min_loc(my_cost);
+        stats.partitions += 1;
+        if my_idx == agg_idx {
+            stats.elected += 1;
+        }
+
+        let win = Window::allocate(&pcomm, if my_idx == agg_idx { 2 * b } else { 0 });
+        let mut inflight: [Vec<IoHandle>; 2] = [Vec::new(), Vec::new()];
+
+        let my_chunks: Vec<_> = schedule.chunks_by_rank[me]
+            .iter()
+            .filter(|c| c.partition == part.index)
+            .collect();
+
+        for (r, round) in part.rounds.iter().enumerate() {
+            let buf = r % 2;
+            for c in my_chunks.iter().filter(|c| c.round as usize == r) {
+                let data = &staged[c.var]
+                    [c.var_offset as usize..(c.var_offset + c.len) as usize];
+                win.put(agg_idx, buf * b + c.buf_offset as usize, data);
+                stats.puts += 1;
+                stats.put_bytes += c.len;
+            }
+            // Close the access epoch of round r.
+            win.fence(&pcomm);
+            stats.fences += 1;
+
+            if my_idx == agg_idx {
+                let handles: Vec<IoHandle> = round
+                    .segments
+                    .iter()
+                    .map(|seg| {
+                        let data = win.read_local(
+                            my_idx,
+                            buf * b + seg.buf_offset as usize,
+                            seg.len as usize,
+                        );
+                        stats.flushes += 1;
+                        stats.flush_bytes += seg.len;
+                        file.iwrite_at(seg.file_offset, data)
+                    })
+                    .collect();
+                if cfg.pipelining {
+                    inflight[buf] = handles;
+                    // Round r+1 fills the other buffer; its previous
+                    // flush (round r-1) must have drained first.
+                    for h in inflight[(r + 1) % 2].drain(..) {
+                        h.wait();
+                    }
+                } else {
+                    for h in handles {
+                        h.wait();
+                    }
+                }
+            }
+            // Release every member into round r+1 only after the
+            // aggregator confirmed the reused buffer is free.
+            win.fence(&pcomm);
+            stats.fences += 1;
+        }
+
+        if my_idx == agg_idx {
+            for hs in &mut inflight {
+                for h in hs.drain(..) {
+                    h.wait();
+                }
+            }
+        }
+        // All flushes of this partition are durable before anyone leaves.
+        pcomm.barrier();
+    }
+    stats
+}
+
+/// Run the two-phase *read* pipeline: aggregators read each round's
+/// segments from the file into their window buffer; members fetch their
+/// chunks with one-sided `get`s. Returns one buffer per declared var.
+///
+/// Reads use a single buffer (no flush to overlap with); the paper's
+/// machinery — partitions, election, rounds, fences — is identical.
+pub fn run_read_pipeline(
+    comm: &Comm,
+    schedule: &Schedule,
+    var_lens: &[u64],
+    file: &SharedFile,
+    cfg: &TapiocaConfig,
+    topo: &dyn TopologyProvider,
+    epoch: u64,
+) -> Vec<Vec<u8>> {
+    let me = comm.rank();
+    let b = cfg.buffer_size as usize;
+    let mut out: Vec<Vec<u8>> = var_lens.iter().map(|&l| vec![0u8; l as usize]).collect();
+
+    for part in &schedule.partitions {
+        if part.members.binary_search(&me).is_err() {
+            continue;
+        }
+        let pcomm = comm.subgroup(&part.members, subgroup_key(epoch, part.index));
+        let my_idx = pcomm.rank();
+        let io = topo.io_nodes_for(&part.members).first().copied().unwrap_or(0);
+        let my_cost = election_cost(
+            topo,
+            &part.members,
+            &part.member_bytes,
+            io,
+            part.index,
+            cfg.strategy,
+            my_idx,
+        );
+        let (_, agg_idx) = pcomm.allreduce_min_loc(my_cost);
+        let win = Window::allocate(&pcomm, if my_idx == agg_idx { b } else { 0 });
+
+        let my_chunks: Vec<_> = schedule.chunks_by_rank[me]
+            .iter()
+            .filter(|c| c.partition == part.index)
+            .collect();
+
+        for (r, round) in part.rounds.iter().enumerate() {
+            if my_idx == agg_idx {
+                for seg in &round.segments {
+                    let data = file.read_at(seg.file_offset, seg.len as usize);
+                    win.write_local(my_idx, seg.buf_offset as usize, &data);
+                }
+            }
+            win.fence(&pcomm);
+            for c in my_chunks.iter().filter(|c| c.round as usize == r) {
+                let data = win.get(agg_idx, c.buf_offset as usize, c.len as usize);
+                out[c.var][c.var_offset as usize..(c.var_offset + c.len) as usize]
+                    .copy_from_slice(&data);
+            }
+            win.fence(&pcomm);
+        }
+        pcomm.barrier();
+    }
+    out
+}

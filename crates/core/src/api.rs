@@ -1,0 +1,387 @@
+//! The public TAPIOCA API (thread mode) — the Rust counterpart of the
+//! paper's `TAPIOCA_Init` / `TAPIOCA_Write` / `TAPIOCA_Read` calls
+//! (Algorithm 2).
+//!
+//! ```text
+//! TAPIOCA_Init(count, type, ofst, 3);     ->  Tapioca::init(comm, file, decls, cfg)
+//! TAPIOCA_Write(f, offset, x, n, ...);    ->  io.write(offset, &x)
+//! ```
+//!
+//! `init` allgathers the declarations, computes the round schedule, and
+//! is collective over the communicator. `write` stages the payload of
+//! one declared variable; once the last declared write has arrived the
+//! pipeline of [`crate::aggregation`] executes (puts, fences, elections,
+//! double-buffered flushes). Deviations from the paper are documented in
+//! `DESIGN.md`: user payloads are staged until the last declared write
+//! instead of being streamed per call — correctness-equivalent, one
+//! extra copy.
+
+use std::sync::Arc;
+
+use tapioca_mpi::{Comm, SharedFile};
+use tapioca_topology::TopologyProvider;
+
+use crate::aggregation::{run_read_pipeline, run_write_pipeline, IoStats};
+use crate::config::TapiocaConfig;
+use crate::placement::UniformTopology;
+use crate::schedule::{compute_schedule, Schedule, ScheduleParams, WriteDecl};
+
+/// Outcome of a `write` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// Payload staged; more declared writes outstanding.
+    Staged,
+    /// This was the last declared write: the collective pipeline ran and
+    /// all data (of every rank) is flushed.
+    Flushed,
+}
+
+/// A TAPIOCA instance bound to one communicator and one file.
+pub struct Tapioca<'c> {
+    comm: &'c Comm,
+    file: SharedFile,
+    cfg: TapiocaConfig,
+    topo: Arc<dyn TopologyProvider>,
+    decls: Vec<WriteDecl>,
+    schedule: Schedule,
+    staged: Vec<Option<Vec<u8>>>,
+    epoch: u64,
+    flushed: bool,
+    stats: Option<IoStats>,
+}
+
+impl<'c> Tapioca<'c> {
+    /// Collective: declare this rank's upcoming writes and compute the
+    /// shared schedule. Uses the zero-information [`UniformTopology`]
+    /// (election degenerates to lowest rank).
+    pub fn init(
+        comm: &'c Comm,
+        file: SharedFile,
+        decls: Vec<WriteDecl>,
+        cfg: TapiocaConfig,
+    ) -> Tapioca<'c> {
+        let topo = Arc::new(UniformTopology { num_ranks: comm.size() });
+        Self::init_with_topology(comm, file, decls, cfg, topo)
+    }
+
+    /// Collective: like [`Tapioca::init`] but with a real machine model,
+    /// enabling the topology-aware election.
+    pub fn init_with_topology(
+        comm: &'c Comm,
+        file: SharedFile,
+        decls: Vec<WriteDecl>,
+        cfg: TapiocaConfig,
+        topo: Arc<dyn TopologyProvider>,
+    ) -> Tapioca<'c> {
+        cfg.validate();
+        let epoch = comm.next_user_seq();
+
+        // Allgather declarations: (offset, len) pairs.
+        let mut mine = Vec::with_capacity(decls.len() * 16);
+        for d in &decls {
+            mine.extend_from_slice(&d.offset.to_le_bytes());
+            mine.extend_from_slice(&d.len.to_le_bytes());
+        }
+        let all = comm.allgather_bytes(mine);
+        let all_decls: Vec<Vec<WriteDecl>> = all
+            .into_iter()
+            .map(|bytes| {
+                bytes
+                    .chunks_exact(16)
+                    .map(|c| WriteDecl {
+                        offset: u64::from_le_bytes(c[..8].try_into().expect("8 bytes")),
+                        len: u64::from_le_bytes(c[8..].try_into().expect("8 bytes")),
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let schedule = compute_schedule(&all_decls, ScheduleParams {
+            num_aggregators: cfg.num_aggregators,
+            buffer_size: cfg.buffer_size,
+            align_to_buffer: true,
+        });
+        let staged = vec![None; decls.len()];
+        Tapioca {
+            comm,
+            file,
+            cfg,
+            topo,
+            decls,
+            schedule,
+            staged,
+            epoch,
+            flushed: false,
+            stats: None,
+        }
+    }
+
+    /// The computed schedule (for inspection and tests).
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// Instrumentation counters of the executed write pipeline
+    /// (available once the last declared write has flushed).
+    pub fn stats(&self) -> Option<&IoStats> {
+        self.stats.as_ref()
+    }
+
+    /// Stage the payload of the declared write at `offset`. When the
+    /// last declared write arrives, the collective pipeline runs (all
+    /// ranks reach it at their own last write).
+    ///
+    /// # Panics
+    /// Panics if `(offset, data.len())` matches no outstanding declared
+    /// write of this rank.
+    pub fn write(&mut self, offset: u64, data: &[u8]) -> WriteOutcome {
+        let var = self
+            .decls
+            .iter()
+            .enumerate()
+            .position(|(i, d)| {
+                d.offset == offset && d.len == data.len() as u64 && self.staged[i].is_none()
+            })
+            .unwrap_or_else(|| {
+                panic!(
+                    "write of {} bytes at offset {offset} matches no outstanding declaration",
+                    data.len()
+                )
+            });
+        self.staged[var] = Some(data.to_vec());
+        if self.staged.iter().all(Option::is_some) {
+            self.flush();
+            WriteOutcome::Flushed
+        } else {
+            WriteOutcome::Staged
+        }
+    }
+
+    fn flush(&mut self) {
+        let staged: Vec<Vec<u8>> = self
+            .staged
+            .iter()
+            .map(|o| o.clone().expect("all writes staged"))
+            .collect();
+        let stats = run_write_pipeline(
+            self.comm,
+            &self.schedule,
+            &staged,
+            &self.file,
+            &self.cfg,
+            self.topo.as_ref(),
+            self.epoch * 2,
+        );
+        self.stats = Some(stats);
+        self.flushed = true;
+    }
+
+    /// Collective two-phase read of every declared extent; returns one
+    /// buffer per declared write of this rank.
+    pub fn read_declared(&self) -> Vec<Vec<u8>> {
+        let lens: Vec<u64> = self.decls.iter().map(|d| d.len).collect();
+        run_read_pipeline(
+            self.comm,
+            &self.schedule,
+            &lens,
+            &self.file,
+            &self.cfg,
+            self.topo.as_ref(),
+            self.epoch * 2 + 1,
+        )
+    }
+
+    /// Finish the instance.
+    ///
+    /// # Panics
+    /// Panics if this rank declared writes it never issued (the
+    /// collective pipeline would deadlock the other ranks otherwise, so
+    /// failing loudly here is the kind option).
+    pub fn finalize(self) {
+        assert!(
+            self.decls.is_empty() || self.flushed,
+            "finalize with {} declared writes never issued",
+            self.staged.iter().filter(|o| o.is_none()).count()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapioca_mpi::Runtime;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("tapioca-core-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    fn cfg(aggr: usize, buf: u64) -> TapiocaConfig {
+        TapiocaConfig { num_aggregators: aggr, buffer_size: buf, ..Default::default() }
+    }
+
+    #[test]
+    fn contiguous_blocks_roundtrip() {
+        let path = tmp("blocks");
+        let n = 8;
+        let per = 256u64;
+        Runtime::run(n, |comm| {
+            let file = SharedFile::open_shared(&comm, &path);
+            let r = comm.rank() as u64;
+            let decls = vec![WriteDecl { offset: r * per, len: per }];
+            let mut io = Tapioca::init(&comm, file, decls, cfg(3, 96));
+            let payload: Vec<u8> = (0..per).map(|i| (r * 7 + i) as u8).collect();
+            assert_eq!(io.write(r * per, &payload), WriteOutcome::Flushed);
+            io.finalize();
+        });
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes.len(), (n as u64 * per) as usize);
+        for r in 0..n as u64 {
+            for i in 0..per {
+                assert_eq!(bytes[(r * per + i) as usize], (r * 7 + i) as u8);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_var_xyz_like_algorithm_2() {
+        // 4 ranks x 3 vars (x, y, z), SoA-style regions.
+        let path = tmp("xyz");
+        let n = 4;
+        let var_len = 64u64;
+        Runtime::run(n, |comm| {
+            let file = SharedFile::open_shared(&comm, &path);
+            let r = comm.rank() as u64;
+            let decls: Vec<WriteDecl> = (0..3u64)
+                .map(|v| WriteDecl { offset: v * (n as u64 * var_len) + r * var_len, len: var_len })
+                .collect();
+            let mut io = Tapioca::init(&comm, file, decls.clone(), cfg(2, 128));
+            for (v, d) in decls.iter().enumerate() {
+                let payload = vec![10 * (v as u8 + 1) + r as u8; var_len as usize];
+                let outcome = io.write(d.offset, &payload);
+                if v < 2 {
+                    assert_eq!(outcome, WriteOutcome::Staged);
+                } else {
+                    assert_eq!(outcome, WriteOutcome::Flushed);
+                }
+            }
+            io.finalize();
+        });
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes.len(), 3 * 4 * 64);
+        for v in 0..3u64 {
+            for r in 0..4u64 {
+                let base = (v * 256 + r * 64) as usize;
+                assert!(bytes[base..base + 64].iter().all(|&b| b == (10 * (v + 1) + r) as u8));
+            }
+        }
+    }
+
+    #[test]
+    fn read_back_through_two_phase_read() {
+        let path = tmp("readback");
+        let n = 6;
+        let per = 100u64;
+        Runtime::run(n, |comm| {
+            let file = SharedFile::open_shared(&comm, &path);
+            let r = comm.rank() as u64;
+            let decls = vec![WriteDecl { offset: r * per, len: per }];
+            let mut io = Tapioca::init(&comm, file, decls, cfg(4, 64));
+            let payload: Vec<u8> = (0..per).map(|i| (r * 31 + i * 3) as u8).collect();
+            io.write(r * per, &payload);
+            let back = io.read_declared();
+            assert_eq!(back.len(), 1);
+            assert_eq!(back[0], payload, "rank {r} read back mismatch");
+            io.finalize();
+        });
+    }
+
+    #[test]
+    fn uneven_sizes_and_many_partitions() {
+        let path = tmp("uneven");
+        let n = 5;
+        // rank r writes (r+1)*40 bytes, packed contiguously
+        let sizes: Vec<u64> = (0..n as u64).map(|r| (r + 1) * 40).collect();
+        let offs: Vec<u64> = sizes
+            .iter()
+            .scan(0u64, |acc, s| {
+                let o = *acc;
+                *acc += s;
+                Some(o)
+            })
+            .collect();
+        let total: u64 = sizes.iter().sum();
+        let (offs2, sizes2) = (offs.clone(), sizes.clone());
+        Runtime::run(n, |comm| {
+            let file = SharedFile::open_shared(&comm, &path);
+            let r = comm.rank();
+            let decls = vec![WriteDecl { offset: offs2[r], len: sizes2[r] }];
+            let mut io = Tapioca::init(&comm, file, decls, cfg(3, 50));
+            let payload = vec![r as u8 + 1; sizes2[r] as usize];
+            io.write(offs2[r], &payload);
+            io.finalize();
+        });
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes.len() as u64, total);
+        for r in 0..n {
+            let (o, s) = (offs[r] as usize, sizes[r] as usize);
+            assert!(bytes[o..o + s].iter().all(|&b| b == r as u8 + 1));
+        }
+    }
+
+    #[test]
+    fn pipelining_off_is_still_correct() {
+        let path = tmp("nopipe");
+        Runtime::run(4, |comm| {
+            let file = SharedFile::open_shared(&comm, &path);
+            let r = comm.rank() as u64;
+            let decls = vec![WriteDecl { offset: r * 64, len: 64 }];
+            let mut io = Tapioca::init(&comm, file, decls, TapiocaConfig {
+                num_aggregators: 2,
+                buffer_size: 32,
+                pipelining: false,
+                ..Default::default()
+            });
+            io.write(r * 64, &vec![r as u8 + 9; 64]);
+            io.finalize();
+        });
+        let bytes = std::fs::read(&path).unwrap();
+        for r in 0..4u64 {
+            assert!(bytes[(r * 64) as usize..((r + 1) * 64) as usize]
+                .iter()
+                .all(|&b| b == r as u8 + 9));
+        }
+    }
+
+    #[test]
+    fn two_instances_on_one_comm() {
+        let p1 = tmp("multi1");
+        let p2 = tmp("multi2");
+        Runtime::run(3, |comm| {
+            let r = comm.rank() as u64;
+            let f1 = SharedFile::open_shared(&comm, &p1);
+            let mut io1 = Tapioca::init(&comm, f1, vec![WriteDecl { offset: r * 8, len: 8 }], cfg(1, 8));
+            io1.write(r * 8, &[1u8; 8]);
+            io1.finalize();
+
+            let f2 = SharedFile::open_shared(&comm, &p2);
+            let mut io2 = Tapioca::init(&comm, f2, vec![WriteDecl { offset: r * 8, len: 8 }], cfg(2, 4));
+            io2.write(r * 8, &[2u8; 8]);
+            io2.finalize();
+        });
+        assert!(std::fs::read(&p1).unwrap().iter().all(|&b| b == 1));
+        assert!(std::fs::read(&p2).unwrap().iter().all(|&b| b == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "matches no outstanding declaration")]
+    fn undeclared_write_panics() {
+        let path = tmp("undeclared");
+        Runtime::run(1, |comm| {
+            let file = SharedFile::open_shared(&comm, &path);
+            let mut io = Tapioca::init(&comm, file, vec![WriteDecl { offset: 0, len: 8 }], cfg(1, 8));
+            io.write(99, &[0u8; 8]);
+        });
+    }
+}

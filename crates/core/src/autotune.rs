@@ -1,0 +1,157 @@
+//! Aggregator-count and buffer-size selection.
+//!
+//! The paper notes that "the number of aggregators or the buffer size
+//! needed in collective I/O remains still an open topic" (its ref. 19)
+//! and reports hand-tuned values per experiment (16-32 per Pset on
+//! Mira, 48-384 on Theta, buffer = stripe). This module encodes those
+//! tuning rules as a heuristic, plus an empirical search that sweeps
+//! candidate counts through the simulator — the offline auto-tuning a
+//! production deployment would ship.
+
+use tapioca_topology::{MachineProfile, StorageProfile};
+
+use crate::config::TapiocaConfig;
+use crate::sim_exec::{run_tapioca_sim, CollectiveSpec, StorageConfig};
+
+/// Rule-based tuning: the paper's own settings, generalized.
+///
+/// * Lustre: buffer = stripe size (Table I's 1:1), aggregators = a small
+///   multiple of the stripe count (the paper uses 1-8 per OST; 2 is the
+///   robust middle of our `ablation_aggregators` sweep), capped at the
+///   rank count.
+/// * GPFS: buffer = 16 MB (the validated default), aggregators = 16 per
+///   Pset group.
+///
+/// `group_ranks` is the number of ranks writing one file (a Pset's worth
+/// under subfiling).
+pub fn rule_based(profile: &MachineProfile, storage: &StorageConfig, group_ranks: usize) -> TapiocaConfig {
+    match (&profile.storage, storage) {
+        (StorageProfile::Lustre { .. }, StorageConfig::Lustre(tun)) => TapiocaConfig {
+            num_aggregators: (2 * tun.stripe_count).min(group_ranks).max(1),
+            buffer_size: tun.stripe_size,
+            ..Default::default()
+        },
+        (StorageProfile::Gpfs { .. }, StorageConfig::Gpfs(_)) => TapiocaConfig {
+            num_aggregators: 16.min(group_ranks).max(1),
+            buffer_size: 16 * 1024 * 1024,
+            ..Default::default()
+        },
+        _ => panic!("storage config kind does not match the machine profile"),
+    }
+}
+
+/// Result of an empirical sweep.
+#[derive(Debug, Clone)]
+pub struct TuneResult {
+    /// The winning configuration.
+    pub best: TapiocaConfig,
+    /// Every candidate with its simulated bandwidth (bytes/s).
+    pub candidates: Vec<(TapiocaConfig, f64)>,
+}
+
+/// Empirical tuning: sweep aggregator counts around the rule-based
+/// guess (x1/4 .. x4) through the simulator and keep the fastest.
+///
+/// This is an *offline* procedure over the declared workload — exactly
+/// what `TAPIOCA_Init`'s information makes possible.
+pub fn empirical_sweep(
+    profile: &MachineProfile,
+    storage: &StorageConfig,
+    spec: &CollectiveSpec,
+) -> TuneResult {
+    let group_ranks = spec.groups.first().map(|g| g.ranks.len()).unwrap_or(1);
+    let seed = rule_based(profile, storage, group_ranks);
+    let base = seed.num_aggregators.max(4);
+    let mut counts: Vec<usize> = [base / 4, base / 2, base, base * 2, base * 4]
+        .into_iter()
+        .filter(|&a| a >= 1 && a <= group_ranks)
+        .collect();
+    counts.dedup();
+
+    let mut candidates = Vec::new();
+    for a in counts {
+        let cfg = TapiocaConfig { num_aggregators: a, ..seed.clone() };
+        let rep = run_tapioca_sim(profile, storage, spec, &cfg);
+        candidates.push((cfg, rep.bandwidth));
+    }
+    let best = candidates
+        .iter()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("at least one candidate")
+        .0
+        .clone();
+    TuneResult { best, candidates }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::WriteDecl;
+    use crate::sim_exec::GroupSpec;
+    use tapioca_pfs::{AccessMode, GpfsTunables, LustreTunables};
+    use tapioca_topology::{mira_profile, theta_profile, MIB};
+
+    #[test]
+    fn rule_based_matches_paper_tuning() {
+        let theta = theta_profile(512, 16);
+        let cfg = rule_based(
+            &theta,
+            &StorageConfig::Lustre(LustreTunables::theta_optimized()),
+            8192,
+        );
+        assert_eq!(cfg.buffer_size, 8 * MIB, "buffer = stripe (Table I)");
+        assert_eq!(cfg.num_aggregators, 96, "2 per OST");
+
+        let mira = mira_profile(512, 16);
+        let cfg = rule_based(&mira, &StorageConfig::Gpfs(GpfsTunables::mira_optimized()), 2048);
+        assert_eq!(cfg.num_aggregators, 16);
+        assert_eq!(cfg.buffer_size, 16 * MIB);
+    }
+
+    #[test]
+    fn rule_based_caps_at_group_size() {
+        let theta = theta_profile(32, 4);
+        let cfg = rule_based(
+            &theta,
+            &StorageConfig::Lustre(LustreTunables::theta_optimized()),
+            10,
+        );
+        assert_eq!(cfg.num_aggregators, 10);
+    }
+
+    #[test]
+    fn empirical_sweep_never_picks_a_loser() {
+        let profile = theta_profile(64, 4);
+        let storage = StorageConfig::Lustre(LustreTunables::theta_optimized());
+        let n = 256;
+        let per = MIB;
+        let spec = CollectiveSpec {
+            groups: vec![GroupSpec {
+                file: 0,
+                ranks: (0..n).collect(),
+                decls: (0..n as u64)
+                    .map(|r| vec![WriteDecl { offset: r * per, len: per }])
+                    .collect(),
+            }],
+            mode: AccessMode::Write,
+        };
+        let result = empirical_sweep(&profile, &storage, &spec);
+        let best_bw = result
+            .candidates
+            .iter()
+            .find(|(c, _)| c.num_aggregators == result.best.num_aggregators)
+            .expect("best is a candidate")
+            .1;
+        for (cfg, bw) in &result.candidates {
+            assert!(best_bw >= *bw, "{:?} beats the chosen config", cfg.num_aggregators);
+        }
+        assert!(result.candidates.len() >= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn mismatched_storage_rejected() {
+        let mira = mira_profile(128, 4);
+        rule_based(&mira, &StorageConfig::Lustre(LustreTunables::theta_optimized()), 100);
+    }
+}

@@ -1,0 +1,63 @@
+//! Library configuration.
+
+use crate::placement::PlacementStrategy;
+
+/// Configuration of a TAPIOCA instance.
+///
+/// The paper's tuned values: Mira — 16 aggregators per Pset with 16 MB
+/// buffers (32/32 MB for the microbenchmark); Theta — 48-384 aggregators
+/// with the buffer sized to the Lustre stripe (Table I: 1:1 is best).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TapiocaConfig {
+    /// Number of aggregators (= partitions) for the whole operation.
+    pub num_aggregators: usize,
+    /// Aggregation buffer size in bytes (each aggregator allocates two).
+    pub buffer_size: u64,
+    /// Overlap aggregation with flushes via double buffering (the paper's
+    /// pipeline). Disabling it is an ablation, not a paper mode.
+    pub pipelining: bool,
+    /// Aggregator election strategy.
+    pub strategy: PlacementStrategy,
+}
+
+impl Default for TapiocaConfig {
+    fn default() -> Self {
+        Self {
+            num_aggregators: 16,
+            buffer_size: 16 * 1024 * 1024,
+            pipelining: true,
+            strategy: PlacementStrategy::TopologyAware,
+        }
+    }
+}
+
+impl TapiocaConfig {
+    /// Validate invariants; called by `init`.
+    ///
+    /// # Panics
+    /// Panics on zero aggregators or zero buffer size.
+    pub fn validate(&self) {
+        assert!(self.num_aggregators > 0, "need at least one aggregator");
+        assert!(self.buffer_size > 0, "buffer size must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_mira_tuning() {
+        let c = TapiocaConfig::default();
+        assert_eq!(c.num_aggregators, 16);
+        assert_eq!(c.buffer_size, 16 * 1024 * 1024);
+        assert!(c.pipelining);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one aggregator")]
+    fn zero_aggregators_invalid() {
+        TapiocaConfig { num_aggregators: 0, ..Default::default() }.validate();
+    }
+}

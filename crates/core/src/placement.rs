@@ -1,0 +1,307 @@
+//! Topology-aware aggregator placement (paper Sec. IV-B).
+//!
+//! For each partition, every candidate process `A` evaluates
+//!
+//! ```text
+//! C1 = sum over i in Vc, i != A of ( l * d(i, A) + omega(i, A) / B(i -> A) )
+//! C2 = l * d(A, IO) + omega(A, IO) / B(A -> IO)        (0 when IO unknown)
+//! TopoAware(A) = C1 + C2
+//! ```
+//!
+//! and the process with the minimal cost is elected with an
+//! `MPI_Allreduce(MPI_MINLOC)`. `omega(i, A)` is the number of bytes rank
+//! `i` contributes to the partition — known exactly thanks to the
+//! declarations of `TAPIOCA_Init`. On Theta the vendor exposes no I/O
+//! node placement, so `C2 = 0` there (the paper's own fallback).
+//!
+//! Besides the paper's strategy this module implements the baselines and
+//! ablations compared in the benches: rank-order (MPICH-like), shortest
+//! path to storage only, worst-case, and seeded random placement.
+
+use tapioca_topology::{IoNodeId, Rank, TopologyProvider};
+
+/// Aggregator election strategies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlacementStrategy {
+    /// The paper's cost model: minimize `C1 + C2`.
+    TopologyAware,
+    /// First member in rank order (what generic MPICH does after the
+    /// bridge node, and the natural "no topology information" default).
+    RankOrder,
+    /// Minimize distance to the I/O node only (ignores the aggregation
+    /// phase) — a classic heuristic the paper's model subsumes.
+    ShortestPathToIo,
+    /// Maximize `C1 + C2` — adversarial ablation (upper bound on harm).
+    WorstCase,
+    /// Uniformly random member from a seeded generator (ablation).
+    Random {
+        /// Seed; elections use `seed ^ partition_index`.
+        seed: u64,
+    },
+}
+
+/// The aggregation cost `C1` of candidate `members[cand]`.
+///
+/// `weights[i]` is `omega(members[i], A)` — bytes member `i` sends into
+/// the partition's buffers over the whole operation.
+pub fn aggregation_cost(
+    topo: &dyn TopologyProvider,
+    members: &[Rank],
+    weights: &[u64],
+    cand: usize,
+) -> f64 {
+    let l = topo.latency();
+    let a = members[cand];
+    let mut c1 = 0.0;
+    for (i, (&m, &w)) in members.iter().zip(weights).enumerate() {
+        if i == cand {
+            continue;
+        }
+        let d = topo.distance_between_ranks(m, a) as f64;
+        let bw = topo.bandwidth_between_ranks(m, a);
+        c1 += l * d + w as f64 / bw;
+    }
+    c1
+}
+
+/// The I/O phase cost `C2` of a candidate, or 0 when the machine cannot
+/// locate its I/O nodes (Theta).
+pub fn io_cost(
+    topo: &dyn TopologyProvider,
+    cand_rank: Rank,
+    io: IoNodeId,
+    total_bytes: u64,
+) -> f64 {
+    match (topo.distance_to_io_node(cand_rank, io), topo.bandwidth_to_io_node(cand_rank, io)) {
+        (Some(d), Some(bw)) => topo.latency() * d as f64 + total_bytes as f64 / bw,
+        _ => 0.0,
+    }
+}
+
+/// The full objective `TopoAware(A) = C1 + C2` for one candidate.
+pub fn topo_aware_cost(
+    topo: &dyn TopologyProvider,
+    members: &[Rank],
+    weights: &[u64],
+    io: IoNodeId,
+    cand: usize,
+) -> f64 {
+    let total: u64 = weights.iter().sum();
+    aggregation_cost(topo, members, weights, cand) + io_cost(topo, members[cand], io, total)
+}
+
+/// The cost value a member contributes to the MINLOC election under a
+/// strategy. Lower wins; ties resolve to the lower member index (MPI
+/// MINLOC semantics), which every strategy exploits for determinism.
+pub fn election_cost(
+    topo: &dyn TopologyProvider,
+    members: &[Rank],
+    weights: &[u64],
+    io: IoNodeId,
+    partition_index: usize,
+    strategy: PlacementStrategy,
+    cand: usize,
+) -> f64 {
+    match strategy {
+        PlacementStrategy::TopologyAware => topo_aware_cost(topo, members, weights, io, cand),
+        PlacementStrategy::RankOrder => cand as f64,
+        PlacementStrategy::ShortestPathToIo => topo
+            .distance_to_io_node(members[cand], io)
+            .map(|d| d as f64)
+            .unwrap_or(0.0),
+        PlacementStrategy::WorstCase => -topo_aware_cost(topo, members, weights, io, cand),
+        PlacementStrategy::Random { seed } => {
+            // SplitMix64 over (seed ^ partition, candidate): same value
+            // computed by every member, so the election is consistent.
+            let mut x = (seed ^ partition_index as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(cand as u64);
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x ^= x >> 27;
+            x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^= x >> 31;
+            (x >> 11) as f64
+        }
+    }
+}
+
+/// Centralized election (simulation mode): evaluate every candidate and
+/// return the winner's index into `members`. Mirrors exactly what the
+/// distributed MINLOC election of thread mode computes.
+pub fn elect_aggregator(
+    topo: &dyn TopologyProvider,
+    members: &[Rank],
+    weights: &[u64],
+    io: IoNodeId,
+    partition_index: usize,
+    strategy: PlacementStrategy,
+) -> usize {
+    assert!(!members.is_empty(), "cannot elect from an empty partition");
+    assert_eq!(members.len(), weights.len());
+    let mut best = (f64::INFINITY, usize::MAX);
+    for cand in 0..members.len() {
+        let c = election_cost(topo, members, weights, io, partition_index, strategy, cand);
+        if c < best.0 || (c == best.0 && cand < best.1) {
+            best = (c, cand);
+        }
+    }
+    best.1
+}
+
+/// Fallback topology for thread-mode runs that have no machine model:
+/// every pair of distinct ranks is 1 hop apart at a uniform bandwidth,
+/// and I/O node placement is unknown (`C2 = 0`). Under this provider the
+/// topology-aware election degenerates to "any member" (lowest rank via
+/// MINLOC ties), which is the correct behaviour with zero information.
+#[derive(Debug, Clone)]
+pub struct UniformTopology {
+    /// Number of ranks.
+    pub num_ranks: usize,
+}
+
+impl TopologyProvider for UniformTopology {
+    fn num_ranks(&self) -> usize {
+        self.num_ranks
+    }
+
+    fn ranks_per_node(&self) -> usize {
+        1
+    }
+
+    fn network_dimensions(&self) -> usize {
+        1
+    }
+
+    fn rank_to_coordinates(&self, rank: Rank) -> Vec<usize> {
+        vec![rank]
+    }
+
+    fn latency(&self) -> f64 {
+        1e-6
+    }
+
+    fn distance_between_ranks(&self, src: Rank, dst: Rank) -> u32 {
+        u32::from(src != dst)
+    }
+
+    fn bandwidth_between_ranks(&self, _src: Rank, _dst: Rank) -> f64 {
+        1e9
+    }
+
+    fn io_nodes_for(&self, _ranks: &[Rank]) -> Vec<IoNodeId> {
+        vec![0]
+    }
+
+    fn distance_to_io_node(&self, _rank: Rank, _io: IoNodeId) -> Option<u32> {
+        None
+    }
+
+    fn bandwidth_to_io_node(&self, _rank: Rank, _io: IoNodeId) -> Option<f64> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapioca_topology::{mira_profile, theta_profile, TopologyProvider};
+
+    fn mira() -> impl TopologyProvider {
+        mira_profile(512, 16).machine
+    }
+
+    #[test]
+    fn c1_is_zero_for_sole_member() {
+        let m = mira();
+        assert_eq!(aggregation_cost(&m, &[5], &[100], 0), 0.0);
+    }
+
+    #[test]
+    fn c1_grows_with_distance() {
+        let m = mira();
+        // members on nodes 0 and 50: candidate far from the heavy
+        // producer pays more.
+        let members = [0, 50 * 16, 100 * 16];
+        let weights = [1_000_000, 1_000_000, 1_000_000];
+        let c_near = aggregation_cost(&m, &members, &weights, 1);
+        // compare against a candidate co-located with member 0
+        let c_self = aggregation_cost(&m, &members, &weights, 0);
+        assert!(c_near > 0.0 && c_self > 0.0);
+    }
+
+    #[test]
+    fn c2_zero_on_theta() {
+        let t = theta_profile(128, 16).machine;
+        assert_eq!(io_cost(&t, 0, 0, 1 << 30), 0.0);
+    }
+
+    #[test]
+    fn c2_positive_on_mira() {
+        let m = mira();
+        let c = io_cost(&m, 77, 0, 1 << 30);
+        assert!(c > 0.0);
+        // a rank on the bridge node has lower C2 than a distant one
+        let bridge = io_cost(&m, 0, 0, 1 << 30);
+        assert!(bridge <= c);
+    }
+
+    #[test]
+    fn topology_aware_beats_rank_order_on_cost() {
+        let m = mira();
+        // members spread over one Pset, equal weights
+        let members: Vec<usize> = (0..16).map(|i| i * 8 * 16).collect();
+        let weights = vec![16_000_000u64; members.len()];
+        let ta = elect_aggregator(&m, &members, &weights, 0, 0, PlacementStrategy::TopologyAware);
+        let ro = elect_aggregator(&m, &members, &weights, 0, 0, PlacementStrategy::RankOrder);
+        assert_eq!(ro, 0);
+        let cost_ta = topo_aware_cost(&m, &members, &weights, 0, ta);
+        let cost_ro = topo_aware_cost(&m, &members, &weights, 0, ro);
+        assert!(cost_ta <= cost_ro, "elected cost {cost_ta} must be <= rank-order {cost_ro}");
+    }
+
+    #[test]
+    fn worst_case_maximizes() {
+        let m = mira();
+        let members: Vec<usize> = (0..8).map(|i| i * 60 * 16).collect();
+        let weights = vec![1_000_000u64; 8];
+        let best = elect_aggregator(&m, &members, &weights, 0, 0, PlacementStrategy::TopologyAware);
+        let worst = elect_aggregator(&m, &members, &weights, 0, 0, PlacementStrategy::WorstCase);
+        let cb = topo_aware_cost(&m, &members, &weights, 0, best);
+        let cw = topo_aware_cost(&m, &members, &weights, 0, worst);
+        assert!(cw >= cb);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_partition() {
+        let m = mira();
+        let members: Vec<usize> = (0..10).collect();
+        let weights = vec![1u64; 10];
+        let a = elect_aggregator(&m, &members, &weights, 0, 3, PlacementStrategy::Random { seed: 42 });
+        let b = elect_aggregator(&m, &members, &weights, 0, 3, PlacementStrategy::Random { seed: 42 });
+        assert_eq!(a, b);
+        // different partitions usually differ (not guaranteed, but with
+        // 10 members collisions across 8 partitions are unlikely to all match)
+        let picks: Vec<usize> = (0..8)
+            .map(|p| elect_aggregator(&m, &members, &weights, 0, p, PlacementStrategy::Random { seed: 42 }))
+            .collect();
+        assert!(picks.iter().any(|&x| x != picks[0]));
+    }
+
+    #[test]
+    fn shortest_path_prefers_bridge_nodes() {
+        let m = mira();
+        // include a rank on bridge node 0 (rank 0) and distant ranks
+        let members = vec![0usize, 40 * 16, 90 * 16];
+        let weights = vec![1u64; 3];
+        let w = elect_aggregator(&m, &members, &weights, 0, 0, PlacementStrategy::ShortestPathToIo);
+        assert_eq!(w, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty partition")]
+    fn empty_members_panics() {
+        let m = mira();
+        elect_aggregator(&m, &[], &[], 0, 0, PlacementStrategy::TopologyAware);
+    }
+}

@@ -1,0 +1,491 @@
+//! Round scheduling: the heart of TAPIOCA's `Init` phase.
+//!
+//! Given every rank's declared writes, the scheduler splits the file span
+//! into `num_aggregators` contiguous **partitions** and each partition
+//! into buffer-sized **rounds**. Every declared byte is assigned to a
+//! [`Chunk`]: (producing rank, var, partition, round, offset inside the
+//! aggregation buffer). Because the declarations cover *all* upcoming
+//! writes (Algorithm 2 of the paper), a round's buffer is filled
+//! completely across variables before it is flushed — the Fig. 2
+//! advantage over per-call collective buffering.
+//!
+//! The schedule is a pure function of the declarations and parameters,
+//! computed identically (and deterministically) by every rank from the
+//! allgathered declarations; thread mode and simulation mode execute the
+//! same object.
+
+use tapioca_topology::Rank;
+
+/// One declared upcoming write of a rank: `len` bytes at file `offset`.
+///
+/// Mirrors one `(count[i], type[i], ofst[i])` entry of `TAPIOCA_Init`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteDecl {
+    /// Absolute byte offset in the file.
+    pub offset: u64,
+    /// Length in bytes (`count * type_size`).
+    pub len: u64,
+}
+
+/// Scheduling parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleParams {
+    /// Number of partitions (one aggregator each).
+    pub num_aggregators: usize,
+    /// Aggregation buffer size in bytes (round granularity).
+    pub buffer_size: u64,
+    /// Round partition extents up to a multiple of the buffer size.
+    ///
+    /// TAPIOCA sets this: every flush then starts at
+    /// `span_start + k * buffer_size`, which lands on stripe boundaries
+    /// whenever the buffer is sized to the stripe (the paper's 1:1
+    /// recommendation, Table I). Generic ROMIO divides the extent into
+    /// equal file domains with **no** alignment — the well-known source
+    /// of extent-lock contention on Lustre — so the baseline leaves this
+    /// off. Fewer than `num_aggregators` partitions may result for small
+    /// spans (idle aggregators).
+    pub align_to_buffer: bool,
+}
+
+/// A piece of one rank's variable assigned to one aggregation round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chunk {
+    /// Producing rank.
+    pub rank: Rank,
+    /// Index of the declared write this chunk belongs to.
+    pub var: usize,
+    /// Offset of the chunk inside the variable's user buffer.
+    pub var_offset: u64,
+    /// Absolute file offset.
+    pub file_offset: u64,
+    /// Chunk length, bytes.
+    pub len: u64,
+    /// Partition (= aggregator) index.
+    pub partition: usize,
+    /// Round within the partition.
+    pub round: u32,
+    /// Destination offset inside the aggregation buffer.
+    pub buf_offset: u64,
+}
+
+/// A contiguous byte range flushed from an aggregation buffer to file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushSegment {
+    /// Absolute file offset of the segment.
+    pub file_offset: u64,
+    /// Length, bytes.
+    pub len: u64,
+    /// Offset of the segment inside the aggregation buffer.
+    pub buf_offset: u64,
+}
+
+/// Per-round flush plan of a partition.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoundInfo {
+    /// Contiguous covered ranges, ascending, non-overlapping (one
+    /// segment when the file is densely written — the common case).
+    pub segments: Vec<FlushSegment>,
+    /// Total payload bytes of the round.
+    pub bytes: u64,
+}
+
+/// One partition: a contiguous file extent owned by one aggregator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionInfo {
+    /// Partition index.
+    pub index: usize,
+    /// Start of the extent (inclusive).
+    pub start: u64,
+    /// End of the extent (exclusive).
+    pub end: u64,
+    /// Ranks contributing at least one chunk, ascending.
+    pub members: Vec<Rank>,
+    /// Bytes contributed per member (parallel to `members`) — the
+    /// `omega(i, A)` weights of the placement cost model.
+    pub member_bytes: Vec<u64>,
+    /// Flush plan per round.
+    pub rounds: Vec<RoundInfo>,
+}
+
+impl PartitionInfo {
+    /// Total payload bytes of the partition.
+    pub fn total_bytes(&self) -> u64 {
+        self.rounds.iter().map(|r| r.bytes).sum()
+    }
+}
+
+/// The full schedule of one collective operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Parameters the schedule was computed with.
+    pub params: ScheduleParams,
+    /// Covered file span `[start, end)` across all declarations.
+    pub span: (u64, u64),
+    /// Partitions, ascending by extent.
+    pub partitions: Vec<PartitionInfo>,
+    /// Chunks per rank, sorted by (partition, round, file_offset).
+    pub chunks_by_rank: Vec<Vec<Chunk>>,
+}
+
+impl Schedule {
+    /// Total declared payload, bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.partitions.iter().map(|p| p.total_bytes()).sum()
+    }
+
+    /// Partition extent size (all partitions but possibly the last).
+    pub fn partition_size(&self) -> u64 {
+        self.partitions.first().map(|p| p.end - p.start).unwrap_or(0)
+    }
+}
+
+/// Compute the schedule from every rank's declarations.
+///
+/// `decls[rank]` lists that rank's declared writes. Declarations may
+/// leave holes in the file; flush segments then cover only written
+/// ranges. Overlapping declarations between ranks are not meaningful for
+/// collective I/O and are rejected only in debug builds (cost).
+///
+/// # Panics
+/// Panics if `params` are invalid (zero aggregators / buffer).
+pub fn compute_schedule(decls: &[Vec<WriteDecl>], params: ScheduleParams) -> Schedule {
+    assert!(params.num_aggregators > 0, "need at least one aggregator");
+    assert!(params.buffer_size > 0, "buffer size must be positive");
+    let nranks = decls.len();
+
+    // File span.
+    let mut lo = u64::MAX;
+    let mut hi = 0u64;
+    for d in decls.iter().flatten() {
+        if d.len == 0 {
+            continue;
+        }
+        lo = lo.min(d.offset);
+        hi = hi.max(d.offset + d.len);
+    }
+    if lo > hi {
+        // nothing declared
+        return Schedule {
+            params,
+            span: (0, 0),
+            partitions: Vec::new(),
+            chunks_by_rank: vec![Vec::new(); nranks],
+        };
+    }
+    let span = hi - lo;
+    let nparts = params.num_aggregators;
+    let mut psize = span.div_ceil(nparts as u64).max(1);
+    if params.align_to_buffer {
+        psize = psize.div_ceil(params.buffer_size) * params.buffer_size;
+    }
+    // Partitions with actual extent (span may not need all of them).
+    let used_parts = span.div_ceil(psize) as usize;
+    let b = params.buffer_size;
+
+    let part_start = |p: usize| lo + p as u64 * psize;
+    let part_end = |p: usize| (lo + (p as u64 + 1) * psize).min(hi);
+
+    // Cut every declaration into chunks.
+    let mut chunks_by_rank: Vec<Vec<Chunk>> = vec![Vec::new(); nranks];
+    for (rank, rd) in decls.iter().enumerate() {
+        for (var, d) in rd.iter().enumerate() {
+            if d.len == 0 {
+                continue;
+            }
+            let mut cur = d.offset;
+            let end = d.offset + d.len;
+            while cur < end {
+                let p = ((cur - lo) / psize) as usize;
+                let ps = part_start(p);
+                let round = ((cur - ps) / b) as u32;
+                let win_end = ps + (round as u64 + 1) * b;
+                let stop = end.min(win_end).min(part_end(p));
+                chunks_by_rank[rank].push(Chunk {
+                    rank,
+                    var,
+                    var_offset: cur - d.offset,
+                    file_offset: cur,
+                    len: stop - cur,
+                    partition: p,
+                    round,
+                    buf_offset: (cur - ps) - round as u64 * b,
+                });
+                cur = stop;
+            }
+        }
+        chunks_by_rank[rank]
+            .sort_unstable_by_key(|c| (c.partition, c.round, c.file_offset));
+    }
+
+    // Partition summaries.
+    let mut partitions: Vec<PartitionInfo> = (0..used_parts)
+        .map(|p| {
+            let start = part_start(p);
+            let end = part_end(p);
+            let nrounds = (end - start).div_ceil(b) as usize;
+            PartitionInfo {
+                index: p,
+                start,
+                end,
+                members: Vec::new(),
+                member_bytes: Vec::new(),
+                rounds: vec![RoundInfo::default(); nrounds],
+            }
+        })
+        .collect();
+
+    // Accumulate member weights and per-round coverage.
+    // Coverage is collected as (offset, len) then merged into segments.
+    let mut coverage: Vec<Vec<Vec<(u64, u64)>>> = partitions
+        .iter()
+        .map(|p| vec![Vec::new(); p.rounds.len()])
+        .collect();
+    for rd in &chunks_by_rank {
+        for c in rd {
+            let part = &mut partitions[c.partition];
+            match part.members.binary_search(&c.rank) {
+                Ok(i) => part.member_bytes[i] += c.len,
+                Err(i) => {
+                    part.members.insert(i, c.rank);
+                    part.member_bytes.insert(i, c.len);
+                }
+            }
+            part.rounds[c.round as usize].bytes += c.len;
+            coverage[c.partition][c.round as usize].push((c.file_offset, c.len));
+        }
+    }
+
+    // Merge coverage into flush segments.
+    for (p, part) in partitions.iter_mut().enumerate() {
+        for (r, round) in part.rounds.iter_mut().enumerate() {
+            let ranges = &mut coverage[p][r];
+            ranges.sort_unstable();
+            let win_start = part.start + r as u64 * b;
+            let mut segs: Vec<FlushSegment> = Vec::new();
+            for &(off, len) in ranges.iter() {
+                match segs.last_mut() {
+                    Some(s) if s.file_offset + s.len >= off => {
+                        // extend (ranges may duplicate only if decls overlap)
+                        let new_end = (off + len).max(s.file_offset + s.len);
+                        s.len = new_end - s.file_offset;
+                    }
+                    _ => segs.push(FlushSegment {
+                        file_offset: off,
+                        len,
+                        buf_offset: off - win_start,
+                    }),
+                }
+            }
+            round.segments = segs;
+        }
+    }
+
+    Schedule { params, span: (lo, hi), partitions, chunks_by_rank }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_decls(nranks: usize, per_rank: u64) -> Vec<Vec<WriteDecl>> {
+        (0..nranks as u64)
+            .map(|r| vec![WriteDecl { offset: r * per_rank, len: per_rank }])
+            .collect()
+    }
+
+    #[test]
+    fn dense_block_schedule_fills_buffers() {
+        // 4 ranks x 64 B, 2 partitions of 128 B, 32 B buffers -> 4 rounds each.
+        let s = compute_schedule(&dense_decls(4, 64), ScheduleParams {
+            num_aggregators: 2,
+            buffer_size: 32,
+            align_to_buffer: true,
+        });
+        assert_eq!(s.span, (0, 256));
+        assert_eq!(s.partitions.len(), 2);
+        assert_eq!(s.total_bytes(), 256);
+        for p in &s.partitions {
+            assert_eq!(p.rounds.len(), 4);
+            for (r, round) in p.rounds.iter().enumerate() {
+                assert_eq!(round.bytes, 32, "every buffer completely filled");
+                assert_eq!(round.segments.len(), 1);
+                let seg = round.segments[0];
+                assert_eq!(seg.buf_offset, 0);
+                assert_eq!(seg.len, 32);
+                assert_eq!(seg.file_offset, p.start + r as u64 * 32);
+            }
+        }
+        // ranks 0,1 in partition 0; ranks 2,3 in partition 1
+        assert_eq!(s.partitions[0].members, vec![0, 1]);
+        assert_eq!(s.partitions[1].members, vec![2, 3]);
+        assert_eq!(s.partitions[0].member_bytes, vec![64, 64]);
+    }
+
+    #[test]
+    fn chunk_buffer_offsets_are_window_relative() {
+        let s = compute_schedule(&dense_decls(2, 64), ScheduleParams {
+            num_aggregators: 1,
+            buffer_size: 48,
+            align_to_buffer: true,
+        });
+        // rank 1's 64 B at file 64..128; rounds of 48: 64..96 in round 1
+        // (window 48..96) at buf 16, 96..128 in round 2 at buf 0.
+        let c = &s.chunks_by_rank[1];
+        assert_eq!(c.len(), 2);
+        assert_eq!((c[0].round, c[0].buf_offset, c[0].len), (1, 16, 32));
+        assert_eq!((c[1].round, c[1].buf_offset, c[1].len), (2, 0, 32));
+        assert_eq!(c[1].var_offset, 32);
+    }
+
+    #[test]
+    fn multi_var_interleaving_fills_rounds() {
+        // 2 ranks, 3 vars each (x, y, z regions), like Algorithm 2.
+        // Layout: var v of rank r at v*64 + r*32, len 32.
+        let decls: Vec<Vec<WriteDecl>> = (0..2u64)
+            .map(|r| {
+                (0..3u64)
+                    .map(|v| WriteDecl { offset: v * 64 + r * 32, len: 32 })
+                    .collect()
+            })
+            .collect();
+        let s = compute_schedule(&decls, ScheduleParams { num_aggregators: 1, buffer_size: 64, align_to_buffer: false });
+        assert_eq!(s.total_bytes(), 192);
+        let p = &s.partitions[0];
+        assert_eq!(p.rounds.len(), 3);
+        // every round contains one var region = both ranks' halves: full 64 B
+        for round in &p.rounds {
+            assert_eq!(round.bytes, 64);
+            assert_eq!(round.segments.len(), 1);
+        }
+    }
+
+    #[test]
+    fn sparse_declarations_produce_multiple_segments() {
+        // two ranks write 16 B each with a 16 B hole between them
+        let decls = vec![
+            vec![WriteDecl { offset: 0, len: 16 }],
+            vec![WriteDecl { offset: 32, len: 16 }],
+        ];
+        let s = compute_schedule(&decls, ScheduleParams { num_aggregators: 1, buffer_size: 64, align_to_buffer: false });
+        let round = &s.partitions[0].rounds[0];
+        assert_eq!(round.segments.len(), 2);
+        assert_eq!(round.bytes, 32);
+        assert_eq!(round.segments[0].file_offset, 0);
+        assert_eq!(round.segments[1].file_offset, 32);
+        assert_eq!(round.segments[1].buf_offset, 32);
+    }
+
+    #[test]
+    fn rank_spanning_partitions_is_member_of_both() {
+        // 2 ranks x 100 B, 2 partitions of 100 B: rank 0 covers 0..100
+        // (partition 0 exactly), rank 1 covers 100..200 (partition 1).
+        // With 3 ranks x 100 and 2 partitions of 150, rank 1 spans both.
+        let s = compute_schedule(&dense_decls(3, 100), ScheduleParams {
+            num_aggregators: 2,
+            buffer_size: 75,
+            align_to_buffer: true,
+        });
+        assert_eq!(s.partitions[0].members, vec![0, 1]);
+        assert_eq!(s.partitions[1].members, vec![1, 2]);
+        assert_eq!(s.partitions[0].member_bytes, vec![100, 50]);
+        assert_eq!(s.partitions[1].member_bytes, vec![50, 100]);
+    }
+
+    #[test]
+    fn empty_declarations() {
+        let s = compute_schedule(&[vec![], vec![]], ScheduleParams {
+            num_aggregators: 4,
+            buffer_size: 16,
+            align_to_buffer: true,
+        });
+        assert_eq!(s.total_bytes(), 0);
+        assert!(s.partitions.is_empty());
+        assert_eq!(s.chunks_by_rank.len(), 2);
+    }
+
+    #[test]
+    fn nonzero_span_start() {
+        let decls = vec![vec![WriteDecl { offset: 1000, len: 64 }]];
+        let s = compute_schedule(&decls, ScheduleParams { num_aggregators: 2, buffer_size: 16, align_to_buffer: false });
+        assert_eq!(s.span, (1000, 1064));
+        assert_eq!(s.partitions[0].start, 1000);
+        let c = &s.chunks_by_rank[0][0];
+        assert_eq!(c.buf_offset, 0);
+        assert_eq!(c.file_offset, 1000);
+    }
+
+    #[test]
+    fn last_round_may_be_partial() {
+        let s = compute_schedule(&dense_decls(1, 70), ScheduleParams {
+            num_aggregators: 1,
+            buffer_size: 32,
+            align_to_buffer: true,
+        });
+        let p = &s.partitions[0];
+        assert_eq!(p.rounds.len(), 3);
+        assert_eq!(p.rounds[2].bytes, 6);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Chunks exactly tile the declarations; per-partition member
+            /// weights and round bytes are consistent; buffer offsets fit.
+            #[test]
+            fn prop_schedule_conserves_bytes(
+                sizes in proptest::collection::vec(0u64..500, 1..12),
+                naggr in 1usize..6,
+                buf in 1u64..128,
+            ) {
+                // ranks write consecutive blocks of the given sizes
+                let mut decls = Vec::new();
+                let mut off = 0;
+                for s in &sizes {
+                    decls.push(vec![WriteDecl { offset: off, len: *s }]);
+                    off += s;
+                }
+                let total: u64 = sizes.iter().sum();
+                let s = compute_schedule(&decls, ScheduleParams {
+                    num_aggregators: naggr,
+                    buffer_size: buf,
+                    align_to_buffer: naggr % 2 == 0, // exercise both modes
+                });
+                prop_assert_eq!(s.total_bytes(), total);
+
+                for (rank, chunks) in s.chunks_by_rank.iter().enumerate() {
+                    let sum: u64 = chunks.iter().map(|c| c.len).sum();
+                    prop_assert_eq!(sum, sizes[rank]);
+                    for c in chunks {
+                        prop_assert!(c.buf_offset + c.len <= buf);
+                        prop_assert!(c.partition < s.partitions.len());
+                        let p = &s.partitions[c.partition];
+                        prop_assert!(c.file_offset >= p.start);
+                        prop_assert!(c.file_offset + c.len <= p.end);
+                        // buffer offset consistent with file offset
+                        let win = p.start + c.round as u64 * buf;
+                        prop_assert_eq!(c.file_offset - win, c.buf_offset);
+                    }
+                }
+
+                // member weights equal sum of member chunks
+                for p in &s.partitions {
+                    for (m, &w) in p.members.iter().zip(&p.member_bytes) {
+                        let sum: u64 = s.chunks_by_rank[*m]
+                            .iter()
+                            .filter(|c| c.partition == p.index)
+                            .map(|c| c.len)
+                            .sum();
+                        prop_assert_eq!(w, sum);
+                    }
+                    // round segments cover round bytes
+                    for r in &p.rounds {
+                        let seg: u64 = r.segments.iter().map(|x| x.len).sum();
+                        prop_assert_eq!(seg, r.bytes);
+                    }
+                }
+            }
+        }
+    }
+}

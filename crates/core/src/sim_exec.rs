@@ -1,0 +1,475 @@
+//! Simulation-mode executor: run an [`ExecutionPlan`] on the flow-level
+//! simulator against a machine profile and a filesystem model.
+//!
+//! This is the driver behind every figure/table reproduction: the same
+//! schedule + placement objects used by thread mode are compiled to a
+//! plan (see [`crate::plan`]) and executed here with link contention,
+//! storage service stations, and lock penalties.
+
+use rayon::prelude::*;
+use tapioca_netsim::{FlowId, SimTime, Simulator};
+use tapioca_pfs::{
+    AccessMode, FileId, FlushReq, GpfsModel, GpfsTunables, LustreModel, LustreTunables,
+    PlannedFlow,
+};
+use tapioca_topology::{MachineProfile, NodeId, Rank, StorageProfile, TopologyProvider};
+
+use crate::config::TapiocaConfig;
+use crate::placement::elect_aggregator;
+use crate::plan::{append_tapioca_plan, ExecutionPlan, OpKind, TapiocaPlanInput};
+use crate::schedule::{compute_schedule, ScheduleParams, WriteDecl};
+
+/// Filesystem tunables for a simulation (must match the profile's
+/// storage kind).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StorageConfig {
+    /// GPFS tunables (Mira).
+    Gpfs(GpfsTunables),
+    /// Lustre tunables (Theta).
+    Lustre(LustreTunables),
+}
+
+enum StorageModel {
+    Gpfs(GpfsModel),
+    Lustre(LustreModel),
+}
+
+/// Result of a simulated collective operation.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// End-to-end elapsed simulated time, seconds.
+    pub elapsed: SimTime,
+    /// Payload bytes moved.
+    pub bytes: f64,
+    /// Aggregate bandwidth, bytes/second.
+    pub bandwidth: f64,
+    /// Completion time of every plan operation.
+    pub op_finish: Vec<SimTime>,
+    /// Number of fabric transfer operations (aggregation phase).
+    pub transfers: usize,
+    /// Number of storage operations (I/O phase).
+    pub flushes: usize,
+    /// When the last aggregation transfer completed.
+    pub last_transfer_finish: SimTime,
+    /// When the last storage operation completed.
+    pub last_flush_finish: SimTime,
+}
+
+impl SimReport {
+    /// Bandwidth in GiB/s for harness output.
+    pub fn bandwidth_gib(&self) -> f64 {
+        self.bandwidth / (1u64 << 30) as f64
+    }
+}
+
+/// Number of LNET gateway nodes modelled on a dragonfly machine.
+const LNET_GATEWAYS: usize = 8;
+
+/// Deterministic LNET gateway node placement: spread across the machine
+/// (their real mapping on Theta is irregular and undocumented; what
+/// matters is that the placement cost model cannot see them while the
+/// simulator still routes through them).
+fn lnet_nodes(num_nodes: usize) -> Vec<NodeId> {
+    let g = LNET_GATEWAYS.min(num_nodes);
+    (0..g).map(|i| (i * num_nodes) / g + num_nodes / (2 * g)).collect()
+}
+
+/// Execute `plan` against `profile` + `storage`.
+///
+/// # Panics
+/// Panics when the storage config kind does not match the profile's
+/// storage profile (Gpfs vs Lustre).
+pub fn simulate(profile: &MachineProfile, storage: &StorageConfig, plan: &ExecutionPlan) -> SimReport {
+    let machine = &profile.machine;
+    let net = machine.interconnect();
+    let mut sim = Simulator::from_interconnect(net);
+    // Collapse near-simultaneous completions (symmetric flows of one
+    // round) into single events: 20 us against multi-ms rounds is a
+    // <1% perturbation for an order-of-magnitude event reduction.
+    sim.set_completion_slack(20e-6);
+
+    // Install the storage model's virtual links.
+    let model = match (&profile.storage, storage) {
+        (StorageProfile::Gpfs { ion_link_bw, ion_service_bw }, StorageConfig::Gpfs(tun)) => {
+            let torus = machine
+                .fabric()
+                .as_torus()
+                .expect("GPFS profile implies a torus fabric");
+            StorageModel::Gpfs(GpfsModel::new(
+                &mut sim,
+                torus.num_psets(),
+                *ion_link_bw,
+                *ion_service_bw,
+                *tun,
+            ))
+        }
+        (
+            StorageProfile::Lustre { total_osts, ost_write_bw, ost_read_bw, lnet_bw },
+            StorageConfig::Lustre(tun),
+        ) => StorageModel::Lustre(LustreModel::new(
+            &mut sim,
+            *total_osts,
+            *ost_write_bw,
+            *ost_read_bw,
+            *lnet_bw,
+            lnet_nodes(net.num_nodes()),
+            *tun,
+        )),
+        _ => panic!("storage config kind does not match the machine profile"),
+    };
+    let mut model = model;
+
+    // Cross-wave lock analysis: the models must see the whole operation
+    // before any wave is planned.
+    let all_reqs: Vec<FlushReq> = plan
+        .ops
+        .iter()
+        .filter_map(|op| match op.kind {
+            OpKind::Flush { src, file, offset, len, mode, .. } => {
+                Some(FlushReq { src_node: src, file, offset, len, mode })
+            }
+            _ => None,
+        })
+        .collect();
+    match &mut model {
+        StorageModel::Gpfs(g) => g.register_operation(&all_reqs),
+        StorageModel::Lustre(l) => l.register_operation(&all_reqs),
+    }
+
+    // Plan filesystem waves: group flush ops by wave id.
+    let mut waves: std::collections::BTreeMap<u64, Vec<(usize, FlushReq)>> =
+        std::collections::BTreeMap::new();
+    for (id, op) in plan.ops.iter().enumerate() {
+        if let OpKind::Flush { src, file, offset, len, mode, wave } = op.kind {
+            waves.entry(wave).or_default().push((
+                id,
+                FlushReq { src_node: src, file, offset, len, mode },
+            ));
+        }
+    }
+    let mut flows_of_flush: std::collections::HashMap<usize, Vec<PlannedFlow>> =
+        std::collections::HashMap::new();
+    for (_, reqs) in waves {
+        let plain: Vec<FlushReq> = reqs.iter().map(|(_, r)| *r).collect();
+        let planned = match &model {
+            StorageModel::Gpfs(g) => {
+                let torus = machine.fabric().as_torus().expect("torus");
+                let npp = torus.pset_config().expect("psets").nodes_per_pset;
+                g.plan_wave(&plain, |n| n / npp)
+            }
+            StorageModel::Lustre(l) => l.plan_wave(&plain),
+        };
+        for pf in planned {
+            let (op_id, _) = reqs[pf.req_index];
+            flows_of_flush.entry(op_id).or_default().push(pf);
+        }
+    }
+
+    // Submit the DAG.
+    let latency = net.hop_latency();
+    let mut flows_of_op: Vec<Vec<FlowId>> = Vec::with_capacity(plan.ops.len());
+    for (id, op) in plan.ops.iter().enumerate() {
+        let dep_flows: Vec<FlowId> = op
+            .deps
+            .iter()
+            .flat_map(|&d| flows_of_op[d].iter().copied())
+            .collect();
+        let submitted = match &op.kind {
+            OpKind::Transfer { src, dst, bytes } => {
+                let route = if src == dst { Vec::new() } else { net.route(*src, *dst).links };
+                let delay = latency * route.len() as f64;
+                vec![sim.submit_with_deps(0.0, delay, route, *bytes, &dep_flows)]
+            }
+            OpKind::Flush { .. } => {
+                let planned = flows_of_flush.remove(&id).unwrap_or_default();
+                planned
+                    .into_iter()
+                    .map(|pf| {
+                        let mut route = match (&model, pf.attach_node) {
+                            (StorageModel::Gpfs(_), _) => {
+                                let torus = machine.fabric().as_torus().expect("torus");
+                                torus.io_route(pf.src_node).links
+                            }
+                            (StorageModel::Lustre(_), Some(attach)) => {
+                                if pf.src_node == attach {
+                                    Vec::new()
+                                } else {
+                                    net.route(pf.src_node, attach).links
+                                }
+                            }
+                            (StorageModel::Lustre(_), None) => Vec::new(),
+                        };
+                        let fabric_hops = route.len();
+                        route.extend_from_slice(&pf.storage_route);
+                        let delay = pf.delay + latency * fabric_hops as f64;
+                        sim.submit_with_deps(0.0, delay, route, pf.bytes, &dep_flows)
+                    })
+                    .collect()
+            }
+        };
+        flows_of_op.push(submitted);
+    }
+
+    let elapsed = sim.run_to_idle();
+    let op_finish: Vec<SimTime> = flows_of_op
+        .iter()
+        .map(|flows| {
+            flows
+                .iter()
+                .map(|&f| sim.finish_time(f).expect("plan flows all complete"))
+                .fold(0.0, f64::max)
+        })
+        .collect();
+    let bytes = plan.payload_bytes;
+    let mut transfers = 0;
+    let mut flushes = 0;
+    let mut last_transfer_finish: SimTime = 0.0;
+    let mut last_flush_finish: SimTime = 0.0;
+    for (op, &t) in plan.ops.iter().zip(&op_finish) {
+        match op.kind {
+            OpKind::Transfer { .. } => {
+                transfers += 1;
+                last_transfer_finish = last_transfer_finish.max(t);
+            }
+            OpKind::Flush { .. } => {
+                flushes += 1;
+                last_flush_finish = last_flush_finish.max(t);
+            }
+        }
+    }
+    SimReport {
+        elapsed,
+        bytes,
+        bandwidth: if elapsed > 0.0 { bytes / elapsed } else { 0.0 },
+        op_finish,
+        transfers,
+        flushes,
+        last_transfer_finish,
+        last_flush_finish,
+    }
+}
+
+/// One file group of a collective operation: the ranks writing one file
+/// and their declarations (indexed locally, `decls[i]` belongs to
+/// `ranks[i]`).
+#[derive(Debug, Clone)]
+pub struct GroupSpec {
+    /// File id (e.g. the Pset index under subfiling).
+    pub file: FileId,
+    /// Global ranks participating, ascending.
+    pub ranks: Vec<Rank>,
+    /// Per-member declarations.
+    pub decls: Vec<Vec<WriteDecl>>,
+}
+
+/// A full collective operation: one or more file groups plus direction.
+#[derive(Debug, Clone)]
+pub struct CollectiveSpec {
+    /// File groups (one on Theta; one per Pset on Mira with subfiling).
+    pub groups: Vec<GroupSpec>,
+    /// Read or write.
+    pub mode: AccessMode,
+}
+
+/// End-to-end TAPIOCA simulation: schedule, elect, compile, execute.
+///
+/// `cfg.num_aggregators` is interpreted *per file group*, matching the
+/// paper's "16 aggregators per Pset" phrasing.
+pub fn run_tapioca_sim(
+    profile: &MachineProfile,
+    storage: &StorageConfig,
+    spec: &CollectiveSpec,
+    cfg: &TapiocaConfig,
+) -> SimReport {
+    cfg.validate();
+    let machine = &profile.machine;
+    let mut plan = ExecutionPlan::new();
+
+    for group in &spec.groups {
+        assert_eq!(group.ranks.len(), group.decls.len());
+        if let Some(&max_rank) = group.ranks.iter().max() {
+            assert!(
+                max_rank < machine.num_ranks(),
+                "spec rank {max_rank} exceeds the machine's {} ranks",
+                machine.num_ranks()
+            );
+        }
+        let sched = compute_schedule(&group.decls, ScheduleParams {
+            num_aggregators: cfg.num_aggregators,
+            buffer_size: cfg.buffer_size,
+            align_to_buffer: true,
+        });
+        let io_nodes = machine.io_nodes_for(&group.ranks);
+        let io = io_nodes.first().copied().unwrap_or(0);
+
+        // Elect one aggregator per partition (parallel across partitions;
+        // each election is exactly the distributed MINLOC of thread mode).
+        let choices: Vec<usize> = sched
+            .partitions
+            .par_iter()
+            .map(|part| {
+                let members_global: Vec<Rank> =
+                    part.members.iter().map(|&m| group.ranks[m]).collect();
+                elect_aggregator(
+                    machine,
+                    &members_global,
+                    &part.member_bytes,
+                    io,
+                    part.index,
+                    cfg.strategy,
+                )
+            })
+            .collect();
+
+        let ranks = &group.ranks;
+        let node_of = |local: Rank| machine.node_of_rank(ranks[local]);
+        let file = group.file;
+        append_tapioca_plan(&mut plan, &TapiocaPlanInput {
+            schedule: &sched,
+            aggregator_choice: &choices,
+            node_of_rank: &node_of,
+            file_of_partition: &|_| file,
+            mode: spec.mode,
+            pipelining: cfg.pipelining,
+            entry_deps: Vec::new(),
+            wave_base: 0,
+        });
+    }
+    simulate(profile, storage, &plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::PlacementStrategy;
+    use tapioca_topology::{mira_profile, theta_profile, MIB};
+
+    fn mira_spec(nodes: usize, ranks_per_node: usize, bytes_per_rank: u64) -> CollectiveSpec {
+        // subfiling: one group per Pset of 128 nodes
+        let rpp = 128 * ranks_per_node;
+        let n_psets = nodes / 128;
+        let groups = (0..n_psets)
+            .map(|p| {
+                let ranks: Vec<Rank> = (p * rpp..(p + 1) * rpp).collect();
+                let decls = (0..rpp)
+                    .map(|i| vec![WriteDecl { offset: i as u64 * bytes_per_rank, len: bytes_per_rank }])
+                    .collect();
+                GroupSpec { file: p, ranks, decls }
+            })
+            .collect();
+        CollectiveSpec { groups, mode: AccessMode::Write }
+    }
+
+    fn theta_spec(nodes: usize, ranks_per_node: usize, bytes_per_rank: u64) -> CollectiveSpec {
+        let n = nodes * ranks_per_node;
+        let ranks: Vec<Rank> = (0..n).collect();
+        let decls = (0..n)
+            .map(|i| vec![WriteDecl { offset: i as u64 * bytes_per_rank, len: bytes_per_rank }])
+            .collect();
+        CollectiveSpec {
+            groups: vec![GroupSpec { file: 0, ranks, decls }],
+            mode: AccessMode::Write,
+        }
+    }
+
+    #[test]
+    fn mira_small_sim_produces_positive_bandwidth() {
+        let profile = mira_profile(128, 4);
+        let spec = mira_spec(128, 4, MIB);
+        let cfg = TapiocaConfig {
+            num_aggregators: 8,
+            buffer_size: 4 * MIB,
+            ..Default::default()
+        };
+        let storage = StorageConfig::Gpfs(GpfsTunables::mira_optimized());
+        let rep = run_tapioca_sim(&profile, &storage, &spec, &cfg);
+        assert!(rep.elapsed > 0.0);
+        assert_eq!(rep.bytes, (128 * 4) as f64 * MIB as f64);
+        assert!(rep.bandwidth > 0.0);
+        // cannot exceed the Pset ceiling (2 bridge links of 1.8 GiB/s)
+        let ceiling = 3.6 * (1u64 << 30) as f64;
+        assert!(rep.bandwidth <= ceiling * 1.001, "bw {} above physics", rep.bandwidth);
+    }
+
+    #[test]
+    fn theta_small_sim_runs() {
+        let profile = theta_profile(64, 4);
+        let spec = theta_spec(64, 4, MIB);
+        let cfg = TapiocaConfig {
+            num_aggregators: 16,
+            buffer_size: 8 * MIB,
+            ..Default::default()
+        };
+        let storage = StorageConfig::Lustre(LustreTunables::theta_optimized());
+        let rep = run_tapioca_sim(&profile, &storage, &spec, &cfg);
+        assert!(rep.elapsed > 0.0 && rep.bandwidth > 0.0);
+    }
+
+    #[test]
+    fn pipelining_is_not_slower() {
+        let profile = mira_profile(128, 4);
+        let spec = mira_spec(128, 4, MIB);
+        let storage = StorageConfig::Gpfs(GpfsTunables::mira_optimized());
+        let base = TapiocaConfig { num_aggregators: 8, buffer_size: 4 * MIB, ..Default::default() };
+        let on = run_tapioca_sim(&profile, &storage, &spec, &base);
+        let off = run_tapioca_sim(&profile, &storage, &spec, &TapiocaConfig {
+            pipelining: false,
+            ..base
+        });
+        assert!(on.elapsed <= off.elapsed * 1.0001,
+            "pipelining must not hurt: {} vs {}", on.elapsed, off.elapsed);
+    }
+
+    #[test]
+    fn topology_aware_not_worse_than_worst_case() {
+        let profile = mira_profile(128, 4);
+        let spec = mira_spec(128, 4, MIB / 4);
+        let storage = StorageConfig::Gpfs(GpfsTunables::mira_optimized());
+        let base = TapiocaConfig { num_aggregators: 8, buffer_size: MIB, ..Default::default() };
+        let ta = run_tapioca_sim(&profile, &storage, &spec, &base);
+        let worst = run_tapioca_sim(&profile, &storage, &spec, &TapiocaConfig {
+            strategy: PlacementStrategy::WorstCase,
+            ..base
+        });
+        assert!(ta.elapsed <= worst.elapsed * 1.0001);
+    }
+
+    #[test]
+    fn read_mode_simulates() {
+        let profile = theta_profile(32, 4);
+        let mut spec = theta_spec(32, 4, MIB);
+        spec.mode = AccessMode::Read;
+        let cfg = TapiocaConfig { num_aggregators: 8, buffer_size: 8 * MIB, ..Default::default() };
+        let storage = StorageConfig::Lustre(LustreTunables::theta_optimized());
+        let rep = run_tapioca_sim(&profile, &storage, &spec, &cfg);
+        assert!(rep.bandwidth > 0.0);
+    }
+
+    #[test]
+    fn phase_breakdown_is_consistent() {
+        let profile = theta_profile(32, 4);
+        let spec = theta_spec(32, 4, MIB);
+        let cfg = TapiocaConfig { num_aggregators: 8, buffer_size: 8 * MIB, ..Default::default() };
+        let storage = StorageConfig::Lustre(LustreTunables::theta_optimized());
+        let rep = run_tapioca_sim(&profile, &storage, &spec, &cfg);
+        assert!(rep.transfers > 0 && rep.flushes > 0);
+        assert_eq!(rep.transfers + rep.flushes, rep.op_finish.len());
+        // writes end at the storage: the last flush defines the makespan
+        assert!((rep.last_flush_finish - rep.elapsed).abs() < 1e-9);
+        assert!(rep.last_transfer_finish <= rep.elapsed);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn mismatched_storage_kind_panics() {
+        let profile = mira_profile(128, 4);
+        let spec = mira_spec(128, 4, 1024);
+        let cfg = TapiocaConfig { num_aggregators: 4, buffer_size: 1024, ..Default::default() };
+        run_tapioca_sim(
+            &profile,
+            &StorageConfig::Lustre(LustreTunables::theta_optimized()),
+            &spec,
+            &cfg,
+        );
+    }
+}

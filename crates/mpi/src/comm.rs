@@ -1,0 +1,623 @@
+//! Communicators: rank groups with collectives.
+//!
+//! A [`Comm`] is a per-thread handle onto shared group state. Collectives
+//! follow MPI semantics: every member must call the same collectives in
+//! the same order; the implementation uses a shared slot vector bracketed
+//! by two barrier phases (write / read), so a communicator's collectives
+//! are reusable back-to-back without extra synchronization.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::p2p::Mailboxes;
+use crate::sync::Barrier;
+use crate::{Rank, Tag};
+
+/// Kind discriminator for registry keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum RegistryKind {
+    Split,
+    Subgroup,
+    Window,
+    File,
+}
+
+/// Key identifying one shared object created collectively.
+pub(crate) type RegistryKey = (u64, RegistryKind, u64, u64); // (comm uid, kind, seq, aux)
+
+/// World-level shared state: mailboxes and the registry through which
+/// collectives materialize shared objects (sub-communicators, windows,
+/// shared files) exactly once per group.
+pub struct WorldShared {
+    pub(crate) mailboxes: Mailboxes,
+    registry: Mutex<HashMap<RegistryKey, Arc<dyn Any + Send + Sync>>>,
+    uid_counter: AtomicU64,
+}
+
+impl WorldShared {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Self {
+            mailboxes: Mailboxes::new(),
+            registry: Mutex::new(HashMap::new()),
+            uid_counter: AtomicU64::new(1),
+        })
+    }
+
+    pub(crate) fn next_uid(&self) -> u64 {
+        self.uid_counter.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Get or create the shared object for `key`. The first member to
+    /// arrive runs `create`; everyone receives the same `Arc`.
+    pub(crate) fn get_or_create<T, F>(&self, key: RegistryKey, create: F) -> Arc<T>
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce() -> T,
+    {
+        let mut reg = self.registry.lock();
+        let entry = reg
+            .entry(key)
+            .or_insert_with(|| Arc::new(create()) as Arc<dyn Any + Send + Sync>);
+        Arc::clone(entry)
+            .downcast::<T>()
+            .expect("registry entry type matches its key kind")
+    }
+}
+
+/// Group-level shared state of one communicator.
+pub(crate) struct CommShared {
+    /// Unique id of this communicator (stable across all members).
+    pub(crate) uid: u64,
+    /// World ranks of the members, ascending; `members[i]` is the world
+    /// rank of comm rank `i`.
+    pub(crate) members: Vec<Rank>,
+    barrier: Barrier,
+    slots: Mutex<Vec<Option<Vec<u8>>>>,
+}
+
+impl CommShared {
+    fn new(uid: u64, members: Vec<Rank>) -> Self {
+        let n = members.len();
+        Self {
+            uid,
+            members,
+            barrier: Barrier::new(n),
+            slots: Mutex::new(vec![None; n]),
+        }
+    }
+}
+
+/// A per-thread communicator handle.
+///
+/// `Comm` is `Send` (it can be created in one scope and used by its
+/// rank's thread) but deliberately not `Sync`: each rank owns exactly
+/// one handle, mirroring MPI.
+pub struct Comm {
+    world: Arc<WorldShared>,
+    shared: Arc<CommShared>,
+    my_index: usize,
+    split_calls: Cell<u64>,
+    win_calls: Cell<u64>,
+    file_calls: Cell<u64>,
+    user_calls: Cell<u64>,
+}
+
+impl Comm {
+    pub(crate) fn new(world: Arc<WorldShared>, shared: Arc<CommShared>, my_index: usize) -> Self {
+        Self {
+            world,
+            shared,
+            my_index,
+            split_calls: Cell::new(0),
+            win_calls: Cell::new(0),
+            file_calls: Cell::new(0),
+            user_calls: Cell::new(0),
+        }
+    }
+
+    /// This rank's index within the communicator.
+    pub fn rank(&self) -> Rank {
+        self.my_index
+    }
+
+    /// Number of members.
+    pub fn size(&self) -> usize {
+        self.shared.members.len()
+    }
+
+    /// World rank of this member.
+    pub fn world_rank(&self) -> Rank {
+        self.shared.members[self.my_index]
+    }
+
+    /// World rank of comm rank `r`.
+    pub fn world_rank_of(&self, r: Rank) -> Rank {
+        self.shared.members[r]
+    }
+
+    /// All members' world ranks, ascending.
+    pub fn members(&self) -> &[Rank] {
+        &self.shared.members
+    }
+
+    pub(crate) fn world(&self) -> &Arc<WorldShared> {
+        &self.world
+    }
+
+    pub(crate) fn uid(&self) -> u64 {
+        self.shared.uid
+    }
+
+    pub(crate) fn next_win_seq(&self) -> u64 {
+        let s = self.win_calls.get();
+        self.win_calls.set(s + 1);
+        s
+    }
+
+    pub(crate) fn next_file_seq(&self) -> u64 {
+        let s = self.file_calls.get();
+        self.file_calls.set(s + 1);
+        s
+    }
+
+    /// A per-communicator sequence number for caller-defined collective
+    /// epochs. Every member calling the same collective protocol in the
+    /// same order observes the same sequence (libraries like TAPIOCA use
+    /// it to key their `subgroup` ids per `init` epoch).
+    pub fn next_user_seq(&self) -> u64 {
+        let s = self.user_calls.get();
+        self.user_calls.set(s + 1);
+        s
+    }
+
+    /// Block until every member has entered the barrier.
+    pub fn barrier(&self) {
+        self.shared.barrier.wait();
+    }
+
+    // ---- point-to-point -------------------------------------------------
+
+    /// Tag space isolation between communicators.
+    fn scoped_tag(&self, tag: Tag) -> Tag {
+        self.shared.uid.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ tag
+    }
+
+    /// Send bytes to comm rank `dst` (non-blocking, buffered).
+    pub fn send(&self, dst: Rank, tag: Tag, bytes: Vec<u8>) {
+        let s = self.world_rank();
+        let d = self.world_rank_of(dst);
+        self.world.mailboxes.send(s, d, self.scoped_tag(tag), bytes);
+    }
+
+    /// Receive bytes from comm rank `src` (blocking).
+    pub fn recv(&self, src: Rank, tag: Tag) -> Vec<u8> {
+        let s = self.world_rank_of(src);
+        let d = self.world_rank();
+        self.world.mailboxes.recv(s, d, self.scoped_tag(tag))
+    }
+
+    /// Non-blocking receive from comm rank `src`.
+    pub fn try_recv(&self, src: Rank, tag: Tag) -> Option<Vec<u8>> {
+        let s = self.world_rank_of(src);
+        let d = self.world_rank();
+        self.world.mailboxes.try_recv(s, d, self.scoped_tag(tag))
+    }
+
+    /// All-to-all personalized exchange: `sends[d]` goes to comm rank
+    /// `d`; returns one buffer per source rank. The workhorse of
+    /// ROMIO-style two-phase redistribution.
+    ///
+    /// Collective: every member must call it with `sends.len() == size()`.
+    pub fn alltoallv_bytes(&self, sends: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+        assert_eq!(sends.len(), self.size(), "one send buffer per member");
+        const A2A_TAG: Tag = Tag::MAX - 1;
+        for (d, bytes) in sends.into_iter().enumerate() {
+            self.send(d, A2A_TAG, bytes);
+        }
+        (0..self.size()).map(|s| self.recv(s, A2A_TAG)).collect()
+    }
+
+    // ---- collectives ----------------------------------------------------
+
+    /// Gather every member's byte vector; result indexed by comm rank.
+    pub fn allgather_bytes(&self, mine: Vec<u8>) -> Vec<Vec<u8>> {
+        {
+            let mut slots = self.shared.slots.lock();
+            slots[self.my_index] = Some(mine);
+        }
+        self.shared.barrier.wait();
+        let all: Vec<Vec<u8>> = {
+            let slots = self.shared.slots.lock();
+            slots
+                .iter()
+                .map(|o| o.clone().expect("every member contributed"))
+                .collect()
+        };
+        // Second phase: nobody overwrites a slot before all have read.
+        self.shared.barrier.wait();
+        all
+    }
+
+    /// Broadcast `bytes` from comm rank `root` to everyone.
+    pub fn bcast(&self, root: Rank, bytes: Vec<u8>) -> Vec<u8> {
+        if self.my_index == root {
+            let mut slots = self.shared.slots.lock();
+            slots[root] = Some(bytes);
+        }
+        self.shared.barrier.wait();
+        let out = {
+            let slots = self.shared.slots.lock();
+            slots[root].clone().expect("root contributed")
+        };
+        self.shared.barrier.wait();
+        out
+    }
+
+    /// Allgather of one `u64` per member.
+    pub fn allgather_u64(&self, v: u64) -> Vec<u64> {
+        self.allgather_bytes(v.to_le_bytes().to_vec())
+            .into_iter()
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+            .collect()
+    }
+
+    /// `MPI_Allreduce(MPI_MINLOC)`: returns `(min value, comm rank of the
+    /// owner)`. Ties resolve to the lowest rank, like MPI.
+    pub fn allreduce_min_loc(&self, value: f64) -> (f64, Rank) {
+        let all = self.allgather_bytes(value.to_le_bytes().to_vec());
+        let mut best = (f64::INFINITY, usize::MAX);
+        for (r, b) in all.into_iter().enumerate() {
+            let v = f64::from_le_bytes(b.try_into().expect("8 bytes"));
+            if v < best.0 || (v == best.0 && r < best.1) {
+                best = (v, r);
+            }
+        }
+        best
+    }
+
+    /// Sum of one `u64` per member.
+    pub fn allreduce_sum_u64(&self, v: u64) -> u64 {
+        self.allgather_u64(v).into_iter().sum()
+    }
+
+    /// Max of one `u64` per member.
+    pub fn allreduce_max_u64(&self, v: u64) -> u64 {
+        self.allgather_u64(v).into_iter().max().expect("non-empty comm")
+    }
+
+    /// Max of one `f64` per member.
+    pub fn allreduce_max_f64(&self, v: f64) -> f64 {
+        self.allgather_bytes(v.to_le_bytes().to_vec())
+            .into_iter()
+            .map(|b| f64::from_le_bytes(b.try_into().expect("8 bytes")))
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Generic allreduce over per-member byte payloads: gather, then
+    /// fold in rank order (deterministic for non-commutative ops).
+    pub fn allreduce_bytes(
+        &self,
+        mine: Vec<u8>,
+        op: impl Fn(Vec<u8>, &[u8]) -> Vec<u8>,
+    ) -> Vec<u8> {
+        let mut all = self.allgather_bytes(mine).into_iter();
+        let first = all.next().expect("non-empty comm");
+        all.fold(first, |acc, x| op(acc, &x))
+    }
+
+    /// Exclusive prefix sum of one `u64` per member (`MPI_Exscan`):
+    /// rank r receives the sum over ranks `0..r` (0 for rank 0).
+    /// The classic offset computation for packed shared-file writes.
+    pub fn exscan_sum_u64(&self, v: u64) -> u64 {
+        self.allgather_u64(v)[..self.my_index].iter().sum()
+    }
+
+    /// Gather one `u64` per member to `root`; non-roots receive `None`.
+    pub fn gather_u64(&self, root: Rank, v: u64) -> Option<Vec<u64>> {
+        // implemented over allgather (correct, if not minimal traffic —
+        // this runtime models semantics, not wire cost)
+        let all = self.allgather_u64(v);
+        (self.my_index == root).then_some(all)
+    }
+
+    /// Split into sub-communicators by `color` (like `MPI_Comm_split`
+    /// with `key = rank`). Members of the returned communicator are
+    /// ordered by parent rank.
+    pub fn split(&self, color: u64) -> Comm {
+        let seq = self.split_calls.get();
+        self.split_calls.set(seq + 1);
+        let colors = self.allgather_u64(color);
+        let group: Vec<usize> = (0..self.size()).filter(|&i| colors[i] == color).collect();
+        let my_pos = group
+            .iter()
+            .position(|&i| i == self.my_index)
+            .expect("caller is in its own color group");
+        let members: Vec<Rank> = group.iter().map(|&i| self.shared.members[i]).collect();
+
+        // Everyone in the group computes the same key; the registry makes
+        // exactly one CommShared per (parent, call, color).
+        let key: RegistryKey = (self.shared.uid, RegistryKind::Split, seq, color);
+        let world = Arc::clone(&self.world);
+        let uid_src = Arc::clone(&self.world);
+        let members_clone = members.clone();
+        let shared = world.get_or_create(key, move || {
+            CommShared::new(uid_src.next_uid(), members_clone)
+        });
+        Comm::new(Arc::clone(&self.world), shared, my_pos)
+    }
+
+    /// Form a sub-communicator from an explicit member list (parent comm
+    /// ranks, ascending). Unlike [`Comm::split`], a rank may join several
+    /// subgroups (TAPIOCA partitions can overlap when a rank's data spans
+    /// partition boundaries), and non-members do not participate at all.
+    ///
+    /// Every member must pass the identical `members` list and the same
+    /// `key` (a caller-chosen id making this subgroup unique per parent
+    /// communicator, e.g. `epoch * 1_000_000 + partition`).
+    ///
+    /// # Panics
+    /// Panics if the caller is not in `members` or the list is not
+    /// strictly ascending.
+    pub fn subgroup(&self, members: &[Rank], key: u64) -> Comm {
+        assert!(members.windows(2).all(|w| w[0] < w[1]), "members must be strictly ascending");
+        let my_pos = members
+            .iter()
+            .position(|&m| m == self.my_index)
+            .expect("caller must be a member of its own subgroup");
+        let world_members: Vec<Rank> = members.iter().map(|&m| self.shared.members[m]).collect();
+        let reg_key: RegistryKey = (self.shared.uid, RegistryKind::Subgroup, 0, key);
+        let world = Arc::clone(&self.world);
+        let uid_src = Arc::clone(&self.world);
+        let shared = world.get_or_create(reg_key, move || {
+            CommShared::new(uid_src.next_uid(), world_members)
+        });
+        Comm::new(Arc::clone(&self.world), shared, my_pos)
+    }
+}
+
+/// Create the world communicator state for `n` ranks; used by the
+/// runtime. Returns per-rank `Comm` handles.
+pub(crate) fn make_world(n: usize) -> Vec<Comm> {
+    let world = WorldShared::new();
+    let uid = world.next_uid();
+    let shared = Arc::new(CommShared::new(uid, (0..n).collect()));
+    (0..n)
+        .map(|i| Comm::new(Arc::clone(&world), Arc::clone(&shared), i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(n: usize, f: impl Fn(Comm) + Sync) {
+        let comms = make_world(n);
+        std::thread::scope(|s| {
+            for c in comms {
+                s.spawn(|| f(c));
+            }
+        });
+    }
+
+    #[test]
+    fn ranks_and_sizes() {
+        run(4, |c| {
+            assert_eq!(c.size(), 4);
+            assert!(c.rank() < 4);
+            assert_eq!(c.world_rank(), c.rank());
+        });
+    }
+
+    #[test]
+    fn allgather_orders_by_rank() {
+        run(8, |c| {
+            let all = c.allgather_u64(c.rank() as u64 * 10);
+            assert_eq!(all, (0..8).map(|r| r * 10).collect::<Vec<u64>>());
+        });
+    }
+
+    #[test]
+    fn repeated_collectives_do_not_cross_talk() {
+        run(6, |c| {
+            for round in 0..50u64 {
+                let all = c.allgather_u64(round * 100 + c.rank() as u64);
+                for (r, v) in all.iter().enumerate() {
+                    assert_eq!(*v, round * 100 + r as u64);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn min_loc_picks_lowest_value_then_lowest_rank() {
+        run(5, |c| {
+            let v = match c.rank() {
+                2 => 1.0,
+                4 => 1.0,
+                _ => 5.0 + c.rank() as f64,
+            };
+            let (val, loc) = c.allreduce_min_loc(v);
+            assert_eq!(val, 1.0);
+            assert_eq!(loc, 2, "tie resolves to the lowest rank");
+        });
+    }
+
+    #[test]
+    fn bcast_from_nonzero_root() {
+        run(4, |c| {
+            let payload = if c.rank() == 2 { vec![9, 9, 9] } else { vec![] };
+            assert_eq!(c.bcast(2, payload), vec![9, 9, 9]);
+        });
+    }
+
+    #[test]
+    fn reductions() {
+        run(7, |c| {
+            assert_eq!(c.allreduce_sum_u64(c.rank() as u64), 21);
+            assert_eq!(c.allreduce_max_u64(c.rank() as u64), 6);
+            assert_eq!(c.allreduce_max_f64(-(c.rank() as f64)), 0.0);
+        });
+    }
+
+    #[test]
+    fn split_into_even_odd() {
+        run(8, |c| {
+            let sub = c.split(c.rank() as u64 % 2);
+            assert_eq!(sub.size(), 4);
+            let all = sub.allgather_u64(c.rank() as u64);
+            let expect: Vec<u64> = (0..8).filter(|r| r % 2 == c.rank() as u64 % 2).collect();
+            assert_eq!(all, expect);
+            // sub-communicator p2p is isolated from the parent's tags
+            if sub.rank() == 0 {
+                sub.send(1, 3, vec![sub.rank() as u8]);
+            }
+            if sub.rank() == 1 {
+                assert_eq!(sub.recv(0, 3), vec![0]);
+            }
+        });
+    }
+
+    #[test]
+    fn nested_split() {
+        run(8, |c| {
+            let half = c.split((c.rank() / 4) as u64);
+            let quarter = half.split((half.rank() / 2) as u64);
+            assert_eq!(quarter.size(), 2);
+            assert_eq!(quarter.allreduce_sum_u64(1), 2);
+        });
+    }
+
+    #[test]
+    fn overlapping_subgroups() {
+        // partitions {0,1,2} and {2,3}: rank 2 is in both; process them
+        // in ascending key order on every member (deadlock-free).
+        run(4, |c| {
+            let r = c.rank();
+            if r <= 2 {
+                let g = c.subgroup(&[0, 1, 2], 1);
+                assert_eq!(g.allgather_u64(r as u64), vec![0, 1, 2]);
+            }
+            if r >= 2 {
+                let g = c.subgroup(&[2, 3], 2);
+                assert_eq!(g.allgather_u64(r as u64), vec![2, 3]);
+                assert_eq!(g.world_rank_of(0), 2);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "member of its own subgroup")]
+    fn subgroup_requires_membership() {
+        let comms = make_world(2);
+        let mut it = comms.into_iter();
+        let c0 = it.next().unwrap();
+        c0.subgroup(&[1], 9);
+    }
+
+    #[test]
+    fn p2p_through_comm() {
+        run(3, |c| {
+            if c.rank() == 0 {
+                c.send(2, 11, vec![5]);
+            } else if c.rank() == 2 {
+                assert_eq!(c.recv(0, 11), vec![5]);
+            }
+            c.barrier();
+        });
+    }
+
+    #[test]
+    fn exscan_computes_packed_offsets() {
+        run(5, |c| {
+            let my_len = (c.rank() as u64 + 1) * 10;
+            let off = c.exscan_sum_u64(my_len);
+            let expect: u64 = (0..c.rank() as u64).map(|r| (r + 1) * 10).sum();
+            assert_eq!(off, expect);
+        });
+    }
+
+    #[test]
+    fn gather_only_root_receives() {
+        run(4, |c| {
+            let got = c.gather_u64(2, c.rank() as u64 * 5);
+            if c.rank() == 2 {
+                assert_eq!(got, Some(vec![0, 5, 10, 15]));
+            } else {
+                assert_eq!(got, None);
+            }
+        });
+    }
+
+    #[test]
+    fn allreduce_bytes_folds_in_rank_order() {
+        run(4, |c| {
+            // non-commutative op: string concatenation
+            let mine = vec![b'a' + c.rank() as u8];
+            let out = c.allreduce_bytes(mine, |mut acc, x| {
+                acc.extend_from_slice(x);
+                acc
+            });
+            assert_eq!(out, b"abcd");
+        });
+    }
+
+    #[test]
+    fn alltoallv_exchanges_personalized_buffers() {
+        run(5, |c| {
+            let me = c.rank() as u8;
+            let sends: Vec<Vec<u8>> =
+                (0..5).map(|d| vec![me * 10 + d as u8; (d + 1) as usize]).collect();
+            let recvd = c.alltoallv_bytes(sends);
+            for (s, buf) in recvd.iter().enumerate() {
+                assert_eq!(buf.len(), c.rank() + 1);
+                assert!(buf.iter().all(|&b| b == s as u8 * 10 + me));
+            }
+        });
+    }
+
+    #[test]
+    fn repeated_alltoallv_stays_ordered() {
+        run(3, |c| {
+            for round in 0..10u8 {
+                let sends: Vec<Vec<u8>> = (0..3).map(|_| vec![round]).collect();
+                let recvd = c.alltoallv_bytes(sends);
+                assert!(recvd.iter().all(|b| b == &vec![round]));
+            }
+        });
+    }
+
+    #[test]
+    fn try_recv_through_comm() {
+        run(2, |c| {
+            if c.rank() == 0 {
+                // poll until the message lands (exercises the
+                // non-blocking path without racing the sender)
+                let mut got = None;
+                while got.is_none() {
+                    got = c.try_recv(1, 7);
+                    std::hint::spin_loop();
+                }
+                assert_eq!(got, Some(vec![1]));
+            } else {
+                c.send(0, 7, vec![1]);
+            }
+            c.barrier();
+        });
+    }
+
+    #[test]
+    fn singleton_comm_collectives() {
+        run(4, |c| {
+            let me = c.split(c.rank() as u64);
+            assert_eq!(me.size(), 1);
+            assert_eq!(me.allgather_u64(7), vec![7]);
+            assert_eq!(me.allreduce_min_loc(3.0), (3.0, 0));
+            me.barrier();
+        });
+    }
+}

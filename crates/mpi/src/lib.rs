@@ -1,0 +1,53 @@
+//! # tapioca-mpi
+//!
+//! An in-process MPI-like runtime: ranks are OS threads inside one
+//! process, communicators provide the collectives TAPIOCA needs
+//! (barrier, broadcast, allgather, allreduce with MINLOC), one-sided
+//! **RMA windows** provide `put` + `fence` epochs, and **shared files**
+//! provide positioned writes with non-blocking flushes.
+//!
+//! This is the substitute for the paper's MPI substrate (MPICH2 on Mira,
+//! Cray MPI on Theta): the TAPIOCA algorithm — Algorithm 3's fence-driven
+//! double buffering, the MINLOC aggregator election — runs *unmodified*
+//! on these primitives, with real threads racing through real memory, so
+//! ordering bugs are observable instead of simulated away.
+//!
+//! ## Semantics guaranteed
+//!
+//! * [`comm::Comm::barrier`] is a reusable sense-reversing barrier; all
+//!   memory writes made by a rank before the barrier are visible to every
+//!   rank after it (mutex release/acquire ordering).
+//! * [`rma::Window::fence`] closes an RMA epoch: all `put`s issued before
+//!   the fence are deposited in the target buffers and visible to every
+//!   member after the fence returns — MPI_Win_fence semantics.
+//! * [`file::SharedFile::iwrite_at`] is a non-blocking positioned write
+//!   served by a dedicated I/O thread per file; [`file::IoHandle::wait`]
+//!   blocks until durable in the page cache (matching the paper's use of
+//!   non-blocking MPI I/O to overlap aggregation with flushes).
+//!
+//! ## What is deliberately simplified
+//!
+//! * Transport is shared memory, not a NIC: bandwidth/latency modelling
+//!   lives in `tapioca-netsim`, not here. This runtime answers "is the
+//!   algorithm correct", the simulator answers "how fast is it at scale".
+//! * `put` serializes per target buffer with a lock. MPI makes
+//!   overlapping concurrent puts undefined; TAPIOCA's schedule only
+//!   issues disjoint puts, so a lock costs correctness nothing.
+
+pub mod comm;
+pub mod file;
+pub mod p2p;
+pub mod rma;
+pub mod runtime;
+pub mod sync;
+
+pub use comm::Comm;
+pub use file::{IoHandle, SharedFile};
+pub use rma::Window;
+pub use runtime::Runtime;
+
+/// Rank index within a communicator (0-based, dense).
+pub type Rank = usize;
+
+/// Message tag for point-to-point matching.
+pub type Tag = u64;

@@ -1,0 +1,158 @@
+//! Point-to-point messaging between ranks.
+//!
+//! Each ordered rank pair gets an unbounded channel created lazily; tag
+//! matching is handled with a per-pair stash of not-yet-matched messages
+//! (MPI's non-overtaking rule holds per (source, tag) because the stash
+//! is scanned in arrival order).
+
+use std::collections::{HashMap, VecDeque};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::{Rank, Tag};
+
+type Msg = (Tag, Vec<u8>);
+
+struct Pair {
+    tx: Sender<Msg>,
+    rx: Mutex<Receiver<Msg>>,
+    /// Messages received but not yet matched by tag.
+    stash: Mutex<VecDeque<Msg>>,
+}
+
+impl Pair {
+    fn new() -> Self {
+        let (tx, rx) = unbounded();
+        Self { tx, rx: Mutex::new(rx), stash: Mutex::new(VecDeque::new()) }
+    }
+}
+
+/// All point-to-point channels of a world.
+#[derive(Default)]
+pub struct Mailboxes {
+    pairs: Mutex<HashMap<(Rank, Rank), std::sync::Arc<Pair>>>,
+}
+
+impl Mailboxes {
+    /// Create an empty mailbox table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn pair(&self, src: Rank, dst: Rank) -> std::sync::Arc<Pair> {
+        let mut m = self.pairs.lock();
+        std::sync::Arc::clone(m.entry((src, dst)).or_insert_with(|| std::sync::Arc::new(Pair::new())))
+    }
+
+    /// Send `bytes` from `src` to `dst` with `tag` (never blocks).
+    pub fn send(&self, src: Rank, dst: Rank, tag: Tag, bytes: Vec<u8>) {
+        self.pair(src, dst)
+            .tx
+            .send((tag, bytes))
+            .expect("receiver side of a mailbox never drops while the world lives");
+    }
+
+    /// Non-blocking receive: the next message from `src` to `dst`
+    /// matching `tag`, or `None` if nothing has arrived yet.
+    pub fn try_recv(&self, src: Rank, dst: Rank, tag: Tag) -> Option<Vec<u8>> {
+        let pair = self.pair(src, dst);
+        {
+            let mut stash = pair.stash.lock();
+            if let Some(pos) = stash.iter().position(|(t, _)| *t == tag) {
+                return Some(stash.remove(pos).expect("position valid").1);
+            }
+        }
+        let rx = pair.rx.lock();
+        while let Ok((t, bytes)) = rx.try_recv() {
+            if t == tag {
+                return Some(bytes);
+            }
+            pair.stash.lock().push_back((t, bytes));
+        }
+        None
+    }
+
+    /// Receive the next message from `src` to `dst` matching `tag`
+    /// (blocks until one arrives).
+    pub fn recv(&self, src: Rank, dst: Rank, tag: Tag) -> Vec<u8> {
+        let pair = self.pair(src, dst);
+        // Check earlier unmatched messages first (preserves order per tag).
+        {
+            let mut stash = pair.stash.lock();
+            if let Some(pos) = stash.iter().position(|(t, _)| *t == tag) {
+                return stash.remove(pos).expect("position valid").1;
+            }
+        }
+        let rx = pair.rx.lock();
+        loop {
+            let (t, bytes) = rx.recv().expect("sender side never drops while the world lives");
+            if t == tag {
+                return bytes;
+            }
+            pair.stash.lock().push_back((t, bytes));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_then_recv() {
+        let mb = Mailboxes::new();
+        mb.send(0, 1, 7, vec![1, 2, 3]);
+        assert_eq!(mb.recv(0, 1, 7), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn tag_matching_skips_other_tags() {
+        let mb = Mailboxes::new();
+        mb.send(0, 1, 7, vec![7]);
+        mb.send(0, 1, 9, vec![9]);
+        assert_eq!(mb.recv(0, 1, 9), vec![9]);
+        assert_eq!(mb.recv(0, 1, 7), vec![7]);
+    }
+
+    #[test]
+    fn per_tag_order_is_preserved() {
+        let mb = Mailboxes::new();
+        mb.send(0, 1, 5, vec![1]);
+        mb.send(0, 1, 6, vec![2]);
+        mb.send(0, 1, 5, vec![3]);
+        assert_eq!(mb.recv(0, 1, 5), vec![1]);
+        assert_eq!(mb.recv(0, 1, 5), vec![3]);
+        assert_eq!(mb.recv(0, 1, 6), vec![2]);
+    }
+
+    #[test]
+    fn cross_thread_blocking_recv() {
+        let mb = std::sync::Arc::new(Mailboxes::new());
+        let mb2 = std::sync::Arc::clone(&mb);
+        let h = std::thread::spawn(move || mb2.recv(3, 4, 1));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        mb.send(3, 4, 1, vec![42]);
+        assert_eq!(h.join().unwrap(), vec![42]);
+    }
+
+    #[test]
+    fn try_recv_returns_none_then_message() {
+        let mb = Mailboxes::new();
+        assert_eq!(mb.try_recv(0, 1, 5), None);
+        mb.send(0, 1, 9, vec![9]);
+        assert_eq!(mb.try_recv(0, 1, 5), None, "wrong tag stays stashed");
+        mb.send(0, 1, 5, vec![5]);
+        assert_eq!(mb.try_recv(0, 1, 5), Some(vec![5]));
+        assert_eq!(mb.try_recv(0, 1, 9), Some(vec![9]), "stashed message still delivered");
+    }
+
+    #[test]
+    fn distinct_pairs_do_not_interfere() {
+        let mb = Mailboxes::new();
+        mb.send(0, 1, 1, vec![1]);
+        mb.send(1, 0, 1, vec![2]);
+        assert_eq!(mb.recv(1, 0, 1), vec![2]);
+        assert_eq!(mb.recv(0, 1, 1), vec![1]);
+    }
+}

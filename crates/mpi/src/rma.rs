@@ -1,0 +1,215 @@
+//! One-sided communication: RMA windows with fence synchronization.
+//!
+//! TAPIOCA fills aggregation buffers with `MPI_Put` between
+//! `MPI_Win_fence` calls (paper Sec. IV-A, Algorithm 3). A [`Window`]
+//! exposes one byte region per communicator member; any member can `put`
+//! into any member's region. [`Window::fence`] is a collective that
+//! closes the access epoch: after it returns, every put issued before it
+//! (by any member) is deposited and visible.
+//!
+//! The target regions are guarded by `parking_lot::RwLock`. MPI leaves
+//! overlapping concurrent puts undefined; TAPIOCA only issues disjoint
+//! puts, so lock serialization affects timing (which this runtime does
+//! not model) but never correctness. Lock release/acquire provides the
+//! happens-before edges the fence semantics require.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::comm::{Comm, RegistryKind};
+use crate::Rank;
+
+struct WinShared {
+    /// One region per comm rank.
+    regions: Vec<RwLock<Vec<u8>>>,
+}
+
+/// An RMA window over a communicator.
+pub struct Window {
+    shared: Arc<WinShared>,
+}
+
+impl Window {
+    /// Collectively allocate a window; every member exposes a region of
+    /// `local_size` bytes (zero-initialized). Sizes may differ per rank.
+    ///
+    /// All members must call this the same number of times in the same
+    /// order (it is a collective).
+    pub fn allocate(comm: &Comm, local_size: usize) -> Window {
+        let sizes = comm.allgather_u64(local_size as u64);
+        let seq = comm.next_win_seq();
+        let key = (comm.uid(), RegistryKind::Window, seq, 0);
+        let shared = comm.world().get_or_create(key, move || WinShared {
+            regions: sizes
+                .iter()
+                .map(|&s| RwLock::new(vec![0u8; s as usize]))
+                .collect(),
+        });
+        Window { shared }
+    }
+
+    /// Deposit `data` into `target`'s region at `offset` (one-sided).
+    ///
+    /// # Panics
+    /// Panics if the write exceeds the target region.
+    pub fn put(&self, target: Rank, offset: usize, data: &[u8]) {
+        let mut region = self.shared.regions[target].write();
+        let end = offset + data.len();
+        assert!(
+            end <= region.len(),
+            "put of {}..{} exceeds window region of {} bytes",
+            offset,
+            end,
+            region.len()
+        );
+        region[offset..end].copy_from_slice(data);
+    }
+
+    /// Read `len` bytes from this member's *own* region at `offset`.
+    ///
+    /// Aggregators use this to flush their buffer after a fence.
+    pub fn read_local(&self, me: Rank, offset: usize, len: usize) -> Vec<u8> {
+        let region = self.shared.regions[me].read();
+        region[offset..offset + len].to_vec()
+    }
+
+    /// Size of a member's region.
+    pub fn region_len(&self, rank: Rank) -> usize {
+        self.shared.regions[rank].read().len()
+    }
+
+    /// Run `f` with read access to this member's own region.
+    pub fn with_local<R>(&self, me: Rank, f: impl FnOnce(&[u8]) -> R) -> R {
+        let region = self.shared.regions[me].read();
+        f(&region)
+    }
+
+    /// Write into this member's *own* region (used by aggregators to
+    /// stage data read from a file before members `get` it).
+    pub fn write_local(&self, me: Rank, offset: usize, data: &[u8]) {
+        self.put(me, offset, data);
+    }
+
+    /// One-sided read of `len` bytes at `offset` from `target`'s region
+    /// (MPI_Get). Subject to the same epoch discipline as `put`.
+    pub fn get(&self, target: Rank, offset: usize, len: usize) -> Vec<u8> {
+        let region = self.shared.regions[target].read();
+        assert!(
+            offset + len <= region.len(),
+            "get of {}..{} exceeds window region of {} bytes",
+            offset,
+            offset + len,
+            region.len()
+        );
+        region[offset..offset + len].to_vec()
+    }
+
+    /// Close the current access epoch (collective over the window's
+    /// communicator): blocks until every member reached the fence; all
+    /// puts issued before it are then visible everywhere.
+    pub fn fence(&self, comm: &Comm) {
+        comm.barrier();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::make_world;
+
+    fn run(n: usize, f: impl Fn(Comm) + Sync) {
+        let comms = make_world(n);
+        std::thread::scope(|s| {
+            for c in comms {
+                s.spawn(|| f(c));
+            }
+        });
+    }
+
+    #[test]
+    fn puts_visible_after_fence() {
+        run(4, |c| {
+            let win = Window::allocate(&c, 4);
+            // everyone puts its rank byte into rank 0's region
+            win.put(0, c.rank(), &[c.rank() as u8 + 1]);
+            win.fence(&c);
+            if c.rank() == 0 {
+                assert_eq!(win.read_local(0, 0, 4), vec![1, 2, 3, 4]);
+            }
+            win.fence(&c);
+        });
+    }
+
+    #[test]
+    fn heterogeneous_region_sizes() {
+        run(3, |c| {
+            let win = Window::allocate(&c, (c.rank() + 1) * 8);
+            assert_eq!(win.region_len(0), 8);
+            assert_eq!(win.region_len(2), 24);
+            win.fence(&c);
+        });
+    }
+
+    #[test]
+    fn epochs_do_not_leak_between_rounds() {
+        run(4, |c| {
+            let win = Window::allocate(&c, 4 * 8);
+            for round in 0..20u64 {
+                // all ranks put their (round-tagged) value to rank `round % 4`
+                let target = (round % 4) as usize;
+                win.put(target, c.rank() * 8, &(round * 10 + c.rank() as u64).to_le_bytes());
+                win.fence(&c);
+                if c.rank() == target {
+                    win.with_local(c.rank(), |buf| {
+                        for r in 0..4usize {
+                            let v = u64::from_le_bytes(buf[r * 8..r * 8 + 8].try_into().unwrap());
+                            assert_eq!(v, round * 10 + r as u64);
+                        }
+                    });
+                }
+                win.fence(&c);
+            }
+        });
+    }
+
+    #[test]
+    fn multiple_windows_are_independent() {
+        run(2, |c| {
+            let w1 = Window::allocate(&c, 8);
+            let w2 = Window::allocate(&c, 8);
+            w1.put(0, 0, &[1; 8]);
+            w2.put(0, 0, &[2; 8]);
+            w1.fence(&c);
+            w2.fence(&c);
+            if c.rank() == 0 {
+                assert_eq!(w1.read_local(0, 0, 8), vec![1; 8]);
+                assert_eq!(w2.read_local(0, 0, 8), vec![2; 8]);
+            }
+            w1.fence(&c);
+        });
+    }
+
+    #[test]
+    fn window_over_subcomm() {
+        run(6, |c| {
+            let sub = c.split((c.rank() % 2) as u64);
+            let win = Window::allocate(&sub, 3);
+            win.put(0, sub.rank(), &[sub.rank() as u8]);
+            win.fence(&sub);
+            if sub.rank() == 0 {
+                assert_eq!(win.read_local(0, 0, 3), vec![0, 1, 2]);
+            }
+            win.fence(&sub);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds window region")]
+    fn oversized_put_panics() {
+        let comms = make_world(1);
+        let c = comms.into_iter().next().unwrap();
+        let win = Window::allocate(&c, 4);
+        win.put(0, 2, &[0; 4]);
+    }
+}

@@ -1,0 +1,71 @@
+//! The runtime harness: spawn N ranks as threads and run an SPMD closure.
+
+use crate::comm::{make_world, Comm};
+
+/// Entry point for running SPMD code on the in-process runtime.
+pub struct Runtime;
+
+impl Runtime {
+    /// Spawn `n` ranks, run `f(comm)` on each, and return the results in
+    /// rank order. Panics in any rank propagate (failing the test that
+    /// drove them) after all threads are joined by the scope.
+    pub fn run<T, F>(n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Comm) -> T + Sync,
+    {
+        assert!(n > 0, "need at least one rank");
+        let comms = make_world(n);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|c| s.spawn(|| f(c)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    // re-raise with the original payload so callers (and
+                    // #[should_panic] tests) see the rank's own message
+                    Err(e) => std::panic::resume_unwind(e),
+                })
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_rank_order() {
+        let out = Runtime::run(6, |c| c.rank() * 2);
+        assert_eq!(out, vec![0, 2, 4, 6, 8, 10]);
+    }
+
+    #[test]
+    fn spmd_pipeline_with_collectives() {
+        let out = Runtime::run(5, |c| {
+            let total = c.allreduce_sum_u64(c.rank() as u64 + 1);
+            c.barrier();
+            total
+        });
+        assert!(out.iter().all(|&t| t == 15));
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let out = Runtime::run(1, |c| {
+            assert_eq!(c.size(), 1);
+            c.allreduce_min_loc(1.5)
+        });
+        assert_eq!(out, vec![(1.5, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        Runtime::run(0, |_| ());
+    }
+}

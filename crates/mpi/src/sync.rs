@@ -1,0 +1,128 @@
+//! Reusable synchronization primitives.
+//!
+//! The central piece is a **sense-reversing barrier** built on a mutex
+//! and condvar (see *Rust Atomics and Locks*, ch. 9 for the pattern
+//! trade-offs). `std::sync::Barrier` would also work, but we need
+//! subgroup barriers created dynamically for split communicators and a
+//! barrier that hands back the generation for debugging.
+
+use parking_lot::{Condvar, Mutex};
+
+/// A reusable N-party barrier.
+///
+/// Release/acquire ordering through the internal mutex guarantees that
+/// writes made before `wait` by any party are visible to all parties
+/// after `wait` returns.
+#[derive(Debug)]
+pub struct Barrier {
+    n: usize,
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+}
+
+impl Barrier {
+    /// Create a barrier for `n` parties.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "barrier needs at least one party");
+        Self {
+            n,
+            state: Mutex::new(BarrierState { arrived: 0, generation: 0 }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Number of parties.
+    pub fn parties(&self) -> usize {
+        self.n
+    }
+
+    /// Block until all `n` parties have called `wait`; returns the
+    /// generation index that just completed (starting at 0).
+    pub fn wait(&self) -> u64 {
+        let mut st = self.state.lock();
+        let gen = st.generation;
+        st.arrived += 1;
+        if st.arrived == self.n {
+            st.arrived = 0;
+            st.generation += 1;
+            self.cv.notify_all();
+        } else {
+            while st.generation == gen {
+                self.cv.wait(&mut st);
+            }
+        }
+        gen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn single_party_never_blocks() {
+        let b = Barrier::new(1);
+        assert_eq!(b.wait(), 0);
+        assert_eq!(b.wait(), 1);
+    }
+
+    #[test]
+    fn all_parties_see_prior_writes() {
+        let n = 8;
+        let b = Arc::new(Barrier::new(n));
+        let counter = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..n {
+                let b = Arc::clone(&b);
+                let c = Arc::clone(&counter);
+                s.spawn(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                    b.wait();
+                    // every increment happened-before the barrier exit
+                    assert_eq!(c.load(Ordering::Relaxed), n);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn reusable_many_generations() {
+        let n = 4;
+        let rounds = 200;
+        let b = Arc::new(Barrier::new(n));
+        let shared = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..n {
+                let b = Arc::clone(&b);
+                let sh = Arc::clone(&shared);
+                s.spawn(move || {
+                    for r in 0..rounds {
+                        sh.fetch_add(1, Ordering::Relaxed);
+                        let gen = b.wait();
+                        assert_eq!(gen, r as u64 * 2);
+                        assert_eq!(sh.load(Ordering::Relaxed), (r + 1) * n);
+                        let gen = b.wait(); // second barrier guards the read phase
+                        assert_eq!(gen, r as u64 * 2 + 1);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one party")]
+    fn zero_parties_panics() {
+        Barrier::new(0);
+    }
+}

@@ -1,0 +1,867 @@
+//! Event-driven flow simulator.
+//!
+//! Flows are submitted with a start time, a route (directed link ids) and
+//! a byte count. Between events (arrivals and completions), every active
+//! flow progresses at its max-min fair rate; the engine advances directly
+//! from event to event, so simulated time is exact up to floating point.
+//!
+//! The driver pattern used by `tapioca::sim_exec` is incremental:
+//! submit a batch of flows, [`Simulator::run_until_done`] on that batch
+//! (other flows may still be in flight), inspect completion times, decide
+//! the start time of the next batch, repeat. This is how fence-ordered
+//! aggregation rounds overlap with asynchronous flushes exactly as in
+//! Algorithm 3 of the paper.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use tapioca_topology::{Interconnect, LinkIx};
+
+use crate::{SimTime, BYTE_EPS, TIME_EPS};
+
+/// Identifier of a submitted flow.
+pub type FlowId = usize;
+
+/// Lifecycle of a flow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FlowStatus {
+    /// Waiting for dependency flows to complete.
+    Waiting,
+    /// Submitted, start time not reached yet.
+    Pending,
+    /// Currently transferring.
+    Active,
+    /// Finished at the given time.
+    Done(SimTime),
+}
+
+#[derive(Debug)]
+struct Flow {
+    route: Vec<LinkIx>,
+    remaining: f64,
+    status: FlowStatus,
+    /// Unsatisfied dependencies (count) for dependency-gated flows.
+    deps_left: usize,
+    /// Earliest allowed start (fixed part).
+    start_min: SimTime,
+    /// Extra fixed delay applied after release (latency, lock setup).
+    extra_delay: f64,
+    /// Release time accumulated from completed dependencies.
+    dep_release: SimTime,
+    /// Flows waiting on this one.
+    dependents: Vec<FlowId>,
+}
+
+/// Total-ordered f64 key for the arrival heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct TimeKey(f64);
+
+impl Eq for TimeKey {}
+impl PartialOrd for TimeKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimeKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Flow-level network simulator over a fixed link-capacity table.
+#[derive(Debug)]
+pub struct Simulator {
+    caps: Vec<f64>,
+    time: SimTime,
+    flows: Vec<Flow>,
+    active: Vec<FlowId>,
+    pending: BinaryHeap<Reverse<(TimeKey, FlowId)>>,
+    /// Cached rates parallel to `active`; rebuilt when `dirty`.
+    rates: Vec<f64>,
+    dirty: bool,
+    /// Completion batching window, seconds: flows whose completion falls
+    /// within this much of the chosen event time complete together.
+    slack: f64,
+    /// Reusable waterfilling scratch (see `recompute_rates`): dense
+    /// per-link state plus the list of links touched by active flows.
+    scratch: Scratch,
+    /// Recorded events, when tracing is enabled.
+    trace: Option<Vec<TraceEvent>>,
+    /// Payload bytes routed per link (accumulated at submission).
+    carried: Vec<f64>,
+}
+
+/// One recorded simulation event (when tracing is enabled).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Simulated time of the event.
+    pub time: SimTime,
+    /// The flow involved.
+    pub flow: FlowId,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// Kinds of traced events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// The flow began transferring (or completed instantly).
+    Started,
+    /// The flow finished.
+    Finished,
+}
+
+/// Dense per-link scratch reused across rate recomputations so the hot
+/// path performs no allocation and touches only links active flows use.
+#[derive(Debug, Default)]
+struct Scratch {
+    cap_rem: Vec<f64>,
+    unfixed: Vec<u32>,
+    /// Active-flow indices per link (only `touched` entries are valid).
+    flows_on: Vec<Vec<usize>>,
+    touched: Vec<LinkIx>,
+}
+
+impl Simulator {
+    /// Build from an interconnect's link table.
+    pub fn from_interconnect(net: &dyn Interconnect) -> Self {
+        let caps = (0..net.num_links()).map(|l| net.link(l).capacity).collect();
+        Self::with_capacities(caps)
+    }
+
+    /// Build from an explicit capacity table (bytes/s per link).
+    pub fn with_capacities(caps: Vec<f64>) -> Self {
+        Self {
+            caps,
+            time: 0.0,
+            flows: Vec::new(),
+            active: Vec::new(),
+            pending: BinaryHeap::new(),
+            rates: Vec::new(),
+            dirty: false,
+            slack: 0.0,
+            scratch: Scratch::default(),
+            trace: None,
+            carried: Vec::new(),
+        }
+    }
+
+    /// Start recording start/finish events for every flow. Intended for
+    /// debugging and timeline analysis of small runs; large simulations
+    /// should leave it off (one record per flow transition).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// The recorded events so far (empty slice when tracing is off).
+    pub fn trace(&self) -> &[TraceEvent] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Bytes routed over a link across all submitted flows — the
+    /// utilization accounting behind hot-spot analysis. (Effective
+    /// bytes: filesystem penalty inflation is included, by design.)
+    pub fn bytes_carried(&self, link: LinkIx) -> f64 {
+        self.carried.get(link).copied().unwrap_or(0.0)
+    }
+
+    /// The most-loaded link and its carried bytes (`None` if nothing
+    /// has completed yet).
+    pub fn hottest_link(&self) -> Option<(LinkIx, f64)> {
+        self.carried
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .filter(|(_, &b)| b > 0.0)
+            .map(|(l, &b)| (l, b))
+    }
+
+    fn record(&mut self, flow: FlowId, kind: TraceKind) {
+        let time = self.time;
+        if let Some(t) = self.trace.as_mut() {
+            t.push(TraceEvent { time, flow, kind });
+        }
+    }
+
+    /// Set the completion batching window: flows finishing within
+    /// `seconds` of an event complete at that event (their tail bytes are
+    /// forgiven). Zero (the default) is exact. Large simulations set a
+    /// window far below the round time (e.g. 50 us against ~10 ms
+    /// rounds) to collapse near-simultaneous completions into one rate
+    /// recomputation — a <1% timing perturbation for an order-of-
+    /// magnitude event-count reduction.
+    pub fn set_completion_slack(&mut self, seconds: f64) {
+        assert!(seconds >= 0.0 && seconds.is_finite());
+        self.slack = seconds;
+    }
+
+    /// Append a virtual link (e.g. a storage service station) and return
+    /// its index. Virtual links can appear in flow routes like any other.
+    pub fn add_virtual_link(&mut self, capacity: f64) -> LinkIx {
+        assert!(capacity > 0.0 && capacity.is_finite());
+        self.caps.push(capacity);
+        self.caps.len() - 1
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.time
+    }
+
+    /// Number of flows submitted so far.
+    pub fn num_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Status of a flow.
+    pub fn status(&self, id: FlowId) -> FlowStatus {
+        self.flows[id].status
+    }
+
+    /// Finish time of a flow, if it has completed.
+    pub fn finish_time(&self, id: FlowId) -> Option<SimTime> {
+        match self.flows[id].status {
+            FlowStatus::Done(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Submit a flow of `bytes` over `route`, starting at `start`
+    /// (clamped to "now"; the engine cannot rewrite the past).
+    ///
+    /// A zero-byte or empty-route flow completes the moment it starts.
+    ///
+    /// # Panics
+    /// Panics if a route link is out of range.
+    pub fn submit(&mut self, start: SimTime, route: Vec<LinkIx>, bytes: f64) -> FlowId {
+        self.submit_with_deps(start, 0.0, route, bytes, &[])
+    }
+
+    /// Submit a flow gated on dependencies: it is released when every
+    /// flow in `deps` has completed, and starts at
+    /// `max(start_min, latest dependency finish) + extra_delay`.
+    ///
+    /// This is how fence ordering, double-buffer reuse, and serialized
+    /// flushes are expressed: the whole execution DAG can be submitted
+    /// upfront and simulated in one pass with true overlap.
+    ///
+    /// # Panics
+    /// Panics if a route link is out of range, `bytes < 0`, or a
+    /// dependency id has not been submitted yet.
+    pub fn submit_with_deps(
+        &mut self,
+        start_min: SimTime,
+        extra_delay: f64,
+        route: Vec<LinkIx>,
+        bytes: f64,
+        deps: &[FlowId],
+    ) -> FlowId {
+        assert!(bytes >= 0.0);
+        assert!(extra_delay >= 0.0);
+        for &l in &route {
+            assert!(l < self.caps.len(), "route link {l} out of range");
+        }
+        let id = self.flows.len();
+        if self.carried.len() < self.caps.len() {
+            self.carried.resize(self.caps.len(), 0.0);
+        }
+        for &l in &route {
+            self.carried[l] += bytes;
+        }
+        self.flows.push(Flow {
+            route,
+            remaining: bytes,
+            status: FlowStatus::Waiting,
+            deps_left: 0,
+            start_min,
+            extra_delay,
+            dep_release: 0.0,
+            dependents: Vec::new(),
+        });
+        let mut deps_left = 0;
+        let mut dep_release: SimTime = 0.0;
+        for &d in deps {
+            assert!(d < id, "dependency {d} not submitted yet");
+            match self.flows[d].status {
+                FlowStatus::Done(t) => dep_release = dep_release.max(t),
+                _ => {
+                    self.flows[d].dependents.push(id);
+                    deps_left += 1;
+                }
+            }
+        }
+        let f = &mut self.flows[id];
+        f.deps_left = deps_left;
+        f.dep_release = dep_release;
+        if deps_left == 0 {
+            self.release(id);
+        }
+        id
+    }
+
+    /// Move a dependency-satisfied flow into the pending heap.
+    fn release(&mut self, id: FlowId) {
+        let f = &mut self.flows[id];
+        debug_assert_eq!(f.deps_left, 0);
+        let start = f.start_min.max(f.dep_release) + f.extra_delay;
+        f.status = FlowStatus::Pending;
+        self.pending.push(Reverse((TimeKey(start.max(self.time)), id)));
+    }
+
+    /// Mark a flow done at `t` and release any satisfied dependents.
+    fn complete(&mut self, id: FlowId, t: SimTime) {
+        self.flows[id].remaining = 0.0;
+        self.flows[id].status = FlowStatus::Done(t);
+        self.record(id, TraceKind::Finished);
+        let dependents = std::mem::take(&mut self.flows[id].dependents);
+        for dep in dependents {
+            let f = &mut self.flows[dep];
+            f.dep_release = f.dep_release.max(t);
+            f.deps_left -= 1;
+            if f.deps_left == 0 {
+                self.release(dep);
+            }
+        }
+    }
+
+    /// Max-min waterfilling over the active flows, allocation-free: the
+    /// per-link scratch persists across calls and only touched links are
+    /// reset. Semantics identical to [`max_min_rates`] (tested against
+    /// it).
+    fn recompute_rates(&mut self) {
+        let scr = &mut self.scratch;
+        if scr.cap_rem.len() < self.caps.len() {
+            scr.cap_rem.resize(self.caps.len(), 0.0);
+            scr.unfixed.resize(self.caps.len(), 0);
+            scr.flows_on.resize_with(self.caps.len(), Vec::new);
+        }
+        // Reset only what the previous round touched.
+        for &l in &scr.touched {
+            scr.unfixed[l] = 0;
+            scr.flows_on[l].clear();
+        }
+        scr.touched.clear();
+
+        let n = self.active.len();
+        self.rates.clear();
+        self.rates.resize(n, f64::INFINITY);
+        let mut n_unfixed = 0usize;
+        for (k, &id) in self.active.iter().enumerate() {
+            let route = &self.flows[id].route;
+            if route.is_empty() {
+                continue;
+            }
+            n_unfixed += 1;
+            for &l in route {
+                if scr.unfixed[l] == 0 && scr.flows_on[l].is_empty() {
+                    scr.touched.push(l);
+                    scr.cap_rem[l] = self.caps[l];
+                }
+                scr.unfixed[l] += 1;
+                scr.flows_on[l].push(k);
+            }
+        }
+
+        let mut fixed = vec![false; n];
+        while n_unfixed > 0 {
+            // bottleneck link among touched ones
+            let mut bott = usize::MAX;
+            let mut fair = f64::INFINITY;
+            for &l in &scr.touched {
+                if scr.unfixed[l] > 0 {
+                    let f = scr.cap_rem[l] / scr.unfixed[l] as f64;
+                    if f < fair {
+                        fair = f;
+                        bott = l;
+                    }
+                }
+            }
+            debug_assert_ne!(bott, usize::MAX);
+            let fair = fair.max(0.0);
+            // freeze flows on the bottleneck; iterate over an index range
+            // to avoid aliasing the scratch borrow
+            for fi in 0..scr.flows_on[bott].len() {
+                let k = scr.flows_on[bott][fi];
+                if fixed[k] {
+                    continue;
+                }
+                fixed[k] = true;
+                n_unfixed -= 1;
+                self.rates[k] = fair;
+                for &l in &self.flows[self.active[k]].route {
+                    scr.unfixed[l] -= 1;
+                    scr.cap_rem[l] = (scr.cap_rem[l] - fair).max(0.0);
+                }
+            }
+        }
+        self.dirty = false;
+    }
+
+    /// Advance simulated progress of active flows by `dt` at the cached
+    /// rates.
+    fn progress(&mut self, dt: f64) {
+        if dt <= 0.0 {
+            return;
+        }
+        for (k, &id) in self.active.iter().enumerate() {
+            let r = self.rates[k];
+            if r.is_finite() {
+                let f = &mut self.flows[id];
+                f.remaining = (f.remaining - r * dt).max(0.0);
+            } else {
+                self.flows[id].remaining = 0.0;
+            }
+        }
+    }
+
+    /// Process one event (a batch of arrivals or a batch of completions).
+    /// Returns `false` when the simulation is idle.
+    pub fn step(&mut self) -> bool {
+        // Activate any arrivals due "now" first.
+        self.activate_due();
+
+        if self.active.is_empty() {
+            // Jump to the next arrival, if any.
+            match self.pending.peek() {
+                Some(&Reverse((TimeKey(t), _))) => {
+                    self.time = self.time.max(t);
+                    self.activate_due();
+                    return true;
+                }
+                None => return false,
+            }
+        }
+
+        if self.dirty {
+            self.recompute_rates();
+        }
+
+        // Earliest completion among active flows.
+        let mut dt_complete = f64::INFINITY;
+        for (k, &id) in self.active.iter().enumerate() {
+            let f = &self.flows[id];
+            let dt = if self.rates[k].is_infinite() || f.remaining <= BYTE_EPS {
+                0.0
+            } else {
+                f.remaining / self.rates[k]
+            };
+            dt_complete = dt_complete.min(dt);
+        }
+        let t_complete = self.time + dt_complete;
+
+        // Earliest strictly-future arrival.
+        let t_arrival = self
+            .pending
+            .peek()
+            .map(|&Reverse((TimeKey(t), _))| t)
+            .unwrap_or(f64::INFINITY);
+
+        if t_arrival < t_complete - TIME_EPS {
+            self.progress(t_arrival - self.time);
+            self.time = t_arrival;
+            self.activate_due();
+        } else {
+            self.progress(dt_complete);
+            self.time = t_complete;
+            self.retire_done();
+        }
+        true
+    }
+
+    /// Move pending flows whose start time has come into the active set.
+    fn activate_due(&mut self) {
+        let mut changed = false;
+        while let Some(&Reverse((TimeKey(t), id))) = self.pending.peek() {
+            if t <= self.time + TIME_EPS {
+                self.pending.pop();
+                let f = &mut self.flows[id];
+                if f.remaining <= BYTE_EPS || f.route.is_empty() {
+                    self.record(id, TraceKind::Started);
+                    self.complete(id, self.time);
+                } else {
+                    f.status = FlowStatus::Active;
+                    self.active.push(id);
+                    self.record(id, TraceKind::Started);
+                }
+                changed = true;
+            } else {
+                break;
+            }
+        }
+        if changed {
+            self.dirty = true;
+        }
+    }
+
+    /// Retire active flows whose remaining bytes reached zero — or would
+    /// within the completion-slack window at their current rate.
+    fn retire_done(&mut self) {
+        let time = self.time;
+        let mut finished = Vec::new();
+        let mut keep = Vec::with_capacity(self.active.len());
+        let mut keep_rates = Vec::with_capacity(self.rates.len());
+        for (k, &id) in self.active.iter().enumerate() {
+            let rate = self.rates.get(k).copied().unwrap_or(0.0);
+            let threshold = if rate.is_finite() {
+                BYTE_EPS.max(rate * self.slack)
+            } else {
+                f64::INFINITY
+            };
+            if self.flows[id].remaining <= threshold {
+                finished.push(id);
+            } else {
+                keep.push(id);
+                keep_rates.push(rate);
+            }
+        }
+        if !finished.is_empty() {
+            self.active = keep;
+            self.rates = keep_rates;
+            self.dirty = true;
+            for id in finished {
+                self.complete(id, time);
+            }
+        }
+    }
+
+    /// Run until every flow in `ids` has completed; returns the latest of
+    /// their finish times. Other flows keep progressing naturally.
+    ///
+    /// # Panics
+    /// Panics if the simulation goes idle while some of `ids` are still
+    /// incomplete (impossible unless the caller forgot to submit them).
+    pub fn run_until_done(&mut self, ids: &[FlowId]) -> SimTime {
+        while ids
+            .iter()
+            .any(|&id| !matches!(self.flows[id].status, FlowStatus::Done(_)))
+        {
+            assert!(self.step(), "simulator idle with flows outstanding");
+        }
+        ids.iter()
+            .map(|&id| self.finish_time(id).expect("just completed"))
+            .fold(0.0, f64::max)
+    }
+
+    /// Run until no pending or active flows remain; returns the final time.
+    pub fn run_to_idle(&mut self) -> SimTime {
+        while self.step() {}
+        self.time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim(caps: &[f64]) -> Simulator {
+        Simulator::with_capacities(caps.to_vec())
+    }
+
+    #[test]
+    fn single_flow_exact_time() {
+        let mut s = sim(&[100.0]);
+        let f = s.submit(0.0, vec![0], 250.0);
+        assert_eq!(s.run_to_idle(), 2.5);
+        assert_eq!(s.finish_time(f), Some(2.5));
+    }
+
+    #[test]
+    fn two_equal_flows_share() {
+        let mut s = sim(&[100.0]);
+        let a = s.submit(0.0, vec![0], 100.0);
+        let b = s.submit(0.0, vec![0], 100.0);
+        s.run_to_idle();
+        // each at 50 B/s -> 2 s
+        assert!((s.finish_time(a).unwrap() - 2.0).abs() < 1e-9);
+        assert!((s.finish_time(b).unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn staggered_arrival_analytic() {
+        // cap 100. f0 (300 B) starts at 0 alone: 100 B/s.
+        // f1 (100 B) arrives at 1.0: both at 50 B/s.
+        // f0 has 200 left at t=1. f1 finishes at 1 + 100/50 = 3.0,
+        // f0 then has 200 - 100 = 100 left, full rate: 3.0 + 1.0 = 4.0.
+        let mut s = sim(&[100.0]);
+        let f0 = s.submit(0.0, vec![0], 300.0);
+        let f1 = s.submit(1.0, vec![0], 100.0);
+        s.run_to_idle();
+        assert!((s.finish_time(f1).unwrap() - 3.0).abs() < 1e-9);
+        assert!((s.finish_time(f0).unwrap() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bottleneck_chain() {
+        let mut s = sim(&[100.0, 10.0]);
+        let f = s.submit(0.0, vec![0, 1], 100.0);
+        s.run_to_idle();
+        assert!((s.finish_time(f).unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_bytes_completes_at_start() {
+        let mut s = sim(&[10.0]);
+        let f = s.submit(5.0, vec![0], 0.0);
+        s.run_to_idle();
+        assert_eq!(s.finish_time(f), Some(5.0));
+    }
+
+    #[test]
+    fn empty_route_completes_at_start() {
+        let mut s = sim(&[]);
+        let f = s.submit(2.0, vec![], 1e9);
+        s.run_to_idle();
+        assert_eq!(s.finish_time(f), Some(2.0));
+    }
+
+    #[test]
+    fn virtual_link_acts_as_sink() {
+        let mut s = sim(&[100.0, 100.0]);
+        let ost = s.add_virtual_link(10.0);
+        let a = s.submit(0.0, vec![0, ost], 10.0);
+        let b = s.submit(0.0, vec![1, ost], 10.0);
+        s.run_to_idle();
+        // both bottleneck on the sink at 5 B/s -> 2 s
+        assert!((s.finish_time(a).unwrap() - 2.0).abs() < 1e-9);
+        assert!((s.finish_time(b).unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_until_done_leaves_others_running() {
+        let mut s = sim(&[100.0, 100.0]);
+        let quick = s.submit(0.0, vec![0], 100.0);
+        let slow = s.submit(0.0, vec![1], 1000.0);
+        let t = s.run_until_done(&[quick]);
+        assert!((t - 1.0).abs() < 1e-9);
+        assert_eq!(s.status(slow), FlowStatus::Active);
+        // submit a follow-up that contends with `slow`
+        let next = s.submit(t, vec![1], 100.0);
+        s.run_to_idle();
+        assert!(s.finish_time(next).unwrap() > 1.0 + 1.0 - 1e-9);
+        assert!(s.finish_time(slow).unwrap() > 10.0 - 1e-9);
+    }
+
+    #[test]
+    fn submission_in_past_is_clamped() {
+        let mut s = sim(&[10.0]);
+        s.submit(0.0, vec![0], 100.0);
+        s.run_to_idle();
+        let t = s.now();
+        let f = s.submit(0.0, vec![0], 10.0); // "starts in the past"
+        s.run_to_idle();
+        assert!(s.finish_time(f).unwrap() >= t + 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn batch_completions_single_event() {
+        // 64 identical flows through one link all complete at once.
+        let mut s = sim(&[64.0]);
+        let ids: Vec<_> = (0..64).map(|_| s.submit(0.0, vec![0], 10.0)).collect();
+        s.run_to_idle();
+        for id in ids {
+            assert!((s.finish_time(id).unwrap() - 10.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_route_panics() {
+        let mut s = sim(&[10.0]);
+        s.submit(0.0, vec![3], 1.0);
+    }
+
+    #[test]
+    fn dependency_chain_serializes() {
+        let mut s = sim(&[10.0]);
+        let a = s.submit(0.0, vec![0], 100.0); // 10 s
+        let b = s.submit_with_deps(0.0, 0.0, vec![0], 50.0, &[a]); // +5 s
+        let c = s.submit_with_deps(0.0, 0.5, vec![0], 10.0, &[b]); // +0.5 delay +1 s
+        s.run_to_idle();
+        assert!((s.finish_time(a).unwrap() - 10.0).abs() < 1e-9);
+        assert!((s.finish_time(b).unwrap() - 15.0).abs() < 1e-9);
+        assert!((s.finish_time(c).unwrap() - 16.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dependent_overlaps_with_unrelated_flow() {
+        // flush(r-1) on link 1 overlaps with agg(r) on link 0 while
+        // agg(r+1) waits for agg(r): the core pipelining pattern.
+        let mut s = sim(&[10.0, 10.0]);
+        let agg_r = s.submit(0.0, vec![0], 100.0); // 10 s
+        let flush = s.submit_with_deps(0.0, 0.0, vec![1], 50.0, &[agg_r]); // 10..15
+        let agg_r1 = s.submit_with_deps(0.0, 0.0, vec![0], 100.0, &[agg_r]); // 10..20
+        s.run_to_idle();
+        assert!((s.finish_time(flush).unwrap() - 15.0).abs() < 1e-9);
+        assert!((s.finish_time(agg_r1).unwrap() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dep_on_already_done_flow() {
+        let mut s = sim(&[10.0]);
+        let a = s.submit(0.0, vec![0], 10.0);
+        s.run_to_idle(); // a done at t=1
+        let b = s.submit_with_deps(0.0, 0.0, vec![0], 10.0, &[a]);
+        s.run_to_idle();
+        assert!((s.finish_time(b).unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_deps_wait_for_latest() {
+        let mut s = sim(&[10.0, 1.0]);
+        let fast = s.submit(0.0, vec![0], 10.0); // 1 s
+        let slow = s.submit(0.0, vec![1], 10.0); // 10 s
+        let gated = s.submit_with_deps(0.0, 0.0, vec![0], 10.0, &[fast, slow]);
+        s.run_to_idle();
+        assert!((s.finish_time(gated).unwrap() - 11.0).abs() < 1e-9);
+        assert_eq!(s.status(gated), FlowStatus::Done(s.finish_time(gated).unwrap()));
+    }
+
+    #[test]
+    fn start_min_dominates_when_later_than_deps() {
+        let mut s = sim(&[10.0]);
+        let a = s.submit(0.0, vec![0], 10.0); // done at 1
+        let b = s.submit_with_deps(5.0, 0.0, vec![0], 10.0, &[a]);
+        s.run_to_idle();
+        assert!((s.finish_time(b).unwrap() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn waiting_status_reported() {
+        let mut s = sim(&[10.0]);
+        let a = s.submit(0.0, vec![0], 100.0);
+        let b = s.submit_with_deps(0.0, 0.0, vec![0], 1.0, &[a]);
+        assert_eq!(s.status(b), FlowStatus::Waiting);
+    }
+
+    #[test]
+    fn trace_records_lifecycle_in_order() {
+        let mut s = sim(&[10.0]);
+        s.enable_trace();
+        let a = s.submit(0.0, vec![0], 10.0); // 0..1
+        let b = s.submit_with_deps(0.0, 0.0, vec![0], 20.0, &[a]); // 1..3
+        s.run_to_idle();
+        let t = s.trace();
+        assert_eq!(t.len(), 4);
+        assert_eq!((t[0].flow, t[0].kind), (a, TraceKind::Started));
+        assert_eq!((t[1].flow, t[1].kind), (a, TraceKind::Finished));
+        assert_eq!((t[2].flow, t[2].kind), (b, TraceKind::Started));
+        assert_eq!((t[3].flow, t[3].kind), (b, TraceKind::Finished));
+        assert!((t[1].time - 1.0).abs() < 1e-9);
+        assert!((t[3].time - 3.0).abs() < 1e-9);
+        // times are non-decreasing
+        assert!(t.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn link_byte_accounting() {
+        let mut s = sim(&[10.0, 10.0]);
+        s.submit(0.0, vec![0], 100.0);
+        s.submit(0.0, vec![0, 1], 50.0);
+        s.run_to_idle();
+        assert_eq!(s.bytes_carried(0), 150.0);
+        assert_eq!(s.bytes_carried(1), 50.0);
+        assert_eq!(s.hottest_link(), Some((0, 150.0)));
+        // virtual links participate too
+        let v = s.add_virtual_link(5.0);
+        s.submit(s.now(), vec![v], 20.0);
+        s.run_to_idle();
+        assert_eq!(s.bytes_carried(v), 20.0);
+    }
+
+    #[test]
+    fn trace_off_by_default() {
+        let mut s = sim(&[10.0]);
+        s.submit(0.0, vec![0], 10.0);
+        s.run_to_idle();
+        assert!(s.trace().is_empty());
+    }
+
+    mod props {
+        use super::*;
+        use crate::fairshare::{max_min_rates, FlowDemand};
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The engine's allocation-free waterfilling agrees with the
+            /// reference implementation: the first completion happens at
+            /// min(bytes_i / rate_i) under the reference rates.
+            #[test]
+            fn prop_engine_matches_reference_rates(
+                specs in proptest::collection::vec(
+                    (proptest::collection::vec(0usize..5, 1..4), 10.0f64..500.0),
+                    1..10),
+            ) {
+                let caps = [11.0, 23.0, 7.0, 17.0, 29.0];
+                let mut s = Simulator::with_capacities(caps.to_vec());
+                for (route, bytes) in &specs {
+                    s.submit(0.0, route.clone(), *bytes);
+                }
+                let demands: Vec<FlowDemand> = specs
+                    .iter()
+                    .map(|(r, _)| FlowDemand { route: r.clone() })
+                    .collect();
+                let rates = max_min_rates(&demands, |l| caps[l]);
+                let expect_first = specs
+                    .iter()
+                    .zip(&rates)
+                    .map(|((_, b), &r)| b / r)
+                    .fold(f64::INFINITY, f64::min);
+                // run to the first completion
+                while s.step() {
+                    if (0..s.num_flows()).any(|f| s.finish_time(f).is_some()) {
+                        break;
+                    }
+                }
+                let first = (0..s.num_flows())
+                    .filter_map(|f| s.finish_time(f))
+                    .fold(f64::INFINITY, f64::min);
+                prop_assert!((first - expect_first).abs() < 1e-6 * expect_first.max(1.0),
+                    "first completion {first} vs reference {expect_first}");
+            }
+
+            /// Every submitted flow eventually completes, and completion
+            /// time is lower-bounded by bytes / min-link-capacity.
+            #[test]
+            fn prop_all_complete_with_lower_bound(
+                specs in proptest::collection::vec(
+                    (0.0f64..5.0, proptest::collection::vec(0usize..6, 1..4),
+                     1.0f64..1000.0),
+                    1..20),
+            ) {
+                let caps = [7.0, 13.0, 29.0, 31.0, 5.0, 11.0];
+                let mut s = Simulator::with_capacities(caps.to_vec());
+                let ids: Vec<_> = specs
+                    .iter()
+                    .map(|(t, route, bytes)| s.submit(*t, route.clone(), *bytes))
+                    .collect();
+                s.run_to_idle();
+                for (id, (t, route, bytes)) in ids.iter().zip(&specs) {
+                    let ft = s.finish_time(*id);
+                    prop_assert!(ft.is_some(), "flow {id} never completed");
+                    let minc = route.iter().map(|&l| caps[l]).fold(f64::INFINITY, f64::min);
+                    let lb = t + bytes / minc;
+                    prop_assert!(ft.unwrap() >= lb - 1e-6,
+                        "flow {id} finished at {} before lower bound {lb}", ft.unwrap());
+                }
+            }
+
+            /// More bytes on an otherwise identical flow never finishes
+            /// earlier (monotonicity).
+            #[test]
+            fn prop_monotonic_in_bytes(extra in 1.0f64..500.0) {
+                let mut s1 = Simulator::with_capacities(vec![10.0, 20.0]);
+                let a1 = s1.submit(0.0, vec![0, 1], 100.0);
+                s1.submit(0.0, vec![1], 50.0);
+                s1.run_to_idle();
+
+                let mut s2 = Simulator::with_capacities(vec![10.0, 20.0]);
+                let a2 = s2.submit(0.0, vec![0, 1], 100.0 + extra);
+                s2.submit(0.0, vec![1], 50.0);
+                s2.run_to_idle();
+
+                prop_assert!(s2.finish_time(a2).unwrap()
+                    >= s1.finish_time(a1).unwrap() - 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Striped file layout math.
+//!
+//! Lustre distributes a file round-robin across `stripe_count` OSTs in
+//! chunks of `stripe_size` bytes: byte `b` lives in stripe
+//! `b / stripe_size`, on OST `(b / stripe_size) % stripe_count`. The
+//! same arithmetic doubles for the GPFS block-token model (where the
+//! "targets" collapse to one and only the block ids matter).
+
+/// One contiguous piece of a request that lands on a single stripe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripePiece {
+    /// Target index in `0..stripe_count` (the OST for Lustre).
+    pub target: usize,
+    /// Global stripe index within the file (`offset / stripe_size`).
+    pub stripe: u64,
+    /// Byte offset of the piece inside the file.
+    pub offset: u64,
+    /// Piece length in bytes.
+    pub len: u64,
+}
+
+impl StripePiece {
+    /// Whether the piece covers its stripe completely.
+    pub fn is_full_stripe(&self, stripe_size: u64) -> bool {
+        self.offset % stripe_size == 0 && self.len == stripe_size
+    }
+}
+
+/// Pseudo-random OST placement of a stripe.
+///
+/// Lustre allocates each file's objects over a randomized OST list and
+/// real collective rounds desynchronize, so the *statistical* behaviour
+/// is that consecutive stripes land on effectively independent OSTs.
+/// A seeded hash of `(file, stripe)` is the deterministic surrogate;
+/// strict round-robin would phase-lock the simulator's symmetric waves
+/// onto OST subsets no real run stays on.
+pub fn hashed_target(file: usize, stripe: u64, stripe_count: usize) -> usize {
+    let mut x = (file as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ stripe;
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x % stripe_count as u64) as usize
+}
+
+/// Split the extent `[offset, offset + len)` into per-stripe pieces.
+///
+/// Pieces come back in file order; each is contained in exactly one
+/// stripe. Zero-length requests produce no pieces.
+///
+/// # Panics
+/// Panics if `stripe_size == 0` or `stripe_count == 0`.
+pub fn split_striped(offset: u64, len: u64, stripe_size: u64, stripe_count: usize) -> Vec<StripePiece> {
+    assert!(stripe_size > 0, "stripe_size must be positive");
+    assert!(stripe_count > 0, "stripe_count must be positive");
+    let mut pieces = Vec::new();
+    let mut cur = offset;
+    let end = offset + len;
+    while cur < end {
+        let stripe = cur / stripe_size;
+        let stripe_end = (stripe + 1) * stripe_size;
+        let piece_end = stripe_end.min(end);
+        pieces.push(StripePiece {
+            target: (stripe % stripe_count as u64) as usize,
+            stripe,
+            offset: cur,
+            len: piece_end - cur,
+        });
+        cur = piece_end;
+    }
+    pieces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn aligned_single_stripe() {
+        let p = split_striped(0, 8, 8, 4);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0], StripePiece { target: 0, stripe: 0, offset: 0, len: 8 });
+        assert!(p[0].is_full_stripe(8));
+    }
+
+    #[test]
+    fn round_robin_targets() {
+        let p = split_striped(0, 32, 8, 4);
+        let targets: Vec<_> = p.iter().map(|x| x.target).collect();
+        assert_eq!(targets, vec![0, 1, 2, 3]);
+        let p = split_striped(32, 16, 8, 4);
+        let targets: Vec<_> = p.iter().map(|x| x.target).collect();
+        assert_eq!(targets, vec![0, 1]); // wraps around
+    }
+
+    #[test]
+    fn unaligned_split() {
+        let p = split_striped(5, 10, 8, 2);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0], StripePiece { target: 0, stripe: 0, offset: 5, len: 3 });
+        assert_eq!(p[1], StripePiece { target: 1, stripe: 1, offset: 8, len: 7 });
+        assert!(!p[0].is_full_stripe(8));
+    }
+
+    #[test]
+    fn zero_len_is_empty() {
+        assert!(split_striped(100, 0, 8, 2).is_empty());
+    }
+
+    #[test]
+    fn hashed_target_is_deterministic_and_spread() {
+        let a = hashed_target(0, 17, 48);
+        assert_eq!(a, hashed_target(0, 17, 48));
+        assert!(a < 48);
+        // consecutive stripes must not collapse onto a small subset
+        let targets: std::collections::HashSet<usize> =
+            (0..96).map(|s| hashed_target(3, s, 48)).collect();
+        assert!(targets.len() > 30, "only {} distinct OSTs", targets.len());
+        // different files shuffle differently
+        let other: Vec<usize> = (0..16).map(|s| hashed_target(4, s, 48)).collect();
+        let same: Vec<usize> = (0..16).map(|s| hashed_target(3, s, 48)).collect();
+        assert_ne!(other, same);
+    }
+
+    #[test]
+    fn exact_multi_stripe_alignment() {
+        let p = split_striped(16, 16, 8, 4);
+        assert_eq!(p.len(), 2);
+        assert!(p.iter().all(|x| x.is_full_stripe(8)));
+        assert_eq!(p[0].target, 2);
+        assert_eq!(p[1].target, 3);
+    }
+
+    proptest! {
+        /// Pieces tile the request exactly: contiguous, in order, summing
+        /// to `len`, each within one stripe, with correct round-robin
+        /// targets.
+        #[test]
+        fn prop_pieces_tile_request(
+            offset in 0u64..10_000,
+            len in 0u64..10_000,
+            stripe_size in 1u64..512,
+            stripe_count in 1usize..9,
+        ) {
+            let pieces = split_striped(offset, len, stripe_size, stripe_count);
+            let total: u64 = pieces.iter().map(|p| p.len).sum();
+            prop_assert_eq!(total, len);
+            let mut cur = offset;
+            for p in &pieces {
+                prop_assert_eq!(p.offset, cur);
+                prop_assert_eq!(p.stripe, p.offset / stripe_size);
+                prop_assert_eq!(p.target, (p.stripe % stripe_count as u64) as usize);
+                // piece fits in its stripe
+                prop_assert!(p.offset + p.len <= (p.stripe + 1) * stripe_size);
+                prop_assert!(p.len >= 1);
+                cur += p.len;
+            }
+            prop_assert_eq!(cur, offset + len);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! # tapioca-pfs
+//!
+//! Parallel filesystem models for the TAPIOCA reproduction: **GPFS**
+//! behind BG/Q I/O nodes (Mira) and **Lustre** behind LNET service nodes
+//! (Theta).
+//!
+//! The role of this crate is to turn an *I/O-phase flush* — "aggregator
+//! on node `n` writes `len` bytes at `offset` of file `f`" — into
+//! simulator work: which storage service links the bytes traverse, how
+//! many effective bytes they cost (lock/RMW inflation), and what fixed
+//! lock-acquisition delay applies. The models are deliberately explicit
+//! about their penalty constants; each constant is documented with the
+//! paper observation it is calibrated against (see `DESIGN.md`).
+//!
+//! Key reproduced phenomena:
+//!
+//! * **Lustre striping** — a file is striped round-robin over
+//!   `stripe_count` OSTs in `stripe_size` chunks; an unaligned flush
+//!   splits into pieces and concurrent writers *sharing a stripe*
+//!   serialize on its extent lock. This is what makes the paper's
+//!   "aggregation buffer : stripe size" ratio matter (Table I: 1:1 best).
+//! * **Lustre defaults vs tuned** (Fig. 8) — stripe_count 1 / 1 MB
+//!   stripes by default versus 48 OSTs / 8 MB when tuned.
+//! * **GPFS block tokens** (Fig. 7) — under the default exclusive token
+//!   mode every writer of a shared file pays a token-revocation chain
+//!   proportional to the number of concurrent writers; the "optimized"
+//!   runs share file locks.
+//! * **Pset I/O forwarding** (BG/Q) — each Pset of 128 nodes funnels
+//!   through 2 bridge links into one I/O node with an effective GPFS
+//!   service bandwidth; subfiling writes one file per Pset.
+
+pub mod gpfs;
+pub mod layout;
+pub mod lustre;
+pub mod tunables;
+
+pub use gpfs::GpfsModel;
+pub use layout::{split_striped, StripePiece};
+pub use lustre::LustreModel;
+pub use tunables::{GpfsTunables, LockMode, LustreTunables};
+
+use tapioca_topology::NodeId;
+
+/// Direction of an I/O operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessMode {
+    /// Data flows from storage to compute.
+    Read,
+    /// Data flows from compute to storage.
+    Write,
+}
+
+/// Identifier of a file. Subfiling gives each Pset its own id.
+pub type FileId = usize;
+
+/// One flush request issued by an aggregator during an I/O wave.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlushReq {
+    /// Compute node issuing the flush.
+    pub src_node: NodeId,
+    /// Target file.
+    pub file: FileId,
+    /// Byte offset inside the file.
+    pub offset: u64,
+    /// Length in bytes.
+    pub len: u64,
+    /// Read or write.
+    pub mode: AccessMode,
+}
+
+/// One simulator flow planned for a flush (a flush may fan out into
+/// several planned flows when it spans multiple OSTs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedFlow {
+    /// Index of the originating request in the wave slice.
+    pub req_index: usize,
+    /// Compute node the bytes leave from (or arrive at, for reads).
+    pub src_node: NodeId,
+    /// Fabric node where the storage path begins (LNET node on Theta;
+    /// `None` on BG/Q where the path leaves via the Pset bridge links,
+    /// which the topology's `io_route` already describes).
+    pub attach_node: Option<NodeId>,
+    /// Storage-side virtual links (service stations) the flow traverses,
+    /// to be appended to the fabric route.
+    pub storage_route: Vec<usize>,
+    /// Effective bytes charged (payload + lock/RMW inflation).
+    pub bytes: f64,
+    /// Fixed delay before the flow starts (lock acquisition), seconds.
+    pub delay: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flushreq_is_copy() {
+        let r = FlushReq {
+            src_node: 1,
+            file: 0,
+            offset: 0,
+            len: 8,
+            mode: AccessMode::Write,
+        };
+        let r2 = r;
+        assert_eq!(r, r2);
+    }
+}

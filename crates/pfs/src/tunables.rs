@@ -1,0 +1,98 @@
+//! User-tunable filesystem/MPI-IO parameters — the "baseline vs
+//! user-optimized" axis of the paper's Figs. 7 and 8 (Sec. V-B).
+
+use tapioca_topology::MIB;
+
+/// File locking discipline.
+///
+/// The paper's "optimized" runs set environment variables "reducing lock
+/// contention by sharing files locks" on both machines; the defaults use
+/// exclusive byte-range/block tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockMode {
+    /// Default: exclusive tokens; every concurrent writer of a file pays
+    /// a token-revocation chain.
+    Exclusive,
+    /// Tuned: shared file locks; one cheap acquisition per flush.
+    Shared,
+}
+
+/// Lustre tunables (Theta).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LustreTunables {
+    /// Number of OSTs the file is striped over (`lfs setstripe -c`).
+    pub stripe_count: usize,
+    /// Stripe size in bytes (`lfs setstripe -S`).
+    pub stripe_size: u64,
+    /// Locking discipline.
+    pub lock_mode: LockMode,
+}
+
+impl LustreTunables {
+    /// Theta defaults per the paper: 1 OST, 1 MB stripes, exclusive locks.
+    pub fn theta_default() -> Self {
+        Self { stripe_count: 1, stripe_size: MIB, lock_mode: LockMode::Exclusive }
+    }
+
+    /// The paper's tuned configuration for IOR on 512 nodes: 48 OSTs,
+    /// 8 MB stripes, shared locks.
+    pub fn theta_optimized() -> Self {
+        Self { stripe_count: 48, stripe_size: 8 * MIB, lock_mode: LockMode::Shared }
+    }
+
+    /// Tuned configuration of the HACC-IO runs (Figs. 13-14): 48 OSTs,
+    /// 16 MB stripes.
+    pub fn theta_hacc() -> Self {
+        Self { stripe_count: 48, stripe_size: 16 * MIB, lock_mode: LockMode::Shared }
+    }
+}
+
+/// GPFS tunables (Mira).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpfsTunables {
+    /// Write one file per Pset (the paper's recommended subfiling) rather
+    /// than a single shared file.
+    pub subfiling: bool,
+    /// Locking discipline.
+    pub lock_mode: LockMode,
+    /// GPFS block size governing token granularity, bytes (8 MB).
+    pub block_size: u64,
+}
+
+impl GpfsTunables {
+    /// Mira defaults: subfiling as recommended, but exclusive tokens.
+    pub fn mira_default() -> Self {
+        Self { subfiling: true, lock_mode: LockMode::Exclusive, block_size: 8 * MIB }
+    }
+
+    /// The paper's optimized environment: shared file locks.
+    pub fn mira_optimized() -> Self {
+        Self { subfiling: true, lock_mode: LockMode::Shared, block_size: 8 * MIB }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theta_presets_match_paper() {
+        let d = LustreTunables::theta_default();
+        assert_eq!(d.stripe_count, 1);
+        assert_eq!(d.stripe_size, MIB);
+        let o = LustreTunables::theta_optimized();
+        assert_eq!(o.stripe_count, 48);
+        assert_eq!(o.stripe_size, 8 * MIB);
+        assert_eq!(LustreTunables::theta_hacc().stripe_size, 16 * MIB);
+    }
+
+    #[test]
+    fn mira_presets_differ_in_lock_mode_only() {
+        let d = GpfsTunables::mira_default();
+        let o = GpfsTunables::mira_optimized();
+        assert_eq!(d.lock_mode, LockMode::Exclusive);
+        assert_eq!(o.lock_mode, LockMode::Shared);
+        assert_eq!(d.subfiling, o.subfiling);
+        assert_eq!(d.block_size, o.block_size);
+    }
+}

@@ -1,0 +1,191 @@
+//! Mixed-radix coordinate arithmetic shared by the torus and dragonfly
+//! models.
+//!
+//! A [`CoordSpace`] maps a dense node id to a coordinate vector and back,
+//! exactly like the row-major linearization used by the BG/Q control
+//! system for its (A, B, C, D, E) torus coordinates.
+
+/// A mixed-radix coordinate space: dimension `i` has extent `dims[i]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoordSpace {
+    dims: Vec<usize>,
+    /// Row-major strides: `strides[i] = product(dims[i+1..])`.
+    strides: Vec<usize>,
+    total: usize,
+}
+
+impl CoordSpace {
+    /// Build a coordinate space. Every extent must be non-zero.
+    ///
+    /// # Panics
+    /// Panics if `dims` is empty or any extent is zero.
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(!dims.is_empty(), "coordinate space needs >= 1 dimension");
+        assert!(dims.iter().all(|&d| d > 0), "zero-extent dimension");
+        let mut strides = vec![1usize; dims.len()];
+        for i in (0..dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * dims[i + 1];
+        }
+        let total = dims.iter().product();
+        Self { dims: dims.to_vec(), strides, total }
+    }
+
+    /// Extents per dimension.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn ndims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of points (product of extents).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// True when the space is empty (never, by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Convert a dense id to coordinates, writing into `out`.
+    ///
+    /// # Panics
+    /// Panics if `id >= len()` or `out.len() != ndims()`.
+    pub fn id_to_coords(&self, id: usize, out: &mut [usize]) {
+        assert!(id < self.total, "id {id} out of range {}", self.total);
+        assert_eq!(out.len(), self.dims.len());
+        let mut rem = id;
+        for (i, &s) in self.strides.iter().enumerate() {
+            out[i] = rem / s;
+            rem %= s;
+        }
+    }
+
+    /// Convert a dense id to a freshly allocated coordinate vector.
+    pub fn coords_of(&self, id: usize) -> Vec<usize> {
+        let mut v = vec![0; self.dims.len()];
+        self.id_to_coords(id, &mut v);
+        v
+    }
+
+    /// Convert coordinates back to the dense id.
+    ///
+    /// # Panics
+    /// Panics if a coordinate is out of range or the arity mismatches.
+    pub fn coords_to_id(&self, coords: &[usize]) -> usize {
+        assert_eq!(coords.len(), self.dims.len());
+        let mut id = 0;
+        for ((&c, &d), &s) in coords.iter().zip(&self.dims).zip(&self.strides) {
+            assert!(c < d, "coordinate {c} out of extent {d}");
+            id += c * s;
+        }
+        id
+    }
+
+    /// Shortest signed displacement from `a` to `b` on the ring of extent
+    /// `dims[dim]`: positive means travel in the `+` direction.
+    ///
+    /// Ties (exactly half-way around an even ring) resolve to `+`.
+    pub fn ring_delta(&self, dim: usize, a: usize, b: usize) -> isize {
+        let n = self.dims[dim] as isize;
+        let (a, b) = (a as isize, b as isize);
+        let fwd = (b - a).rem_euclid(n); // steps in + direction
+        if fwd <= n - fwd {
+            fwd
+        } else {
+            fwd - n // negative: go the other way
+        }
+    }
+
+    /// Wraparound (torus) distance along one dimension.
+    pub fn ring_distance(&self, dim: usize, a: usize, b: usize) -> usize {
+        self.ring_delta(dim, a, b).unsigned_abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_small() {
+        let cs = CoordSpace::new(&[2, 3, 4]);
+        assert_eq!(cs.len(), 24);
+        for id in 0..cs.len() {
+            let c = cs.coords_of(id);
+            assert_eq!(cs.coords_to_id(&c), id);
+        }
+    }
+
+    #[test]
+    fn row_major_order() {
+        let cs = CoordSpace::new(&[2, 3]);
+        assert_eq!(cs.coords_of(0), vec![0, 0]);
+        assert_eq!(cs.coords_of(1), vec![0, 1]);
+        assert_eq!(cs.coords_of(3), vec![1, 0]);
+        assert_eq!(cs.coords_of(5), vec![1, 2]);
+    }
+
+    #[test]
+    fn ring_distance_wraps() {
+        let cs = CoordSpace::new(&[8]);
+        assert_eq!(cs.ring_distance(0, 0, 7), 1);
+        assert_eq!(cs.ring_distance(0, 1, 5), 4);
+        assert_eq!(cs.ring_distance(0, 0, 4), 4); // half-way on even ring
+        assert_eq!(cs.ring_delta(0, 0, 4), 4); // tie resolves to +
+        assert_eq!(cs.ring_delta(0, 0, 7), -1);
+    }
+
+    #[test]
+    fn single_point_space() {
+        let cs = CoordSpace::new(&[1, 1]);
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs.coords_of(0), vec![0, 0]);
+        assert_eq!(cs.ring_distance(0, 0, 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn id_out_of_range_panics() {
+        let cs = CoordSpace::new(&[2, 2]);
+        cs.coords_of(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of extent")]
+    fn coord_out_of_extent_panics() {
+        let cs = CoordSpace::new(&[2, 2]);
+        cs.coords_to_id(&[0, 2]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(dims in proptest::collection::vec(1usize..6, 1..5),
+                          seed in any::<usize>()) {
+            let cs = CoordSpace::new(&dims);
+            let id = seed % cs.len();
+            let c = cs.coords_of(id);
+            prop_assert_eq!(cs.coords_to_id(&c), id);
+        }
+
+        #[test]
+        fn prop_ring_delta_reaches(n in 1usize..32, a in 0usize..32, b in 0usize..32) {
+            let (a, b) = (a % n, b % n);
+            let cs = CoordSpace::new(&[n]);
+            let d = cs.ring_delta(0, a, b);
+            let reached = ((a as isize + d).rem_euclid(n as isize)) as usize;
+            prop_assert_eq!(reached, b);
+            // never longer than the other way around
+            prop_assert!(d.unsigned_abs() <= n - d.unsigned_abs() || d >= 0);
+            prop_assert!(d.unsigned_abs() <= n / 2 + (n % 2));
+        }
+    }
+}

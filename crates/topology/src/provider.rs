@@ -1,0 +1,352 @@
+//! Rank-level topology interface — the Rust port of the paper's Listing 1.
+//!
+//! The paper abstracts each machine behind a small set of query functions
+//! (`getBandwidth`, `getLatency`, `NetworkDimensions`, `RankToCoordinates`,
+//! `IONodesPerFile`, `DistanceToIONode`, `DistanceBetweenRanks`). The
+//! aggregator placement cost model consumes *only* this interface, which
+//! is what makes TAPIOCA portable across Mira and Theta.
+//!
+//! One machine-specific wrinkle is modelled faithfully: on Theta the
+//! vendor "does not currently provide a way to know how the data is
+//! distributed on LNET nodes", so I/O-node distance/bandwidth queries
+//! return `None` there and the placement cost `C2` degrades to 0 exactly
+//! as in Sec. IV-B of the paper.
+
+use crate::dragonfly::Dragonfly;
+use crate::fattree::FatTree;
+use crate::torus::Torus;
+use crate::{Interconnect, NodeId, Rank};
+
+/// Identifier of an I/O node (GPFS: the Pset index; Lustre: gateway id).
+pub type IoNodeId = usize;
+
+/// Rank-level view of a machine, used by aggregator placement.
+pub trait TopologyProvider: Send + Sync {
+    /// Total number of ranks.
+    fn num_ranks(&self) -> usize;
+
+    /// Ranks co-located per compute node (block mapping: ranks
+    /// `[n*k, (n+1)*k)` live on node `n`).
+    fn ranks_per_node(&self) -> usize;
+
+    /// Compute node hosting `rank`.
+    fn node_of_rank(&self, rank: Rank) -> NodeId {
+        rank / self.ranks_per_node()
+    }
+
+    /// Number of dimensions of the network coordinate space.
+    fn network_dimensions(&self) -> usize;
+
+    /// Network coordinates of the node hosting `rank`.
+    fn rank_to_coordinates(&self, rank: Rank) -> Vec<usize>;
+
+    /// Interconnect per-hop latency `l`, seconds.
+    fn latency(&self) -> f64;
+
+    /// Hop distance `d` between the nodes of two ranks (0 if co-located).
+    fn distance_between_ranks(&self, src: Rank, dst: Rank) -> u32;
+
+    /// Bandwidth `B(src -> dst)` between two ranks, bytes/s.
+    ///
+    /// Co-located ranks communicate at intra-node memory bandwidth.
+    fn bandwidth_between_ranks(&self, src: Rank, dst: Rank) -> f64;
+
+    /// I/O nodes serving a file written by the given group of ranks.
+    ///
+    /// GPFS/Mira: the Pset I/O nodes of the participating nodes (one per
+    /// Pset, subfiling writes one file per Pset). Lustre/Theta: a single
+    /// opaque gateway id whose placement is unknown.
+    fn io_nodes_for(&self, ranks: &[Rank]) -> Vec<IoNodeId>;
+
+    /// Hop distance from `rank` to an I/O node, or `None` when the
+    /// machine cannot locate its I/O nodes (Theta).
+    fn distance_to_io_node(&self, rank: Rank, io: IoNodeId) -> Option<u32>;
+
+    /// Bandwidth from `rank`'s node towards an I/O node, or `None` when
+    /// unknown (Theta). `None` makes the placement cost `C2 = 0`.
+    fn bandwidth_to_io_node(&self, rank: Rank, io: IoNodeId) -> Option<f64>;
+}
+
+/// The interconnect fabrics this crate models.
+#[derive(Debug, Clone)]
+pub enum Fabric {
+    /// N-dimensional torus (BG/Q).
+    Torus(Torus),
+    /// Dragonfly (Cray XC40).
+    Dragonfly(Dragonfly),
+    /// Two-level fat-tree (commodity cluster).
+    FatTree(FatTree),
+}
+
+impl Fabric {
+    /// Borrow the fabric as the graph-level interconnect interface.
+    pub fn interconnect(&self) -> &dyn Interconnect {
+        match self {
+            Fabric::Torus(t) => t,
+            Fabric::Dragonfly(d) => d,
+            Fabric::FatTree(f) => f,
+        }
+    }
+
+    /// Torus view, if this is a torus.
+    pub fn as_torus(&self) -> Option<&Torus> {
+        match self {
+            Fabric::Torus(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Dragonfly view, if this is a dragonfly.
+    pub fn as_dragonfly(&self) -> Option<&Dragonfly> {
+        match self {
+            Fabric::Dragonfly(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Fat-tree view, if this is a fat-tree.
+    pub fn as_fattree(&self) -> Option<&FatTree> {
+        match self {
+            Fabric::FatTree(f) => Some(f),
+            _ => None,
+        }
+    }
+}
+
+/// A machine: an interconnect fabric plus the rank mapping and intra-node
+/// characteristics. Implements [`TopologyProvider`].
+#[derive(Debug, Clone)]
+pub struct Machine {
+    fabric: Fabric,
+    ranks_per_node: usize,
+    intra_node_bw: f64,
+}
+
+impl Machine {
+    /// Assemble a machine.
+    ///
+    /// # Panics
+    /// Panics if `ranks_per_node == 0` or `intra_node_bw <= 0`.
+    pub fn new(fabric: Fabric, ranks_per_node: usize, intra_node_bw: f64) -> Self {
+        assert!(ranks_per_node > 0);
+        assert!(intra_node_bw > 0.0);
+        Self { fabric, ranks_per_node, intra_node_bw }
+    }
+
+    /// The underlying fabric.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Graph-level interconnect interface.
+    pub fn interconnect(&self) -> &dyn Interconnect {
+        self.fabric.interconnect()
+    }
+
+    /// Intra-node memory bandwidth used for co-located ranks, bytes/s.
+    pub fn intra_node_bw(&self) -> f64 {
+        self.intra_node_bw
+    }
+
+    /// Number of compute nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.interconnect().num_nodes()
+    }
+}
+
+impl TopologyProvider for Machine {
+    fn num_ranks(&self) -> usize {
+        self.num_nodes() * self.ranks_per_node
+    }
+
+    fn ranks_per_node(&self) -> usize {
+        self.ranks_per_node
+    }
+
+    fn network_dimensions(&self) -> usize {
+        match &self.fabric {
+            Fabric::Torus(t) => t.space().ndims(),
+            // group / row / col / node-in-router
+            Fabric::Dragonfly(_) => 4,
+            // leaf / node-in-leaf
+            Fabric::FatTree(_) => 2,
+        }
+    }
+
+    fn rank_to_coordinates(&self, rank: Rank) -> Vec<usize> {
+        let node = self.node_of_rank(rank);
+        match &self.fabric {
+            Fabric::Torus(t) => t.space().coords_of(node),
+            Fabric::Dragonfly(d) => {
+                let router = d.router_of(node);
+                let rpg = d.routers_per_group();
+                let local = router % rpg;
+                let cols = d.params().cols;
+                vec![
+                    d.group_of(node),
+                    local / cols,
+                    local % cols,
+                    node % d.params().nodes_per_router,
+                ]
+            }
+            Fabric::FatTree(f) => {
+                vec![f.leaf_of(node), node % f.params().nodes_per_leaf]
+            }
+        }
+    }
+
+    fn latency(&self) -> f64 {
+        self.interconnect().hop_latency()
+    }
+
+    fn distance_between_ranks(&self, src: Rank, dst: Rank) -> u32 {
+        let (a, b) = (self.node_of_rank(src), self.node_of_rank(dst));
+        if a == b {
+            0
+        } else {
+            self.interconnect().hop_distance(a, b)
+        }
+    }
+
+    fn bandwidth_between_ranks(&self, src: Rank, dst: Rank) -> f64 {
+        let (a, b) = (self.node_of_rank(src), self.node_of_rank(dst));
+        if a == b {
+            self.intra_node_bw
+        } else {
+            self.interconnect().path_bandwidth(a, b)
+        }
+    }
+
+    fn io_nodes_for(&self, ranks: &[Rank]) -> Vec<IoNodeId> {
+        match &self.fabric {
+            Fabric::Torus(t) => {
+                let mut psets: Vec<IoNodeId> = ranks
+                    .iter()
+                    .map(|&r| t.pset_of(self.node_of_rank(r)))
+                    .collect();
+                psets.sort_unstable();
+                psets.dedup();
+                psets
+            }
+            // LNET placement is unknown on Theta: one opaque gateway.
+            Fabric::Dragonfly(_) => vec![0],
+            // the cluster's storage servers hang off the spines: one
+            // logical gateway, uniformly distant from every node.
+            Fabric::FatTree(_) => vec![0],
+        }
+    }
+
+    fn distance_to_io_node(&self, rank: Rank, io: IoNodeId) -> Option<u32> {
+        match &self.fabric {
+            Fabric::Torus(t) => {
+                let node = self.node_of_rank(rank);
+                if t.pset_of(node) == io {
+                    Some(t.io_distance(node))
+                } else {
+                    // distance to a foreign Pset's nearest bridge + forward
+                    let d = t
+                        .bridge_nodes(io)
+                        .iter()
+                        .map(|&b| t.hop_distance(node, b))
+                        .min()
+                        .expect("pset has bridge nodes");
+                    Some(d + 1)
+                }
+            }
+            Fabric::Dragonfly(_) => None,
+            // uniform distance: every node reaches storage through a
+            // spine (3 switch hops + the server edge)
+            Fabric::FatTree(_) => Some(4),
+        }
+    }
+
+    fn bandwidth_to_io_node(&self, rank: Rank, io: IoNodeId) -> Option<f64> {
+        match &self.fabric {
+            Fabric::Torus(t) => {
+                let _ = rank;
+                let cfg = t.pset_config().expect("torus without Psets has no I/O");
+                let _ = io;
+                Some(cfg.bridge_link_bw)
+            }
+            Fabric::Dragonfly(_) => None,
+            Fabric::FatTree(f) => Some(f.params().uplink_bw),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::torus::PsetConfig;
+    use crate::{DragonflyParams, GIB};
+
+    fn mira_like() -> Machine {
+        let t = Torus::new(&[4, 4, 4, 4, 2], 1.8 * GIB as f64, 600e-9).with_psets(PsetConfig {
+            nodes_per_pset: 128,
+            bridge_nodes: 2,
+            bridge_link_bw: 1.8 * GIB as f64,
+        });
+        Machine::new(Fabric::Torus(t), 16, 28.0 * GIB as f64)
+    }
+
+    fn theta_like() -> Machine {
+        let d = Dragonfly::new(DragonflyParams {
+            groups: 3,
+            cols: 4,
+            rows: 2,
+            nodes_per_router: 4,
+            injection_bw: 14.0 * GIB as f64,
+            electrical_bw: 14.0 * GIB as f64,
+            optical_bw: 12.5 * GIB as f64,
+            hop_latency: 400e-9,
+        });
+        Machine::new(Fabric::Dragonfly(d), 16, 90.0 * GIB as f64)
+    }
+
+    #[test]
+    fn rank_node_mapping_is_block() {
+        let m = mira_like();
+        assert_eq!(m.num_ranks(), 512 * 16);
+        assert_eq!(m.node_of_rank(0), 0);
+        assert_eq!(m.node_of_rank(15), 0);
+        assert_eq!(m.node_of_rank(16), 1);
+        assert_eq!(m.distance_between_ranks(0, 15), 0);
+        assert_eq!(m.bandwidth_between_ranks(0, 3), 28.0 * GIB as f64);
+    }
+
+    #[test]
+    fn torus_io_queries_are_known() {
+        let m = mira_like();
+        let ranks: Vec<usize> = (0..m.num_ranks()).collect();
+        let ions = m.io_nodes_for(&ranks);
+        assert_eq!(ions, vec![0, 1, 2, 3]);
+        assert!(m.distance_to_io_node(0, 0).is_some());
+        assert!(m.bandwidth_to_io_node(0, 0).is_some());
+        // ranks on the bridge node are 1 hop from the ION
+        assert_eq!(m.distance_to_io_node(0, 0), Some(1));
+    }
+
+    #[test]
+    fn dragonfly_io_queries_are_unknown() {
+        let m = theta_like();
+        let ions = m.io_nodes_for(&[0, 1, 2]);
+        assert_eq!(ions, vec![0]);
+        assert_eq!(m.distance_to_io_node(0, 0), None);
+        assert_eq!(m.bandwidth_to_io_node(0, 0), None);
+    }
+
+    #[test]
+    fn coordinates_have_declared_dimensions() {
+        let m = mira_like();
+        assert_eq!(m.rank_to_coordinates(17).len(), m.network_dimensions());
+        let t = theta_like();
+        assert_eq!(t.rank_to_coordinates(100).len(), t.network_dimensions());
+    }
+
+    #[test]
+    fn cross_node_distance_positive() {
+        let m = theta_like();
+        assert!(m.distance_between_ranks(0, m.num_ranks() - 1) >= 2);
+        assert!(m.bandwidth_between_ranks(0, m.num_ranks() - 1) > 0.0);
+    }
+}

@@ -1,0 +1,236 @@
+//! Block-decomposed multidimensional arrays — the "meshes, 2D and 3D
+//! arrays" data layouts the paper's future work names (Sec. VI).
+//!
+//! A global row-major array is split over a process grid; each rank owns
+//! a block. In the file (laid out like the global array), a rank's block
+//! is a set of **strided contiguous runs** — one per row (2D) or per
+//! (plane, row) pair (3D). Declared to TAPIOCA, these runs become many
+//! small `WriteDecl`s that the scheduler interleaves across ranks into
+//! dense, full buffers; issued as naive per-rank I/O they fragment
+//! badly. This is the classic checkpoint pattern of stencil codes.
+
+use tapioca::schedule::WriteDecl;
+
+/// A block decomposition of an N-dimensional row-major array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridDecomp {
+    /// Global extent per dimension, slowest-varying first.
+    pub global: Vec<u64>,
+    /// Process grid extent per dimension (same arity as `global`).
+    pub procs: Vec<usize>,
+    /// Bytes per element.
+    pub elem_size: u64,
+}
+
+impl GridDecomp {
+    /// Build a decomposition.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch, zero extents, or a process grid larger
+    /// than the array in any dimension.
+    pub fn new(global: Vec<u64>, procs: Vec<usize>, elem_size: u64) -> Self {
+        assert_eq!(global.len(), procs.len(), "arity mismatch");
+        assert!(!global.is_empty(), "need at least one dimension");
+        assert!(elem_size > 0);
+        for (&g, &p) in global.iter().zip(&procs) {
+            assert!(g > 0 && p > 0, "zero extent");
+            assert!(p as u64 <= g, "more processes than cells in a dimension");
+        }
+        Self { global, procs, elem_size }
+    }
+
+    /// Convenience: 2D `ny x nx` cells over `py x px` processes.
+    pub fn new_2d(ny: u64, nx: u64, py: usize, px: usize, elem_size: u64) -> Self {
+        Self::new(vec![ny, nx], vec![py, px], elem_size)
+    }
+
+    /// Convenience: 3D `nz x ny x nx` over `pz x py x px`.
+    pub fn new_3d(
+        nz: u64,
+        ny: u64,
+        nx: u64,
+        pz: usize,
+        py: usize,
+        px: usize,
+        elem_size: u64,
+    ) -> Self {
+        Self::new(vec![nz, ny, nx], vec![pz, py, px], elem_size)
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.procs.iter().product()
+    }
+
+    /// Total file size, bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.global.iter().product::<u64>() * self.elem_size
+    }
+
+    /// Block bounds `[start, end)` of process index `i` along dimension
+    /// `d` (balanced split, remainder spread over the first blocks).
+    fn bounds(&self, d: usize, i: usize) -> (u64, u64) {
+        let g = self.global[d];
+        let p = self.procs[d] as u64;
+        let i = i as u64;
+        ((g * i) / p, (g * (i + 1)) / p)
+    }
+
+    /// Process grid coordinates of a rank (row-major over `procs`).
+    pub fn rank_coords(&self, rank: usize) -> Vec<usize> {
+        assert!(rank < self.num_ranks());
+        let mut rem = rank;
+        let mut out = vec![0; self.procs.len()];
+        for d in (0..self.procs.len()).rev() {
+            out[d] = rem % self.procs[d];
+            rem /= self.procs[d];
+        }
+        out
+    }
+
+    /// The declared writes of one rank: one per contiguous run of its
+    /// block in the row-major global file.
+    pub fn decls_of_rank(&self, rank: usize) -> Vec<WriteDecl> {
+        let nd = self.global.len();
+        let coords = self.rank_coords(rank);
+        let bounds: Vec<(u64, u64)> = (0..nd).map(|d| self.bounds(d, coords[d])).collect();
+        // Runs are contiguous along the last dimension; iterate over the
+        // cartesian product of the leading dimensions' index ranges.
+        let run_len = (bounds[nd - 1].1 - bounds[nd - 1].0) * self.elem_size;
+        // strides (in elements) of each dimension in the global array
+        let mut stride = vec![1u64; nd];
+        for d in (0..nd - 1).rev() {
+            stride[d] = stride[d + 1] * self.global[d + 1];
+        }
+        let mut decls = Vec::new();
+        let mut idx: Vec<u64> = bounds[..nd - 1].iter().map(|b| b.0).collect();
+        'outer: loop {
+            let mut elem_off = bounds[nd - 1].0;
+            for d in 0..nd - 1 {
+                elem_off += idx[d] * stride[d];
+            }
+            decls.push(WriteDecl { offset: elem_off * self.elem_size, len: run_len });
+            // increment the multi-index (last leading dimension fastest)
+            for d in (0..nd - 1).rev() {
+                idx[d] += 1;
+                if idx[d] < bounds[d].1 {
+                    continue 'outer;
+                }
+                idx[d] = bounds[d].0;
+            }
+            break;
+        }
+        decls
+    }
+
+    /// Declarations of every rank.
+    pub fn decls(&self) -> Vec<Vec<WriteDecl>> {
+        (0..self.num_ranks()).map(|r| self.decls_of_rank(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn one_d_is_contiguous_blocks() {
+        let g = GridDecomp::new(vec![100], vec![4], 8);
+        for r in 0..4 {
+            let d = g.decls_of_rank(r);
+            assert_eq!(d.len(), 1);
+            assert_eq!(d[0].len, 25 * 8);
+            assert_eq!(d[0].offset, r as u64 * 25 * 8);
+        }
+    }
+
+    #[test]
+    fn two_d_runs_per_row() {
+        // 4x6 cells over 2x2 procs: each block is 2 rows x 3 cols
+        let g = GridDecomp::new_2d(4, 6, 2, 2, 1);
+        let d = g.decls_of_rank(0); // block rows 0..2, cols 0..3
+        assert_eq!(d, vec![
+            WriteDecl { offset: 0, len: 3 },
+            WriteDecl { offset: 6, len: 3 },
+        ]);
+        let d3 = g.decls_of_rank(3); // rows 2..4, cols 3..6
+        assert_eq!(d3, vec![
+            WriteDecl { offset: 2 * 6 + 3, len: 3 },
+            WriteDecl { offset: 3 * 6 + 3, len: 3 },
+        ]);
+    }
+
+    #[test]
+    fn three_d_runs_per_plane_row() {
+        let g = GridDecomp::new_3d(2, 2, 4, 1, 2, 2, 2);
+        // rank 0: z 0..2, y 0..1, x 0..2 -> 2 planes x 1 row = 2 runs of 2 elems
+        let d = g.decls_of_rank(0);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0], WriteDecl { offset: 0, len: 4 });
+        // plane z=1 starts at ny*nx = 8 elements = 16 bytes
+        assert_eq!(d[1], WriteDecl { offset: 16, len: 4 });
+    }
+
+    #[test]
+    fn uneven_split_spreads_remainder() {
+        let g = GridDecomp::new(vec![10], vec![3], 1);
+        let sizes: Vec<u64> = (0..3).map(|r| g.decls_of_rank(r)[0].len).collect();
+        assert_eq!(sizes.iter().sum::<u64>(), 10);
+        assert!(sizes.iter().all(|&s| s == 3 || s == 4));
+    }
+
+    #[test]
+    fn rank_coords_roundtrip() {
+        let g = GridDecomp::new_3d(8, 8, 8, 2, 3, 2, 4);
+        assert_eq!(g.num_ranks(), 12);
+        assert_eq!(g.rank_coords(0), vec![0, 0, 0]);
+        assert_eq!(g.rank_coords(1), vec![0, 0, 1]);
+        assert_eq!(g.rank_coords(2), vec![0, 1, 0]);
+        assert_eq!(g.rank_coords(11), vec![1, 2, 1]);
+    }
+
+    proptest! {
+        /// Every byte of the global array is declared exactly once.
+        #[test]
+        fn prop_blocks_tile_the_file(
+            gy in 1u64..12, gx in 1u64..12,
+            py in 1usize..4, px in 1usize..4,
+            elem in 1u64..9,
+        ) {
+            prop_assume!(py as u64 <= gy && px as u64 <= gx);
+            let g = GridDecomp::new_2d(gy, gx, py, px, elem);
+            let total = g.total_bytes();
+            let mut covered = vec![0u8; total as usize];
+            for r in 0..g.num_ranks() {
+                for d in g.decls_of_rank(r) {
+                    for b in d.offset..d.offset + d.len {
+                        covered[b as usize] += 1;
+                    }
+                }
+            }
+            prop_assert!(covered.iter().all(|&c| c == 1),
+                "every byte declared exactly once");
+        }
+
+        /// 3D blocks tile as well (coarser sampling).
+        #[test]
+        fn prop_3d_blocks_tile(
+            gz in 1u64..5, gy in 1u64..5, gx in 1u64..5,
+            pz in 1usize..3, py in 1usize..3, px in 1usize..3,
+        ) {
+            prop_assume!(pz as u64 <= gz && py as u64 <= gy && px as u64 <= gx);
+            let g = GridDecomp::new_3d(gz, gy, gx, pz, py, px, 2);
+            let total = g.total_bytes();
+            let mut covered = vec![0u8; total as usize];
+            for r in 0..g.num_ranks() {
+                for d in g.decls_of_rank(r) {
+                    for b in d.offset..d.offset + d.len {
+                        covered[b as usize] += 1;
+                    }
+                }
+            }
+            prop_assert!(covered.iter().all(|&c| c == 1));
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! HACC-IO: the I/O kernel of the Hardware Accelerated Cosmology Code
+//! (paper Sec. V-D).
+//!
+//! Every rank owns `n` particles; each particle carries nine variables —
+//! `XX, YY, ZZ, VX, VY, VZ` and `phi` (float32), `pid` (int64), `mask`
+//! (uint16) — 38 bytes total. "A useful base value of 25,000 particles
+//! requires approximately 1 MB."
+//!
+//! Two file layouts are benchmarked, matching HACC's GenericIO rank
+//! blocks:
+//!
+//! * **AoS** — rank `r`'s block holds its particles as consecutive
+//!   38-byte records: one contiguous declared write per rank;
+//! * **SoA** — rank `r`'s block is subdivided by variable
+//!   (`XX[0..n] YY[0..n] ... mask[0..n]`): nine declared writes per
+//!   rank. Issued through plain collective MPI-IO this becomes nine
+//!   independent collective calls, each flushing partially-filled
+//!   aggregation buffers — the inefficiency TAPIOCA's `Init` declaration
+//!   eliminates (paper Fig. 2).
+
+use tapioca::schedule::WriteDecl;
+
+/// Number of particle variables.
+pub const VAR_COUNT: usize = 9;
+
+/// Byte width of each variable, in declaration order
+/// (`XX, YY, ZZ, VX, VY, VZ, phi, pid, mask`).
+pub const VAR_SIZES: [u64; VAR_COUNT] = [4, 4, 4, 4, 4, 4, 4, 8, 2];
+
+/// Bytes per particle (38, as in the paper).
+pub const PARTICLE_BYTES: u64 = 38;
+
+/// Variable names, for harness output.
+pub const VAR_NAMES: [&str; VAR_COUNT] =
+    ["XX", "YY", "ZZ", "VX", "VY", "VZ", "phi", "pid", "mask"];
+
+/// Data layout of the particle file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layout {
+    /// Array of structures: consecutive 38-byte records per rank.
+    ArrayOfStructs,
+    /// Structure of arrays: per-rank block subdivided by variable.
+    StructOfArrays,
+}
+
+/// A HACC-IO workload: uniform particles per rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HaccIo {
+    /// Participating ranks.
+    pub num_ranks: usize,
+    /// Particles per rank.
+    pub particles_per_rank: u64,
+    /// File layout.
+    pub layout: Layout,
+}
+
+impl HaccIo {
+    /// Bytes written by each rank.
+    pub fn bytes_per_rank(&self) -> u64 {
+        self.particles_per_rank * PARTICLE_BYTES
+    }
+
+    /// Total file size.
+    pub fn total_bytes(&self) -> u64 {
+        self.num_ranks as u64 * self.bytes_per_rank()
+    }
+
+    /// Particles-per-rank for a target per-rank byte count (the paper
+    /// sweeps 5K-100K particles, i.e. ~0.2-3.8 MB).
+    pub fn particles_for_bytes(bytes: u64) -> u64 {
+        bytes / PARTICLE_BYTES
+    }
+
+    /// Prefix offsets of each variable inside a rank's SoA block.
+    fn var_offsets(&self) -> [u64; VAR_COUNT] {
+        let n = self.particles_per_rank;
+        let mut out = [0u64; VAR_COUNT];
+        let mut acc = 0;
+        for (v, s) in VAR_SIZES.iter().enumerate() {
+            out[v] = acc;
+            acc += n * s;
+        }
+        out
+    }
+
+    /// Declared writes per rank (one for AoS, nine for SoA).
+    pub fn decls(&self) -> Vec<Vec<WriteDecl>> {
+        (0..self.num_ranks as u64).map(|r| self.decls_of_rank(r)).collect()
+    }
+
+    /// Declared writes of a single rank.
+    pub fn decls_of_rank(&self, rank: u64) -> Vec<WriteDecl> {
+        let block = self.bytes_per_rank();
+        let base = rank * block;
+        match self.layout {
+            Layout::ArrayOfStructs => vec![WriteDecl { offset: base, len: block }],
+            Layout::StructOfArrays => {
+                let offs = self.var_offsets();
+                (0..VAR_COUNT)
+                    .map(|v| WriteDecl {
+                        offset: base + offs[v],
+                        len: self.particles_per_rank * VAR_SIZES[v],
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Declarations for a contiguous rank subrange, re-based to a
+    /// subfile starting at 0 (Mira subfiling: one file per Pset).
+    pub fn decls_for_ranks(&self, first: usize, count: usize) -> Vec<Vec<WriteDecl>> {
+        assert!(first + count <= self.num_ranks);
+        let sub = HaccIo { num_ranks: count, ..*self };
+        sub.decls()
+    }
+
+    /// Imbalanced particle counts: rank `r` owns
+    /// `mean * (1 + spread * u(r))` particles with `u(r)` deterministic
+    /// in [-1, 1]. Real HACC domains are never perfectly balanced; the
+    /// declared weights `omega(i, A)` are how TAPIOCA's cost model sees
+    /// the imbalance.
+    pub fn imbalanced_counts(num_ranks: usize, mean: u64, spread: f64, seed: u64) -> Vec<u64> {
+        assert!((0.0..1.0).contains(&spread), "spread must be in [0, 1)");
+        (0..num_ranks as u64)
+            .map(|r| {
+                let mut x = seed ^ r.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                x ^= x >> 30;
+                x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                x ^= x >> 27;
+                let u = (x % 2001) as f64 / 1000.0 - 1.0; // [-1, 1]
+                ((mean as f64) * (1.0 + spread * u)).max(1.0) as u64
+            })
+            .collect()
+    }
+
+    /// Declarations for explicit per-rank particle counts (rank blocks
+    /// packed back to back, same layouts as the uniform case).
+    pub fn decls_with_counts(counts: &[u64], layout: Layout) -> Vec<Vec<WriteDecl>> {
+        let mut base = 0u64;
+        counts
+            .iter()
+            .map(|&n| {
+                let w = HaccIo { num_ranks: 1, particles_per_rank: n, layout };
+                let decls: Vec<WriteDecl> = w
+                    .decls_of_rank(0)
+                    .into_iter()
+                    .map(|d| WriteDecl { offset: base + d.offset, len: d.len })
+                    .collect();
+                base += n * PARTICLE_BYTES;
+                decls
+            })
+            .collect()
+    }
+
+    /// Deterministic payload for (rank, var): byte `i` of the buffer.
+    ///
+    /// The pattern folds rank, variable and position so layout bugs
+    /// (swapped vars, shifted offsets) change the bytes.
+    pub fn payload(&self, rank: u64, var: usize) -> Vec<u8> {
+        let len = match self.layout {
+            Layout::ArrayOfStructs => {
+                assert_eq!(var, 0, "AoS has a single declared var");
+                self.bytes_per_rank()
+            }
+            Layout::StructOfArrays => self.particles_per_rank * VAR_SIZES[var],
+        };
+        (0..len)
+            .map(|i| (rank.wrapping_mul(131) ^ (var as u64).wrapping_mul(17) ^ i) as u8)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn particle_is_38_bytes() {
+        assert_eq!(VAR_SIZES.iter().sum::<u64>(), PARTICLE_BYTES);
+        // 25,000 particles ~ 1 MB (paper: "approximately")
+        let b = 25_000 * PARTICLE_BYTES;
+        assert!(b > 900_000 && b < 1_000_000);
+    }
+
+    #[test]
+    fn aos_is_one_contiguous_decl_per_rank() {
+        let w = HaccIo { num_ranks: 4, particles_per_rank: 100, layout: Layout::ArrayOfStructs };
+        let d = w.decls();
+        for (r, rd) in d.iter().enumerate() {
+            assert_eq!(rd.len(), 1);
+            assert_eq!(rd[0].offset, r as u64 * 3800);
+            assert_eq!(rd[0].len, 3800);
+        }
+        assert_eq!(w.total_bytes(), 15200);
+    }
+
+    #[test]
+    fn soa_decls_tile_each_rank_block() {
+        let w = HaccIo { num_ranks: 3, particles_per_rank: 10, layout: Layout::StructOfArrays };
+        for r in 0..3u64 {
+            let d = w.decls_of_rank(r);
+            assert_eq!(d.len(), 9);
+            let base = r * 380;
+            assert_eq!(d[0].offset, base);
+            let mut cur = base;
+            for (v, decl) in d.iter().enumerate() {
+                assert_eq!(decl.offset, cur, "var {v} must follow var {}", v.max(1) - 1);
+                assert_eq!(decl.len, 10 * VAR_SIZES[v]);
+                cur += decl.len;
+            }
+            assert_eq!(cur, base + 380);
+        }
+    }
+
+    #[test]
+    fn payload_lengths_match_decls() {
+        let w = HaccIo { num_ranks: 2, particles_per_rank: 7, layout: Layout::StructOfArrays };
+        for r in 0..2u64 {
+            for (v, d) in w.decls_of_rank(r).iter().enumerate() {
+                assert_eq!(w.payload(r, v).len() as u64, d.len);
+            }
+        }
+        let a = HaccIo { layout: Layout::ArrayOfStructs, ..w };
+        assert_eq!(a.payload(1, 0).len() as u64, a.bytes_per_rank());
+    }
+
+    #[test]
+    fn payloads_differ_across_ranks_and_vars() {
+        let w = HaccIo { num_ranks: 2, particles_per_rank: 50, layout: Layout::StructOfArrays };
+        assert_ne!(w.payload(0, 0), w.payload(1, 0));
+        assert_ne!(w.payload(0, 0), w.payload(0, 1));
+    }
+
+    #[test]
+    fn subrange_decls_are_rebased() {
+        let w = HaccIo { num_ranks: 8, particles_per_rank: 10, layout: Layout::ArrayOfStructs };
+        let d = w.decls_for_ranks(4, 2);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0][0].offset, 0);
+        assert_eq!(d[1][0].offset, 380);
+    }
+
+    #[test]
+    fn imbalanced_counts_are_bounded_and_deterministic() {
+        let a = HaccIo::imbalanced_counts(64, 1000, 0.3, 7);
+        let b = HaccIo::imbalanced_counts(64, 1000, 0.3, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&c| (700..=1300).contains(&c)));
+        let c = HaccIo::imbalanced_counts(64, 1000, 0.3, 8);
+        assert_ne!(a, c, "different seeds differ");
+        // zero spread collapses to the mean
+        assert!(HaccIo::imbalanced_counts(16, 500, 0.0, 1).iter().all(|&c| c == 500));
+    }
+
+    #[test]
+    fn imbalanced_decls_pack_contiguously() {
+        let counts = vec![10u64, 3, 7];
+        let decls = HaccIo::decls_with_counts(&counts, Layout::ArrayOfStructs);
+        assert_eq!(decls[0][0], WriteDecl { offset: 0, len: 380 });
+        assert_eq!(decls[1][0], WriteDecl { offset: 380, len: 114 });
+        assert_eq!(decls[2][0], WriteDecl { offset: 494, len: 266 });
+        // SoA variant still tiles each block
+        let soa = HaccIo::decls_with_counts(&counts, Layout::StructOfArrays);
+        let total: u64 = soa.iter().flatten().map(|d| d.len).sum();
+        assert_eq!(total, 20 * PARTICLE_BYTES);
+    }
+
+    #[test]
+    fn particles_for_one_mib() {
+        let p = HaccIo::particles_for_bytes(1024 * 1024);
+        assert_eq!(p, 27594);
+    }
+}

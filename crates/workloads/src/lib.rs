@@ -1,0 +1,23 @@
+//! # tapioca-workloads
+//!
+//! Workload generators for the TAPIOCA reproduction:
+//!
+//! * [`ior`] — the IOR-style microbenchmark of the paper's Sec. V-B/V-C:
+//!   every rank writes/reads one contiguous block per collective call;
+//! * [`hacc`] — the HACC-IO kernel of Sec. V-D: 9 particle variables
+//!   (position, velocity, `phi`, `pid`, `mask`; 38 bytes per particle)
+//!   in array-of-structures (AoS) or structure-of-arrays (SoA) layout;
+//! * [`grid`] — block-decomposed 2D/3D arrays (stencil-code
+//!   checkpoints; the "meshes, 2D and 3D arrays" of the paper's future
+//!   work);
+//! * [`datagen`] — deterministic seeded payload generation plus
+//!   verification helpers used by the integration tests.
+
+pub mod datagen;
+pub mod grid;
+pub mod hacc;
+pub mod ior;
+
+pub use grid::GridDecomp;
+pub use hacc::{HaccIo, Layout, PARTICLE_BYTES, VAR_COUNT, VAR_SIZES};
+pub use ior::IorSpec;

@@ -1,0 +1,94 @@
+//! HACC-IO: the paper's cosmology I/O kernel, run end-to-end on the
+//! thread runtime in both layouts, against both TAPIOCA and the
+//! ROMIO-like baseline.
+//!
+//! Run with: `cargo run --example hacc_io`
+//!
+//! Every rank owns a set of particles (9 variables, 38 bytes each).
+//! * **AoS**: one contiguous block per rank — one declared write.
+//! * **SoA**: nine variable segments per rank — nine declared writes,
+//!   which TAPIOCA aggregates into *one* schedule while plain collective
+//!   I/O issues nine independent calls (the paper's Fig. 2 contrast).
+//!
+//! Every byte of both output files is verified.
+
+use tapioca::api::Tapioca;
+use tapioca::config::TapiocaConfig;
+use tapioca_baseline::romio::{collective_write, MpiIoConfig};
+use tapioca_mpi::{Runtime, SharedFile};
+use tapioca_workloads::hacc::{HaccIo, Layout, PARTICLE_BYTES};
+
+const RANKS: usize = 16;
+const PARTICLES: u64 = 2_000;
+
+fn verify(path: &std::path::Path, w: &HaccIo) {
+    let bytes = std::fs::read(path).expect("read output");
+    assert_eq!(bytes.len() as u64, w.total_bytes());
+    for r in 0..w.num_ranks as u64 {
+        for (v, d) in w.decls_of_rank(r).iter().enumerate() {
+            let got = &bytes[d.offset as usize..(d.offset + d.len) as usize];
+            assert_eq!(got, w.payload(r, v), "rank {r} var {v} corrupted");
+        }
+    }
+}
+
+fn run_tapioca(w: &HaccIo, path: &std::path::Path) {
+    let cfg = TapiocaConfig {
+        num_aggregators: 4,
+        buffer_size: 64 * 1024,
+        ..Default::default()
+    };
+    let w = *w;
+    Runtime::run(w.num_ranks, move |comm| {
+        let file = SharedFile::open_shared(&comm, path);
+        let rank = comm.rank() as u64;
+        let decls = w.decls_of_rank(rank);
+        let mut io = Tapioca::init(&comm, file, decls.clone(), cfg.clone());
+        for (v, d) in decls.iter().enumerate() {
+            io.write(d.offset, &w.payload(rank, v));
+        }
+        io.finalize();
+    });
+}
+
+fn run_baseline(w: &HaccIo, path: &std::path::Path) {
+    let cfg = MpiIoConfig { cb_aggregators: 4, cb_buffer_size: 64 * 1024 };
+    let w = *w;
+    Runtime::run(w.num_ranks, move |comm| {
+        let file = SharedFile::open_shared(&comm, path);
+        let rank = comm.rank() as u64;
+        // plain MPI I/O: one collective call per declared variable
+        for (v, d) in w.decls_of_rank(rank).iter().enumerate() {
+            collective_write(&comm, &file, d.offset, &w.payload(rank, v), &cfg);
+        }
+    });
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join("tapioca-hacc-example");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let pid = std::process::id();
+
+    for layout in [Layout::ArrayOfStructs, Layout::StructOfArrays] {
+        let w = HaccIo { num_ranks: RANKS, particles_per_rank: PARTICLES, layout };
+        let vars = w.decls_of_rank(0).len();
+        println!(
+            "HACC-IO {layout:?}: {RANKS} ranks x {PARTICLES} particles ({} bytes/rank, {vars} declared writes/rank)",
+            PARTICLES * PARTICLE_BYTES
+        );
+
+        let p1 = dir.join(format!("tapioca-{layout:?}-{pid}.dat"));
+        run_tapioca(&w, &p1);
+        verify(&p1, &w);
+        println!("  TAPIOCA output verified byte-for-byte");
+
+        let p2 = dir.join(format!("mpiio-{layout:?}-{pid}.dat"));
+        run_baseline(&w, &p2);
+        verify(&p2, &w);
+        println!("  baseline collective I/O output verified byte-for-byte");
+
+        std::fs::remove_file(&p1).ok();
+        std::fs::remove_file(&p2).ok();
+    }
+    println!("both layouts, both libraries: identical files, different data paths.");
+}

@@ -1,0 +1,85 @@
+//! Mesh checkpoint: a 2D stencil code's block-decomposed array written
+//! through TAPIOCA — the "meshes, 2D and 3D arrays" layout of the
+//! paper's future work, exercised end to end.
+//!
+//! Run with: `cargo run --example mesh_checkpoint`
+//!
+//! A 96x96 grid of f64 cells is decomposed over a 4x3 process grid.
+//! Each rank's block is a set of strided row-runs in the row-major file;
+//! TAPIOCA's declared schedule interleaves all ranks' runs into dense
+//! buffers (the schedule statistics printed below show 100% fill), and
+//! the output is verified cell by cell.
+
+use tapioca::api::Tapioca;
+use tapioca::config::TapiocaConfig;
+use tapioca::stats::schedule_stats;
+use tapioca_mpi::{Runtime, SharedFile};
+use tapioca_workloads::grid::GridDecomp;
+
+/// Cell value at (row, col): a recognisable function of the coordinates.
+fn cell(row: u64, col: u64) -> f64 {
+    (row * 1000 + col) as f64 * 0.5
+}
+
+fn main() {
+    let grid = GridDecomp::new_2d(96, 96, 4, 3, 8);
+    let nranks = grid.num_ranks();
+    println!(
+        "checkpointing a 96x96 f64 grid over a 4x3 process grid ({} runs/rank)...",
+        grid.decls_of_rank(0).len()
+    );
+
+    let dir = std::env::temp_dir().join("tapioca-mesh");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join(format!("mesh-{}.dat", std::process::id()));
+
+    let g = grid.clone();
+    let p = path.clone();
+    let stats = Runtime::run(nranks, move |comm| {
+        let file = SharedFile::open_shared(&comm, &p);
+        let rank = comm.rank();
+        let decls = g.decls_of_rank(rank);
+        let mut io = Tapioca::init(&comm, file, decls.clone(), TapiocaConfig {
+            num_aggregators: 4,
+            buffer_size: 4096,
+            ..Default::default()
+        });
+        let st = schedule_stats(io.schedule());
+        // fill each run with its cells' values
+        let ncols = 96u64;
+        for d in &decls {
+            let first_cell = d.offset / 8;
+            let (row, col0) = (first_cell / ncols, first_cell % ncols);
+            let mut bytes = Vec::with_capacity(d.len as usize);
+            for c in 0..d.len / 8 {
+                bytes.extend_from_slice(&cell(row, col0 + c).to_le_bytes());
+            }
+            io.write(d.offset, &bytes);
+        }
+        io.finalize();
+        st
+    });
+
+    // every rank computed the same schedule; report its statistics
+    let st = &stats[0];
+    println!(
+        "schedule: {} partitions, {} rounds, mean buffer fill {:.0}%, load imbalance {:.2}",
+        st.active_partitions,
+        st.total_rounds,
+        st.mean_fill * 100.0,
+        st.load_imbalance
+    );
+
+    // verify the whole grid
+    let bytes = std::fs::read(&path).expect("read checkpoint");
+    assert_eq!(bytes.len() as u64, grid.total_bytes());
+    for row in 0..96u64 {
+        for col in 0..96u64 {
+            let off = ((row * 96 + col) * 8) as usize;
+            let v = f64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+            assert_eq!(v, cell(row, col), "cell ({row},{col}) corrupted");
+        }
+    }
+    println!("all 9,216 cells verified.");
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,235 @@
+//! Cross-crate integration: end-to-end byte correctness of the TAPIOCA
+//! pipeline on the thread runtime, across configurations and workloads.
+
+use tapioca::api::Tapioca;
+use tapioca::config::TapiocaConfig;
+use tapioca::placement::PlacementStrategy;
+use tapioca::schedule::WriteDecl;
+use tapioca_mpi::{Runtime, SharedFile};
+use tapioca_workloads::datagen::{expected_range, verify_slice};
+use tapioca_workloads::hacc::{HaccIo, Layout};
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("tapioca-integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}-{}", std::process::id()))
+}
+
+/// Write a dense file (rank r owns [r*per, (r+1)*per)) with seeded data
+/// and verify every byte, for one configuration.
+fn roundtrip_dense(name: &str, ranks: usize, per: u64, aggr: usize, buf: u64, pipelining: bool) {
+    let path = tmp(name);
+    let seed = 0xC0FFEE ^ per ^ aggr as u64;
+    Runtime::run(ranks, |comm| {
+        let file = SharedFile::open_shared(&comm, &path);
+        let r = comm.rank() as u64;
+        let decls = vec![WriteDecl { offset: r * per, len: per }];
+        let cfg = TapiocaConfig {
+            num_aggregators: aggr,
+            buffer_size: buf,
+            pipelining,
+            strategy: PlacementStrategy::TopologyAware,
+        };
+        let mut io = Tapioca::init(&comm, file, decls, cfg);
+        io.write(r * per, &expected_range(seed, r * per, per as usize));
+        io.finalize();
+    });
+    let bytes = std::fs::read(&path).unwrap();
+    assert_eq!(bytes.len() as u64, ranks as u64 * per);
+    assert_eq!(verify_slice(seed, 0, &bytes), None, "config {name} corrupted the file");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn dense_small_buffers_many_rounds() {
+    roundtrip_dense("small-buf", 8, 4096, 2, 128, true);
+}
+
+#[test]
+fn dense_buffer_larger_than_partition() {
+    roundtrip_dense("big-buf", 4, 512, 4, 1 << 20, true);
+}
+
+#[test]
+fn dense_single_aggregator() {
+    roundtrip_dense("one-aggr", 6, 2048, 1, 512, true);
+}
+
+#[test]
+fn dense_unpipelined() {
+    roundtrip_dense("nopipe", 8, 4096, 3, 256, false);
+}
+
+#[test]
+fn dense_aggregators_exceed_ranks_worth_of_data() {
+    roundtrip_dense("many-aggr", 4, 256, 16, 64, true);
+}
+
+#[test]
+fn odd_sizes_and_buffers() {
+    // deliberately non-power-of-two everything
+    roundtrip_dense("odd", 7, 999, 3, 97, true);
+}
+
+#[test]
+fn hacc_both_layouts_through_tapioca() {
+    for layout in [Layout::ArrayOfStructs, Layout::StructOfArrays] {
+        let w = HaccIo { num_ranks: 12, particles_per_rank: 500, layout };
+        let path = tmp(&format!("hacc-{layout:?}"));
+        let wl = w;
+        Runtime::run(w.num_ranks, |comm| {
+            let file = SharedFile::open_shared(&comm, &path);
+            let r = comm.rank() as u64;
+            let decls = wl.decls_of_rank(r);
+            let mut io = Tapioca::init(&comm, file, decls.clone(), TapiocaConfig {
+                num_aggregators: 3,
+                buffer_size: 4096,
+                ..Default::default()
+            });
+            for (v, d) in decls.iter().enumerate() {
+                io.write(d.offset, &wl.payload(r, v));
+            }
+            io.finalize();
+        });
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes.len() as u64, w.total_bytes());
+        for r in 0..w.num_ranks as u64 {
+            for (v, d) in w.decls_of_rank(r).iter().enumerate() {
+                assert_eq!(
+                    &bytes[d.offset as usize..(d.offset + d.len) as usize],
+                    w.payload(r, v).as_slice(),
+                    "{layout:?} rank {r} var {v}"
+                );
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn io_stats_match_the_schedule() {
+    // The executed traffic must account for every declared byte exactly
+    // once: sum of per-rank put_bytes == sum of flush_bytes == payload.
+    let path = tmp("stats");
+    let n = 9;
+    let per = 1000u64;
+    let stats = Runtime::run(n, |comm| {
+        let file = SharedFile::open_shared(&comm, &path);
+        let r = comm.rank() as u64;
+        let decls = vec![WriteDecl { offset: r * per, len: per }];
+        let mut io = Tapioca::init(&comm, file, decls, TapiocaConfig {
+            num_aggregators: 3,
+            buffer_size: 512,
+            ..Default::default()
+        });
+        io.write(r * per, &expected_range(5, r * per, per as usize));
+        let s = *io.stats().expect("flushed");
+        io.finalize();
+        s
+    });
+    let mut total = tapioca::aggregation::IoStats::default();
+    for s in &stats {
+        total.merge(s);
+    }
+    assert_eq!(total.put_bytes, n as u64 * per, "every byte put exactly once");
+    assert_eq!(total.flush_bytes, n as u64 * per, "every byte flushed exactly once");
+    assert_eq!(total.elected, 3, "one aggregator elected per partition");
+    assert!(total.puts >= n as u64, "at least one put per rank");
+    // each member passes two fences per round of each of its partitions
+    assert!(total.fences > 0 && total.fences % 2 == 0);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn write_then_two_phase_read_roundtrip() {
+    let path = tmp("w-then-r");
+    Runtime::run(10, |comm| {
+        let file = SharedFile::open_shared(&comm, &path);
+        let r = comm.rank() as u64;
+        let per = 700u64;
+        let decls = vec![WriteDecl { offset: r * per, len: per }];
+        let mut io = Tapioca::init(&comm, file, decls, TapiocaConfig {
+            num_aggregators: 4,
+            buffer_size: 333,
+            ..Default::default()
+        });
+        let payload = expected_range(7, r * per, per as usize);
+        io.write(r * per, &payload);
+        let back = io.read_declared();
+        assert_eq!(back[0], payload);
+        io.finalize();
+    });
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn repeated_operations_on_one_communicator() {
+    // several init/write epochs back-to-back must not cross-talk
+    let paths: Vec<_> = (0..3).map(|i| tmp(&format!("epoch-{i}"))).collect();
+    let paths2 = paths.clone();
+    Runtime::run(6, move |comm| {
+        for (epoch, path) in paths2.iter().enumerate() {
+            let file = SharedFile::open_shared(&comm, path);
+            let r = comm.rank() as u64;
+            let per = 256 + 64 * epoch as u64;
+            let decls = vec![WriteDecl { offset: r * per, len: per }];
+            let mut io = Tapioca::init(&comm, file, decls, TapiocaConfig {
+                num_aggregators: 2 + epoch,
+                buffer_size: 128,
+                ..Default::default()
+            });
+            io.write(r * per, &expected_range(epoch as u64, r * per, per as usize));
+            io.finalize();
+        }
+    });
+    for (epoch, path) in paths.iter().enumerate() {
+        let bytes = std::fs::read(path).unwrap();
+        assert_eq!(verify_slice(epoch as u64, 0, &bytes), None, "epoch {epoch}");
+        std::fs::remove_file(path).ok();
+    }
+}
+
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        /// Any mix of per-rank sizes, aggregator counts and buffer sizes
+        /// round-trips byte-exactly through the full pipeline.
+        #[test]
+        fn prop_pipeline_roundtrips(
+            sizes in proptest::collection::vec(1u64..2000, 2..8),
+            aggr in 1usize..6,
+            buf in 32u64..700,
+            pipelining in proptest::bool::ANY,
+        ) {
+            let n = sizes.len();
+            let offsets: Vec<u64> = sizes
+                .iter()
+                .scan(0u64, |acc, s| { let o = *acc; *acc += s; Some(o) })
+                .collect();
+            let total: u64 = sizes.iter().sum();
+            let path = tmp(&format!("prop-{aggr}-{buf}-{total}"));
+            let (sizes2, offsets2) = (sizes.clone(), offsets.clone());
+            Runtime::run(n, move |comm| {
+                let file = SharedFile::open_shared(&comm, &path);
+                let r = comm.rank();
+                let decls = vec![WriteDecl { offset: offsets2[r], len: sizes2[r] }];
+                let mut io = Tapioca::init(&comm, file, decls, TapiocaConfig {
+                    num_aggregators: aggr,
+                    buffer_size: buf,
+                    pipelining,
+                    ..Default::default()
+                });
+                io.write(offsets2[r], &expected_range(99, offsets2[r], sizes2[r] as usize));
+                io.finalize();
+            });
+            let path = tmp(&format!("prop-{aggr}-{buf}-{total}"));
+            let bytes = std::fs::read(&path).unwrap();
+            prop_assert_eq!(bytes.len() as u64, total);
+            prop_assert_eq!(verify_slice(99, 0, &bytes), None);
+            std::fs::remove_file(&path).ok();
+        }
+    }
+}

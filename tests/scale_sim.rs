@@ -1,0 +1,167 @@
+//! Scale-level simulation invariants: the properties the figures rely on
+//! must hold structurally, at sizes small enough for CI.
+
+use tapioca::config::TapiocaConfig;
+use tapioca::placement::PlacementStrategy;
+use tapioca::schedule::WriteDecl;
+use tapioca::sim_exec::{run_tapioca_sim, CollectiveSpec, GroupSpec, StorageConfig};
+use tapioca_baseline::romio::MpiIoConfig;
+use tapioca_baseline::sim::run_mpiio_sim;
+use tapioca_pfs::{AccessMode, GpfsTunables, LustreTunables};
+use tapioca_topology::{mira_profile, theta_profile, MIB};
+use tapioca_workloads::hacc::{HaccIo, Layout};
+
+fn ior_theta_spec(nranks: usize, per: u64, mode: AccessMode) -> CollectiveSpec {
+    CollectiveSpec {
+        groups: vec![GroupSpec {
+            file: 0,
+            ranks: (0..nranks).collect(),
+            decls: (0..nranks as u64)
+                .map(|r| vec![WriteDecl { offset: r * per, len: per }])
+                .collect(),
+        }],
+        mode,
+    }
+}
+
+fn mira_pset_spec(nodes: usize, rpn: usize, per: u64) -> CollectiveSpec {
+    let rpp = 128 * rpn;
+    let groups = (0..nodes / 128)
+        .map(|p| GroupSpec {
+            file: p,
+            ranks: (p * rpp..(p + 1) * rpp).collect(),
+            decls: (0..rpp as u64)
+                .map(|r| vec![WriteDecl { offset: r * per, len: per }])
+                .collect(),
+        })
+        .collect();
+    CollectiveSpec { groups, mode: AccessMode::Write }
+}
+
+#[test]
+fn fig8_mechanism_striping_dominates() {
+    // 48 OSTs vs 1 OST is the main axis of Fig. 8.
+    let profile = theta_profile(64, 4);
+    let spec = ior_theta_spec(256, MIB, AccessMode::Write);
+    let cb = MpiIoConfig { cb_aggregators: 16, cb_buffer_size: 8 * MIB };
+    let tuned = run_mpiio_sim(
+        &profile,
+        &StorageConfig::Lustre(LustreTunables::theta_optimized()),
+        &spec,
+        &cb,
+    );
+    let dflt = run_mpiio_sim(
+        &profile,
+        &StorageConfig::Lustre(LustreTunables::theta_default()),
+        &spec,
+        &cb,
+    );
+    assert!(tuned.bandwidth > 5.0 * dflt.bandwidth, "striping gain must be large");
+}
+
+#[test]
+fn fig8_mechanism_reads_beat_writes_when_tuned() {
+    let profile = theta_profile(64, 4);
+    let storage = StorageConfig::Lustre(LustreTunables::theta_optimized());
+    let cb = MpiIoConfig { cb_aggregators: 16, cb_buffer_size: 8 * MIB };
+    let w = run_mpiio_sim(&profile, &storage, &ior_theta_spec(256, MIB, AccessMode::Write), &cb);
+    let r = run_mpiio_sim(&profile, &storage, &ior_theta_spec(256, MIB, AccessMode::Read), &cb);
+    assert!(r.bandwidth > w.bandwidth);
+}
+
+#[test]
+fn fig7_mechanism_lock_mode_hits_writes_not_reads() {
+    let profile = mira_profile(128, 4);
+    let spec_w = mira_pset_spec(128, 4, MIB);
+    let mut spec_r = spec_w.clone();
+    spec_r.mode = AccessMode::Read;
+    let cb = MpiIoConfig { cb_aggregators: 16, cb_buffer_size: 16 * MIB };
+    let w_opt = run_mpiio_sim(&profile, &StorageConfig::Gpfs(GpfsTunables::mira_optimized()), &spec_w, &cb);
+    let w_dft = run_mpiio_sim(&profile, &StorageConfig::Gpfs(GpfsTunables::mira_default()), &spec_w, &cb);
+    let r_opt = run_mpiio_sim(&profile, &StorageConfig::Gpfs(GpfsTunables::mira_optimized()), &spec_r, &cb);
+    let r_dft = run_mpiio_sim(&profile, &StorageConfig::Gpfs(GpfsTunables::mira_default()), &spec_r, &cb);
+    assert!(w_opt.bandwidth / w_dft.bandwidth > 1.8, "write tuning gain");
+    let read_gain = r_opt.bandwidth / r_dft.bandwidth;
+    assert!((0.9..1.4).contains(&read_gain), "reads nearly unaffected, got {read_gain}");
+}
+
+#[test]
+fn table1_mechanism_one_to_one_is_local_peak() {
+    let profile = theta_profile(64, 4);
+    let storage = StorageConfig::Lustre(LustreTunables::theta_optimized()); // 8 MiB stripes
+    let spec = ior_theta_spec(256, 4 * MIB, AccessMode::Write);
+    let bw = |buffer: u64| {
+        run_tapioca_sim(&profile, &storage, &spec, &TapiocaConfig {
+            num_aggregators: 24,
+            buffer_size: buffer,
+            ..Default::default()
+        })
+        .bandwidth
+    };
+    let half = bw(4 * MIB);
+    let one = bw(8 * MIB);
+    let twice = bw(16 * MIB);
+    assert!(one > half, "1:1 beats 1:2 ({one} vs {half})");
+    assert!(one > twice, "1:1 beats 2:1 ({one} vs {twice})");
+}
+
+#[test]
+fn fig11_mechanism_multivar_gap_exceeds_single_var_gap() {
+    let profile = mira_profile(128, 4);
+    let storage = StorageConfig::Gpfs(GpfsTunables::mira_optimized());
+    let ratio = |layout| {
+        let w = HaccIo { num_ranks: 512, particles_per_rank: 8_000, layout };
+        let spec = CollectiveSpec {
+            groups: vec![GroupSpec { file: 0, ranks: (0..512).collect(), decls: w.decls() }],
+            mode: AccessMode::Write,
+        };
+        let t = run_tapioca_sim(&profile, &storage, &spec, &TapiocaConfig {
+            num_aggregators: 16,
+            buffer_size: 4 * MIB,
+            ..Default::default()
+        });
+        let b = run_mpiio_sim(&profile, &storage, &spec, &MpiIoConfig {
+            cb_aggregators: 16,
+            cb_buffer_size: 4 * MIB,
+        });
+        t.bandwidth / b.bandwidth
+    };
+    let soa = ratio(Layout::StructOfArrays);
+    let aos = ratio(Layout::ArrayOfStructs);
+    assert!(soa > aos, "SoA speedup {soa:.2} must exceed AoS {aos:.2}");
+    assert!(aos >= 1.0, "TAPIOCA never loses on AoS");
+}
+
+#[test]
+fn placement_strategies_ordering_under_cost_model() {
+    // Worst-case placement can never beat the cost-model election.
+    let profile = mira_profile(128, 4);
+    let storage = StorageConfig::Gpfs(GpfsTunables::mira_optimized());
+    let spec = mira_pset_spec(128, 4, MIB / 2);
+    let run = |strategy| {
+        run_tapioca_sim(&profile, &storage, &spec, &TapiocaConfig {
+            num_aggregators: 8,
+            buffer_size: MIB,
+            strategy,
+            ..Default::default()
+        })
+        .elapsed
+    };
+    let ta = run(PlacementStrategy::TopologyAware);
+    let worst = run(PlacementStrategy::WorstCase);
+    assert!(ta <= worst * 1.0001, "topology-aware {ta} must not lose to worst-case {worst}");
+}
+
+#[test]
+fn subfiling_groups_run_concurrently() {
+    // 2 Psets writing 2 subfiles should take roughly the time of 1, not 2x.
+    let profile = mira_profile(256, 4);
+    let storage = StorageConfig::Gpfs(GpfsTunables::mira_optimized());
+    let one = mira_pset_spec(128, 4, MIB); // note: 128-node machine spec below
+    let profile_one = mira_profile(128, 4);
+    let cfg = TapiocaConfig { num_aggregators: 8, buffer_size: 8 * MIB, ..Default::default() };
+    let t1 = run_tapioca_sim(&profile_one, &storage, &one, &cfg).elapsed;
+    let two = mira_pset_spec(256, 4, MIB);
+    let t2 = run_tapioca_sim(&profile, &storage, &two, &cfg).elapsed;
+    assert!(t2 < 1.5 * t1, "two Psets in parallel ({t2:.3}s) vs one ({t1:.3}s)");
+}
