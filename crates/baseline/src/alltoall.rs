@@ -226,7 +226,7 @@ mod tests {
             let r = comm.rank() as u64;
             let cfg = MpiIoConfig { cb_aggregators: 2, cb_buffer_size: 64 };
             if r < 2 {
-                collective_write_alltoall(&comm, &file, r * 100, &vec![r as u8 + 1; 100], &cfg);
+                collective_write_alltoall(&comm, &file, r * 100, &[r as u8 + 1; 100], &cfg);
             } else {
                 collective_write_alltoall(&comm, &file, 0, &[], &cfg);
             }

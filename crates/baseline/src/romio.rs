@@ -76,6 +76,7 @@ pub fn collective_write(
         buffer_size: cfg.cb_buffer_size,
         pipelining: false,                        // single buffer
         strategy: PlacementStrategy::RankOrder,   // no topology awareness
+        ..Default::default()
     };
     let topo = UniformTopology { num_ranks: comm.size() };
     let staged = vec![data.to_vec()];
@@ -147,8 +148,8 @@ mod tests {
             let file = SharedFile::open_shared(&comm, &path);
             let r = comm.rank() as u64;
             let cfg = MpiIoConfig { cb_aggregators: 2, cb_buffer_size: 32 };
-            if r % 2 == 0 {
-                collective_write(&comm, &file, r * 64, &vec![r as u8 + 1; 64], &cfg);
+            if r.is_multiple_of(2) {
+                collective_write(&comm, &file, r * 64, &[r as u8 + 1; 64], &cfg);
             } else {
                 collective_write(&comm, &file, 0, &[], &cfg);
             }

@@ -6,7 +6,6 @@
 //! application issues them back-to-back), rank-order aggregators, single
 //! buffer. Plans are executed by the very same simulator as TAPIOCA's.
 
-use rayon::prelude::*;
 use tapioca::placement::{elect_aggregator, PlacementStrategy};
 use tapioca::plan::{append_tapioca_plan, ExecutionPlan, OpId, OpKind, TapiocaPlanInput};
 use tapioca::schedule::{compute_schedule, ScheduleParams, WriteDecl};
@@ -60,7 +59,7 @@ pub fn run_mpiio_sim(
             }
             let choices: Vec<usize> = sched
                 .partitions
-                .par_iter()
+                .iter()
                 .map(|part| {
                     let members_global: Vec<Rank> =
                         part.members.iter().map(|&m| group.ranks[m]).collect();

@@ -1,8 +1,10 @@
-//! Criterion: end-to-end costs — a full simulated collective at reduced
-//! scale, and a real thread-mode write pipeline.
+//! End-to-end costs — a full simulated collective at reduced scale, and
+//! a real thread-mode write pipeline.
+//!
+//! Self-timed: median of repeated runs, printed as CSV.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 use tapioca::api::Tapioca;
 use tapioca::config::TapiocaConfig;
 use tapioca::schedule::WriteDecl;
@@ -11,7 +13,19 @@ use tapioca_mpi::{Runtime, SharedFile};
 use tapioca_pfs::{AccessMode, LustreTunables};
 use tapioca_topology::{theta_profile, MIB};
 
-fn bench_sim(c: &mut Criterion) {
+fn median_ns(iters: usize, mut f: impl FnMut()) -> u128 {
+    let mut samples: Vec<u128> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn bench_sim() {
     let profile = theta_profile(64, 4);
     let storage = StorageConfig::Lustre(LustreTunables::theta_optimized());
     let nranks = 256;
@@ -27,39 +41,38 @@ fn bench_sim(c: &mut Criterion) {
         mode: AccessMode::Write,
     };
     let cfg = TapiocaConfig { num_aggregators: 16, buffer_size: 8 * MIB, ..Default::default() };
-    c.bench_function("sim/ior_256ranks_64nodes", |b| {
-        b.iter(|| black_box(run_tapioca_sim(&profile, &storage, black_box(&spec), &cfg)))
+    let ns = median_ns(10, || {
+        black_box(run_tapioca_sim(&profile, &storage, black_box(&spec), &cfg));
     });
+    println!("sim/ior_256ranks_64nodes,{ns}");
 }
 
-fn bench_thread_pipeline(c: &mut Criterion) {
+fn bench_thread_pipeline() {
     let dir = std::env::temp_dir().join("tapioca-bench");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join(format!("e2e-{}", std::process::id()));
-    c.bench_function("thread/write_pipeline_8ranks_64KiB", |b| {
-        b.iter(|| {
-            let path = path.clone();
-            Runtime::run(8, move |comm| {
-                let file = SharedFile::open_shared(&comm, &path);
-                let r = comm.rank() as u64;
-                let per = 64 * 1024u64;
-                let decls = vec![WriteDecl { offset: r * per, len: per }];
-                let mut io = Tapioca::init(&comm, file, decls, TapiocaConfig {
-                    num_aggregators: 2,
-                    buffer_size: 16 * 1024,
-                    ..Default::default()
-                });
-                io.write(r * per, &vec![r as u8; per as usize]);
-                io.finalize();
+    let ns = median_ns(10, || {
+        let path = path.clone();
+        Runtime::run(8, move |comm| {
+            let file = SharedFile::open_shared(&comm, &path);
+            let r = comm.rank() as u64;
+            let per = 64 * 1024u64;
+            let decls = vec![WriteDecl { offset: r * per, len: per }];
+            let mut io = Tapioca::init(&comm, file, decls, TapiocaConfig {
+                num_aggregators: 2,
+                buffer_size: 16 * 1024,
+                ..Default::default()
             });
-        })
+            io.write(r * per, &vec![r as u8; per as usize]);
+            io.finalize();
+        });
     });
+    println!("thread/write_pipeline_8ranks_64KiB,{ns}");
     std::fs::remove_file(&path).ok();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_sim, bench_thread_pipeline
+fn main() {
+    println!("bench,median_ns");
+    bench_sim();
+    bench_thread_pipeline();
 }
-criterion_main!(benches);

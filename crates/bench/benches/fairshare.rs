@@ -1,7 +1,9 @@
-//! Criterion: the max-min fair-share solver, the simulator's hot loop.
+//! The max-min fair-share solver, the simulator's hot loop.
+//!
+//! Self-timed: median of repeated runs, printed as CSV.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 use tapioca_netsim::{max_min_rates, FlowDemand};
 
 fn synth_flows(n: usize, links: usize, route_len: usize) -> Vec<FlowDemand> {
@@ -14,18 +16,27 @@ fn synth_flows(n: usize, links: usize, route_len: usize) -> Vec<FlowDemand> {
         .collect()
 }
 
-fn bench_fairshare(c: &mut Criterion) {
-    let mut group = c.benchmark_group("max_min_rates");
-    for &(flows, links, route) in &[(64usize, 256usize, 6usize), (512, 2048, 8), (4096, 16384, 8)] {
-        let demands = synth_flows(flows, links, route);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{flows}flows_{links}links")),
-            &demands,
-            |b, d| b.iter(|| black_box(max_min_rates(black_box(d), |_| 1e9))),
-        );
-    }
-    group.finish();
+fn median_ns(iters: usize, mut f: impl FnMut()) -> u128 {
+    let mut samples: Vec<u128> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
 }
 
-criterion_group!(benches, bench_fairshare);
-criterion_main!(benches);
+fn main() {
+    println!("bench,flows,links,median_ns");
+    for &(flows, links, route) in &[(64usize, 256usize, 6usize), (512, 2048, 8), (4096, 16384, 8)]
+    {
+        let demands = synth_flows(flows, links, route);
+        let iters = if flows >= 4096 { 5 } else { 20 };
+        let ns = median_ns(iters, || {
+            black_box(max_min_rates(black_box(&demands), |_| 1e9));
+        });
+        println!("max_min_rates,{flows},{links},{ns}");
+    }
+}

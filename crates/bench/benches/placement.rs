@@ -1,17 +1,31 @@
-//! Criterion: the aggregator election — one partition's full candidate
-//! scan under each strategy (what every partition's MINLOC reduction
-//! computes in aggregate).
+//! The aggregator election — one partition's full candidate scan under
+//! each strategy (what every partition's MINLOC reduction computes in
+//! aggregate).
+//!
+//! Self-timed: median of repeated runs, printed as CSV.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 use tapioca::placement::{elect_aggregator, PlacementStrategy};
 use tapioca_topology::{mira_profile, theta_profile, MIB};
 
-fn bench_election(c: &mut Criterion) {
-    let mut group = c.benchmark_group("elect_aggregator");
+fn median_ns(iters: usize, mut f: impl FnMut()) -> u128 {
+    let mut samples: Vec<u128> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
     let mira = mira_profile(512, 16);
     let theta = theta_profile(512, 16);
 
+    println!("bench,machine,members,median_ns");
     for &members_n in &[16usize, 64, 128] {
         // members spread across the machine, equal weights
         let members: Vec<usize> = (0..members_n).map(|i| i * 61 * 16 % 8192).collect();
@@ -20,41 +34,18 @@ fn bench_election(c: &mut Criterion) {
         sorted.dedup();
         let weights = vec![16 * MIB; sorted.len()];
 
-        group.bench_with_input(
-            BenchmarkId::new("mira/topology-aware", members_n),
-            &sorted,
-            |b, m| {
-                b.iter(|| {
-                    black_box(elect_aggregator(
-                        &mira.machine,
-                        black_box(m),
-                        &weights,
-                        0,
-                        0,
-                        PlacementStrategy::TopologyAware,
-                    ))
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("theta/topology-aware", members_n),
-            &sorted,
-            |b, m| {
-                b.iter(|| {
-                    black_box(elect_aggregator(
-                        &theta.machine,
-                        black_box(m),
-                        &weights,
-                        0,
-                        0,
-                        PlacementStrategy::TopologyAware,
-                    ))
-                })
-            },
-        );
+        for (name, machine) in [("mira", &mira.machine), ("theta", &theta.machine)] {
+            let ns = median_ns(50, || {
+                black_box(elect_aggregator(
+                    machine,
+                    black_box(&sorted),
+                    &weights,
+                    0,
+                    0,
+                    PlacementStrategy::TopologyAware,
+                ));
+            });
+            println!("elect_aggregator,{name},{members_n},{ns}");
+        }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_election);
-criterion_main!(benches);

@@ -1,14 +1,28 @@
-//! Criterion: cost of computing the round schedule (the `TAPIOCA_Init`
-//! work every rank performs from the allgathered declarations).
+//! Cost of computing the round schedule (the `TAPIOCA_Init` work every
+//! rank performs from the allgathered declarations).
+//!
+//! Self-timed: median of repeated runs, printed as CSV.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 use tapioca::schedule::{compute_schedule, ScheduleParams};
 use tapioca_topology::MIB;
 use tapioca_workloads::hacc::{HaccIo, Layout};
 
-fn bench_schedule(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compute_schedule");
+fn median_ns(iters: usize, mut f: impl FnMut()) -> u128 {
+    let mut samples: Vec<u128> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    println!("bench,layout,ranks,median_ns");
     for &ranks in &[256usize, 1024, 4096] {
         for layout in [Layout::ArrayOfStructs, Layout::StructOfArrays] {
             let w = HaccIo { num_ranks: ranks, particles_per_rank: 25_000, layout };
@@ -18,15 +32,10 @@ fn bench_schedule(c: &mut Criterion) {
                 buffer_size: 16 * MIB,
                 align_to_buffer: true,
             };
-            group.bench_with_input(
-                BenchmarkId::new(format!("{layout:?}"), ranks),
-                &decls,
-                |b, decls| b.iter(|| black_box(compute_schedule(black_box(decls), params))),
-            );
+            let ns = median_ns(10, || {
+                black_box(compute_schedule(black_box(&decls), params));
+            });
+            println!("compute_schedule,{layout:?},{ranks},{ns}");
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_schedule);
-criterion_main!(benches);

@@ -52,7 +52,7 @@ fn main() {
 
     // (b) plain collective I/O: nine independent schedules.
     let mut call_fills = Vec::new();
-    for v in 0..VAR_NAMES.len() {
+    for (v, var_name) in VAR_NAMES.iter().enumerate() {
         let call_decls: Vec<_> = decls
             .iter()
             .map(|d| d.get(v).map(|&x| vec![x]).unwrap_or_default())
@@ -66,7 +66,7 @@ fn main() {
         println!(
             "MPI I/O call {} ({}),{:.3},{},{:.1}",
             v,
-            VAR_NAMES[v],
+            var_name,
             st.mean_fill,
             st.flush_segments,
             st.mean_segment / 1024.0

@@ -17,6 +17,7 @@
 //!   --stripe-size BYTES      Lustre stripe size        [8388608]
 //!   --placement topo|rank|io|random|worst   election   [topo]
 //!   --no-pipeline            disable double buffering
+//!   --trace-out PATH         write the event trace as JSONL (tapioca only)
 //! ```
 
 use tapioca::config::TapiocaConfig;
@@ -43,6 +44,7 @@ struct Args {
     stripe_size: u64,
     placement: String,
     pipeline: bool,
+    trace_out: Option<std::path::PathBuf>,
 }
 
 fn parse() -> Args {
@@ -60,6 +62,7 @@ fn parse() -> Args {
         stripe_size: 8 * MIB,
         placement: "topo".into(),
         pipeline: true,
+        trace_out: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -82,6 +85,7 @@ fn parse() -> Args {
             "--stripe-size" => a.stripe_size = next(&mut i).parse().expect("stripe-size"),
             "--placement" => a.placement = next(&mut i),
             "--no-pipeline" => a.pipeline = false,
+            "--trace-out" => a.trace_out = Some(next(&mut i).into()),
             "--help" | "-h" => {
                 println!("see the module docs at the top of iorsim.rs");
                 std::process::exit(0);
@@ -149,12 +153,23 @@ fn main() {
         (_, l) => panic!("unknown layout {l}"),
     };
 
+    let tracer = match (&a.trace_out, a.method.as_str()) {
+        (Some(_), "tapioca") => {
+            Some(tapioca_trace::Tracer::new(tapioca_topology::TopologyProvider::num_ranks(
+                &profile.machine,
+            )))
+        }
+        (Some(_), m) => panic!("--trace-out only supported with --method tapioca, not {m}"),
+        (None, _) => None,
+    };
+
     let report = match a.method.as_str() {
         "tapioca" => measure_tapioca(&profile, &storage, &spec, &TapiocaConfig {
             num_aggregators: aggregators,
             buffer_size: a.buffer,
             pipelining: a.pipeline,
             strategy,
+            tracer: tracer.clone(),
         }),
         "mpiio" => measure_mpiio(&profile, &storage, &spec, &MpiIoConfig {
             cb_aggregators: aggregators,
@@ -175,6 +190,13 @@ fn main() {
     println!("data moved   : {:.2} GiB", report.bytes / gib);
     println!("elapsed      : {:.3} s", report.elapsed);
     println!("bandwidth    : {:.2} GiB/s", report.bandwidth / gib);
+
+    if let (Some(path), Some(tracer)) = (&a.trace_out, &tracer) {
+        let summary = dump_trace_jsonl(tracer, path).expect("write trace");
+        println!("trace        : {} ({} puts, {} flushes, {} rounds, overlap {:.2})",
+            path.display(), summary.puts, summary.flushes, summary.rounds,
+            summary.overlap_fraction);
+    }
 
     if let Some(hacc) = match a.layout.as_str() {
         "aos" | "soa" => Some(HaccIo {

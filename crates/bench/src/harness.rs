@@ -142,6 +142,21 @@ pub fn mib(bytes: u64) -> f64 {
     bytes as f64 / (1u64 << 20) as f64
 }
 
+/// Drain `tracer` and write its merged, time-ordered trace to `path` as
+/// JSON Lines (one event per line); returns the trace's summary so the
+/// caller can print it. Backs the `--trace-out` option of the drivers.
+pub fn dump_trace_jsonl(
+    tracer: &tapioca_trace::Tracer,
+    path: &std::path::Path,
+) -> std::io::Result<tapioca_trace::TraceSummary> {
+    use std::io::Write as _;
+    let trace = tracer.drain();
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    trace.write_jsonl(&mut w)?;
+    w.flush()?;
+    Ok(trace.summary())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

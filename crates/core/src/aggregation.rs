@@ -21,6 +21,11 @@
 use tapioca_mpi::{Comm, IoHandle, SharedFile, Window};
 use tapioca_topology::TopologyProvider;
 
+#[cfg(feature = "trace")]
+use std::sync::Arc;
+#[cfg(feature = "trace")]
+use tapioca_trace::TraceScope;
+
 use crate::config::TapiocaConfig;
 use crate::placement::election_cost;
 use crate::schedule::Schedule;
@@ -105,7 +110,20 @@ pub fn run_write_pipeline(
             stats.elected += 1;
         }
 
-        let win = Window::allocate(&pcomm, if my_idx == agg_idx { 2 * b } else { 0 });
+        #[allow(unused_mut)]
+        let mut win = Window::allocate(&pcomm, if my_idx == agg_idx { 2 * b } else { 0 });
+        // Attach this rank's trace scope to the window so puts and
+        // fences are recorded at their call sites. The election result
+        // is recorded once per partition, by the lowest member.
+        #[cfg(feature = "trace")]
+        if let Some(tracer) = &cfg.tracer {
+            let scope =
+                TraceScope::new(Arc::clone(tracer), me, part.index as u32, part.members.clone());
+            if my_idx == 0 {
+                scope.elect(part.members[agg_idx], part.total_bytes());
+            }
+            win.set_trace_scope(scope);
+        }
         let mut inflight: [Vec<IoHandle>; 2] = [Vec::new(), Vec::new()];
 
         let my_chunks: Vec<_> = schedule.chunks_by_rank[me]
@@ -115,6 +133,10 @@ pub fn run_write_pipeline(
 
         for (r, round) in part.rounds.iter().enumerate() {
             let buf = r % 2;
+            #[cfg(feature = "trace")]
+            if let Some(scope) = win.trace_scope() {
+                scope.set_round(r as u32);
+            }
             for c in my_chunks.iter().filter(|c| c.round as usize == r) {
                 let data = &staged[c.var]
                     [c.var_offset as usize..(c.var_offset + c.len) as usize];
@@ -138,6 +160,13 @@ pub fn run_write_pipeline(
                         );
                         stats.flushes += 1;
                         stats.flush_bytes += seg.len;
+                        #[cfg(feature = "trace")]
+                        return file.iwrite_at_traced(
+                            seg.file_offset,
+                            data,
+                            win.trace_scope().map(|s| s.stamp()),
+                        );
+                        #[cfg(not(feature = "trace"))]
                         file.iwrite_at(seg.file_offset, data)
                     })
                     .collect();

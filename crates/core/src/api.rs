@@ -343,7 +343,7 @@ mod tests {
                 pipelining: false,
                 ..Default::default()
             });
-            io.write(r * 64, &vec![r as u8 + 9; 64]);
+            io.write(r * 64, &[r as u8 + 9; 64]);
             io.finalize();
         });
         let bytes = std::fs::read(&path).unwrap();

@@ -2,12 +2,17 @@
 
 use crate::placement::PlacementStrategy;
 
+#[cfg(feature = "trace")]
+use std::sync::Arc;
+#[cfg(feature = "trace")]
+use tapioca_trace::Tracer;
+
 /// Configuration of a TAPIOCA instance.
 ///
 /// The paper's tuned values: Mira — 16 aggregators per Pset with 16 MB
 /// buffers (32/32 MB for the microbenchmark); Theta — 48-384 aggregators
 /// with the buffer sized to the Lustre stripe (Table I: 1:1 is best).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct TapiocaConfig {
     /// Number of aggregators (= partitions) for the whole operation.
     pub num_aggregators: usize,
@@ -18,6 +23,31 @@ pub struct TapiocaConfig {
     pub pipelining: bool,
     /// Aggregator election strategy.
     pub strategy: PlacementStrategy,
+    /// Event recorder for this collective. `None` (the default) records
+    /// nothing: the only cost left on the hot path is one `Option` check
+    /// per instrumented operation. Both executors — the thread-mode
+    /// pipeline and the simulator — emit into the same tracer schema,
+    /// which is what makes their traces comparable.
+    #[cfg(feature = "trace")]
+    pub tracer: Option<Arc<Tracer>>,
+}
+
+impl PartialEq for TapiocaConfig {
+    fn eq(&self, other: &Self) -> bool {
+        #[cfg(feature = "trace")]
+        let tracer_eq = match (&self.tracer, &other.tracer) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        };
+        #[cfg(not(feature = "trace"))]
+        let tracer_eq = true;
+        self.num_aggregators == other.num_aggregators
+            && self.buffer_size == other.buffer_size
+            && self.pipelining == other.pipelining
+            && self.strategy == other.strategy
+            && tracer_eq
+    }
 }
 
 impl Default for TapiocaConfig {
@@ -27,6 +57,8 @@ impl Default for TapiocaConfig {
             buffer_size: 16 * 1024 * 1024,
             pipelining: true,
             strategy: PlacementStrategy::TopologyAware,
+            #[cfg(feature = "trace")]
+            tracer: None,
         }
     }
 }
@@ -59,5 +91,17 @@ mod tests {
     #[should_panic(expected = "at least one aggregator")]
     fn zero_aggregators_invalid() {
         TapiocaConfig { num_aggregators: 0, ..Default::default() }.validate();
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn configs_compare_tracers_by_identity() {
+        let t = Tracer::new(4);
+        let a = TapiocaConfig { tracer: Some(Arc::clone(&t)), ..Default::default() };
+        let b = TapiocaConfig { tracer: Some(Arc::clone(&t)), ..Default::default() };
+        let c = TapiocaConfig { tracer: Some(Tracer::new(4)), ..Default::default() };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, TapiocaConfig::default());
     }
 }

@@ -54,6 +54,18 @@ pub enum OpKind {
     },
 }
 
+/// Schedule coordinates of an operation — which partition and pipeline
+/// round produced it. Carried so a simulated run can be projected back
+/// onto the schedule structure (trace emission); `None` for plans that
+/// do not originate from a TAPIOCA schedule (e.g. the baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanMeta {
+    /// Partition index within the originating schedule.
+    pub partition: u32,
+    /// Round index within the partition.
+    pub round: u32,
+}
+
 /// One operation plus its dependencies (indices of earlier ops).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Op {
@@ -61,6 +73,8 @@ pub struct Op {
     pub kind: OpKind,
     /// Operations that must complete before this one starts.
     pub deps: Vec<OpId>,
+    /// Schedule coordinates, when known.
+    pub meta: Option<PlanMeta>,
 }
 
 /// A dependency DAG of transfers and flushes.
@@ -83,9 +97,17 @@ impl ExecutionPlan {
     /// # Panics
     /// Panics if a dependency is not an earlier op.
     pub fn push(&mut self, kind: OpKind, deps: Vec<OpId>) -> OpId {
+        self.push_meta(kind, deps, None)
+    }
+
+    /// Append an operation carrying its schedule coordinates.
+    ///
+    /// # Panics
+    /// Panics if a dependency is not an earlier op.
+    pub fn push_meta(&mut self, kind: OpKind, deps: Vec<OpId>, meta: Option<PlanMeta>) -> OpId {
         let id = self.ops.len();
         assert!(deps.iter().all(|&d| d < id), "dependency must precede the op");
-        self.ops.push(Op { kind, deps });
+        self.ops.push(Op { kind, deps, meta });
         id
     }
 
@@ -180,12 +202,14 @@ pub fn append_tapioca_plan(
                     if let Some(fr) = reuse {
                         gate.extend_from_slice(&flush_hist[fr]);
                     }
+                    let meta = Some(PlanMeta { partition: p as u32, round: r as u32 });
                     let transfers: Vec<OpId> = per_round[r]
                         .iter()
                         .map(|&(node, bytes)| {
-                            plan.push(
+                            plan.push_meta(
                                 OpKind::Transfer { src: node, dst: agg_node, bytes },
                                 gate.clone(),
+                                meta,
                             )
                         })
                         .collect();
@@ -201,7 +225,7 @@ pub fn append_tapioca_plan(
                         .segments
                         .iter()
                         .map(|seg| {
-                            plan.push(
+                            plan.push_meta(
                                 OpKind::Flush {
                                     src: agg_node,
                                     file,
@@ -211,6 +235,7 @@ pub fn append_tapioca_plan(
                                     wave: input.wave_base + r as u64,
                                 },
                                 fdeps.clone(),
+                                meta,
                             )
                         })
                         .collect();
@@ -230,11 +255,12 @@ pub fn append_tapioca_plan(
                     if let Some(tr) = reuse {
                         gate.extend_from_slice(&transfer_hist[tr]);
                     }
+                    let meta = Some(PlanMeta { partition: p as u32, round: r as u32 });
                     let flushes: Vec<OpId> = round
                         .segments
                         .iter()
                         .map(|seg| {
-                            plan.push(
+                            plan.push_meta(
                                 OpKind::Flush {
                                     src: agg_node,
                                     file,
@@ -244,15 +270,17 @@ pub fn append_tapioca_plan(
                                     wave: input.wave_base + r as u64,
                                 },
                                 gate.clone(),
+                                meta,
                             )
                         })
                         .collect();
                     let transfers: Vec<OpId> = per_round[r]
                         .iter()
                         .map(|&(node, bytes)| {
-                            plan.push(
+                            plan.push_meta(
                                 OpKind::Transfer { src: agg_node, dst: node, bytes },
                                 flushes.clone(),
+                                meta,
                             )
                         })
                         .collect();
@@ -391,6 +419,18 @@ mod tests {
             _ => panic!("expected transfer"),
         }
         assert!(plan.ops[1].deps.contains(&0));
+    }
+
+    #[test]
+    fn every_scheduled_op_carries_its_coordinates() {
+        let plan = build(4, 64, 2, 32, true);
+        for op in &plan.ops {
+            let m = op.meta.expect("schedule-derived ops carry meta");
+            assert!(m.partition < 2);
+        }
+        // rounds must cover the schedule: 64 B per partition / 32 B buffer
+        let max_round = plan.ops.iter().filter_map(|o| o.meta).map(|m| m.round).max();
+        assert_eq!(max_round, Some(3));
     }
 
     #[test]

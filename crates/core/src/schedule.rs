@@ -428,17 +428,27 @@ mod tests {
 
     mod props {
         use super::*;
-        use proptest::prelude::*;
 
-        proptest! {
-            /// Chunks exactly tile the declarations; per-partition member
-            /// weights and round bytes are consistent; buffer offsets fit.
-            #[test]
-            fn prop_schedule_conserves_bytes(
-                sizes in proptest::collection::vec(0u64..500, 1..12),
-                naggr in 1usize..6,
-                buf in 1u64..128,
-            ) {
+        fn mix(mut x: u64) -> u64 {
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x ^= x >> 27;
+            x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^ (x >> 31)
+        }
+
+        /// Chunks exactly tile the declarations; per-partition member
+        /// weights and round bytes are consistent; buffer offsets fit.
+        /// Deterministic seeded sweep (no external property-test crate).
+        #[test]
+        fn prop_schedule_conserves_bytes() {
+            for case in 0u64..80 {
+                let nranks = 1 + (mix(case * 3 + 1) % 11) as usize;
+                let naggr = 1 + (mix(case * 3 + 2) % 5) as usize;
+                let buf = 1 + mix(case * 3 + 3) % 127;
+                let sizes: Vec<u64> =
+                    (0..nranks).map(|r| mix(case * 101 + r as u64) % 500).collect();
+
                 // ranks write consecutive blocks of the given sizes
                 let mut decls = Vec::new();
                 let mut off = 0;
@@ -450,22 +460,22 @@ mod tests {
                 let s = compute_schedule(&decls, ScheduleParams {
                     num_aggregators: naggr,
                     buffer_size: buf,
-                    align_to_buffer: naggr % 2 == 0, // exercise both modes
+                    align_to_buffer: naggr.is_multiple_of(2), // exercise both modes
                 });
-                prop_assert_eq!(s.total_bytes(), total);
+                assert_eq!(s.total_bytes(), total, "case {case}");
 
                 for (rank, chunks) in s.chunks_by_rank.iter().enumerate() {
                     let sum: u64 = chunks.iter().map(|c| c.len).sum();
-                    prop_assert_eq!(sum, sizes[rank]);
+                    assert_eq!(sum, sizes[rank], "case {case}");
                     for c in chunks {
-                        prop_assert!(c.buf_offset + c.len <= buf);
-                        prop_assert!(c.partition < s.partitions.len());
+                        assert!(c.buf_offset + c.len <= buf);
+                        assert!(c.partition < s.partitions.len());
                         let p = &s.partitions[c.partition];
-                        prop_assert!(c.file_offset >= p.start);
-                        prop_assert!(c.file_offset + c.len <= p.end);
+                        assert!(c.file_offset >= p.start);
+                        assert!(c.file_offset + c.len <= p.end);
                         // buffer offset consistent with file offset
                         let win = p.start + c.round as u64 * buf;
-                        prop_assert_eq!(c.file_offset - win, c.buf_offset);
+                        assert_eq!(c.file_offset - win, c.buf_offset);
                     }
                 }
 
@@ -477,12 +487,12 @@ mod tests {
                             .filter(|c| c.partition == p.index)
                             .map(|c| c.len)
                             .sum();
-                        prop_assert_eq!(w, sum);
+                        assert_eq!(w, sum, "case {case}");
                     }
                     // round segments cover round bytes
                     for r in &p.rounds {
                         let seg: u64 = r.segments.iter().map(|x| x.len).sum();
-                        prop_assert_eq!(seg, r.bytes);
+                        assert_eq!(seg, r.bytes, "case {case}");
                     }
                 }
             }

@@ -6,7 +6,6 @@
 //! plan (see [`crate::plan`]) and executed here with link contention,
 //! storage service stations, and lock penalties.
 
-use rayon::prelude::*;
 use tapioca_netsim::{FlowId, SimTime, Simulator};
 use tapioca_pfs::{
     AccessMode, FileId, FlushReq, GpfsModel, GpfsTunables, LustreModel, LustreTunables,
@@ -271,10 +270,86 @@ pub struct CollectiveSpec {
     pub mode: AccessMode,
 }
 
+/// Per-group bookkeeping for trace emission: which plan ops belong to
+/// the group, the group's partition-index offset in the global trace,
+/// and each partition's election outcome mapped to global ranks.
+#[cfg(feature = "trace")]
+struct GroupTraceInfo {
+    ops: std::ops::Range<usize>,
+    partition_base: u32,
+    /// Per partition: (lowest member, elected aggregator, total bytes),
+    /// all global ranks; `None` for empty partitions.
+    elections: Vec<Option<(Rank, Rank, u64)>>,
+}
+
+/// Project a completed simulation onto the trace schema: one `Elect`
+/// event per partition at t=0, one `RmaPut` per transfer op and one
+/// `Flush` per storage op, each stamped with its simulated completion
+/// time. Put granularity is per (round, source node) — coarser than
+/// thread mode's per-chunk events — which the structural projection
+/// deliberately ignores.
+#[cfg(feature = "trace")]
+fn emit_sim_trace(
+    tracer: &tapioca_trace::Tracer,
+    plan: &ExecutionPlan,
+    report: &SimReport,
+    groups: &[GroupTraceInfo],
+) {
+    use tapioca_trace::{Phase, TraceEvent, TraceOp, NO_PEER};
+    for g in groups {
+        for (p, e) in g.elections.iter().enumerate() {
+            let Some((low, agg, bytes)) = *e else { continue };
+            tracer.record(TraceEvent {
+                t_ns: 0,
+                rank: low,
+                partition: g.partition_base + p as u32,
+                round: 0,
+                phase: Phase::Aggregation,
+                op: TraceOp::Elect,
+                bytes,
+                peer: agg,
+            });
+        }
+        for id in g.ops.clone() {
+            let op = &plan.ops[id];
+            let Some(m) = op.meta else { continue };
+            let Some((_, agg, _)) = g.elections[m.partition as usize] else { continue };
+            let t_ns = (report.op_finish[id] * 1e9).round() as u64;
+            let partition = g.partition_base + m.partition;
+            match op.kind {
+                OpKind::Transfer { bytes, .. } => tracer.record(TraceEvent {
+                    t_ns,
+                    rank: agg,
+                    partition,
+                    round: m.round,
+                    phase: Phase::Aggregation,
+                    op: TraceOp::RmaPut,
+                    bytes: bytes.round() as u64,
+                    peer: agg,
+                }),
+                OpKind::Flush { len, .. } => tracer.record(TraceEvent {
+                    t_ns,
+                    rank: agg,
+                    partition,
+                    round: m.round,
+                    phase: Phase::Io,
+                    op: TraceOp::Flush,
+                    bytes: len,
+                    peer: NO_PEER,
+                }),
+            }
+        }
+    }
+}
+
 /// End-to-end TAPIOCA simulation: schedule, elect, compile, execute.
 ///
 /// `cfg.num_aggregators` is interpreted *per file group*, matching the
 /// paper's "16 aggregators per Pset" phrasing.
+///
+/// With the `trace` feature, a tracer in `cfg.tracer` receives the
+/// simulated collective's events (see [`emit_sim_trace`]); size it for
+/// the machine's global rank count (`Tracer::new(machine.num_ranks())`).
 pub fn run_tapioca_sim(
     profile: &MachineProfile,
     storage: &StorageConfig,
@@ -284,6 +359,10 @@ pub fn run_tapioca_sim(
     cfg.validate();
     let machine = &profile.machine;
     let mut plan = ExecutionPlan::new();
+    #[cfg(feature = "trace")]
+    let mut group_infos: Vec<GroupTraceInfo> = Vec::new();
+    #[cfg(feature = "trace")]
+    let mut partition_base = 0u32;
 
     for group in &spec.groups {
         assert_eq!(group.ranks.len(), group.decls.len());
@@ -306,7 +385,7 @@ pub fn run_tapioca_sim(
         // each election is exactly the distributed MINLOC of thread mode).
         let choices: Vec<usize> = sched
             .partitions
-            .par_iter()
+            .iter()
             .map(|part| {
                 let members_global: Vec<Rank> =
                     part.members.iter().map(|&m| group.ranks[m]).collect();
@@ -324,7 +403,7 @@ pub fn run_tapioca_sim(
         let ranks = &group.ranks;
         let node_of = |local: Rank| machine.node_of_rank(ranks[local]);
         let file = group.file;
-        append_tapioca_plan(&mut plan, &TapiocaPlanInput {
+        let _op_range = append_tapioca_plan(&mut plan, &TapiocaPlanInput {
             schedule: &sched,
             aggregator_choice: &choices,
             node_of_rank: &node_of,
@@ -334,8 +413,33 @@ pub fn run_tapioca_sim(
             entry_deps: Vec::new(),
             wave_base: 0,
         });
+        #[cfg(feature = "trace")]
+        {
+            let elections = sched
+                .partitions
+                .iter()
+                .map(|part| {
+                    if part.members.is_empty() {
+                        None
+                    } else {
+                        Some((
+                            group.ranks[part.members[0]],
+                            group.ranks[part.members[choices[part.index]]],
+                            part.total_bytes(),
+                        ))
+                    }
+                })
+                .collect();
+            group_infos.push(GroupTraceInfo { ops: _op_range, partition_base, elections });
+            partition_base += sched.partitions.len() as u32;
+        }
     }
-    simulate(profile, storage, &plan)
+    let report = simulate(profile, storage, &plan);
+    #[cfg(feature = "trace")]
+    if let Some(tracer) = &cfg.tracer {
+        emit_sim_trace(tracer, &plan, &report, &group_infos);
+    }
+    report
 }
 
 #[cfg(test)]

@@ -10,6 +10,29 @@
 
 use crate::schedule::Schedule;
 
+#[cfg(feature = "trace")]
+pub use tapioca_trace::{Trace, TraceSummary};
+
+/// Render a [`TraceSummary`] as a compact human-readable report —
+/// the executed counterpart of [`ScheduleStats`]: where `schedule_stats`
+/// predicts rounds and fill factors from the schedule, this reports what
+/// an executor (thread mode or the simulator) actually recorded.
+#[cfg(feature = "trace")]
+pub fn trace_report(s: &TraceSummary) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "rounds:             {}", s.rounds);
+    let _ = writeln!(out, "aggregation bytes:  {} ({} puts)", s.aggregation_bytes, s.puts);
+    let _ = writeln!(out, "io bytes:           {} ({} flushes)", s.io_bytes, s.flushes);
+    let _ = writeln!(out, "fences:             {}", s.fences);
+    let _ = writeln!(out, "overlap fraction:   {:.3}", s.overlap_fraction);
+    let _ = writeln!(out, "aggregator fills:");
+    for (rank, bytes) in &s.aggregator_fill_bytes {
+        let _ = writeln!(out, "  rank {rank}: {bytes} B");
+    }
+    out
+}
+
 /// Aggregate statistics of one schedule.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScheduleStats {
@@ -141,6 +164,38 @@ mod tests {
         let st = schedule_stats(&s);
         assert_eq!(st.active_partitions, 0);
         assert_eq!(st.total_bytes, 0);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn trace_report_names_every_counter() {
+        use tapioca_trace::{Phase, Trace, TraceEvent, TraceOp, NO_PEER};
+        let t = Trace::from_events(vec![
+            TraceEvent {
+                t_ns: 1,
+                rank: 0,
+                partition: 0,
+                round: 0,
+                phase: Phase::Aggregation,
+                op: TraceOp::RmaPut,
+                bytes: 64,
+                peer: 1,
+            },
+            TraceEvent {
+                t_ns: 2,
+                rank: 1,
+                partition: 0,
+                round: 0,
+                phase: Phase::Io,
+                op: TraceOp::Flush,
+                bytes: 64,
+                peer: NO_PEER,
+            },
+        ]);
+        let rep = trace_report(&t.summary());
+        assert!(rep.contains("aggregation bytes:  64 (1 puts)"));
+        assert!(rep.contains("io bytes:           64 (1 flushes)"));
+        assert!(rep.contains("rank 1: 64 B"));
     }
 
     #[test]

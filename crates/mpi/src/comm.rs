@@ -10,9 +10,8 @@ use std::any::Any;
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use crate::p2p::Mailboxes;
 use crate::sync::Barrier;
@@ -37,14 +36,18 @@ pub struct WorldShared {
     pub(crate) mailboxes: Mailboxes,
     registry: Mutex<HashMap<RegistryKey, Arc<dyn Any + Send + Sync>>>,
     uid_counter: AtomicU64,
+    /// Watchdog deadline for blocking collectives and receives created
+    /// through this world; `None` disables the watchdog.
+    pub(crate) watchdog: Option<Duration>,
 }
 
 impl WorldShared {
-    pub(crate) fn new() -> Arc<Self> {
+    pub(crate) fn new(watchdog: Option<Duration>) -> Arc<Self> {
         Arc::new(Self {
-            mailboxes: Mailboxes::new(),
+            mailboxes: Mailboxes::with_timeout(watchdog),
             registry: Mutex::new(HashMap::new()),
             uid_counter: AtomicU64::new(1),
+            watchdog,
         })
     }
 
@@ -59,7 +62,7 @@ impl WorldShared {
         T: Send + Sync + 'static,
         F: FnOnce() -> T,
     {
-        let mut reg = self.registry.lock();
+        let mut reg = self.registry.lock().unwrap();
         let entry = reg
             .entry(key)
             .or_insert_with(|| Arc::new(create()) as Arc<dyn Any + Send + Sync>);
@@ -81,12 +84,12 @@ pub(crate) struct CommShared {
 }
 
 impl CommShared {
-    fn new(uid: u64, members: Vec<Rank>) -> Self {
+    fn new(uid: u64, members: Vec<Rank>, watchdog: Option<Duration>) -> Self {
         let n = members.len();
         Self {
             uid,
             members,
-            barrier: Barrier::new(n),
+            barrier: Barrier::with_timeout(n, watchdog),
             slots: Mutex::new(vec![None; n]),
         }
     }
@@ -227,12 +230,12 @@ impl Comm {
     /// Gather every member's byte vector; result indexed by comm rank.
     pub fn allgather_bytes(&self, mine: Vec<u8>) -> Vec<Vec<u8>> {
         {
-            let mut slots = self.shared.slots.lock();
+            let mut slots = self.shared.slots.lock().unwrap();
             slots[self.my_index] = Some(mine);
         }
         self.shared.barrier.wait();
         let all: Vec<Vec<u8>> = {
-            let slots = self.shared.slots.lock();
+            let slots = self.shared.slots.lock().unwrap();
             slots
                 .iter()
                 .map(|o| o.clone().expect("every member contributed"))
@@ -246,12 +249,12 @@ impl Comm {
     /// Broadcast `bytes` from comm rank `root` to everyone.
     pub fn bcast(&self, root: Rank, bytes: Vec<u8>) -> Vec<u8> {
         if self.my_index == root {
-            let mut slots = self.shared.slots.lock();
+            let mut slots = self.shared.slots.lock().unwrap();
             slots[root] = Some(bytes);
         }
         self.shared.barrier.wait();
         let out = {
-            let slots = self.shared.slots.lock();
+            let slots = self.shared.slots.lock().unwrap();
             slots[root].clone().expect("root contributed")
         };
         self.shared.barrier.wait();
@@ -345,8 +348,9 @@ impl Comm {
         let world = Arc::clone(&self.world);
         let uid_src = Arc::clone(&self.world);
         let members_clone = members.clone();
+        let watchdog = self.world.watchdog;
         let shared = world.get_or_create(key, move || {
-            CommShared::new(uid_src.next_uid(), members_clone)
+            CommShared::new(uid_src.next_uid(), members_clone, watchdog)
         });
         Comm::new(Arc::clone(&self.world), shared, my_pos)
     }
@@ -373,19 +377,27 @@ impl Comm {
         let reg_key: RegistryKey = (self.shared.uid, RegistryKind::Subgroup, 0, key);
         let world = Arc::clone(&self.world);
         let uid_src = Arc::clone(&self.world);
+        let watchdog = self.world.watchdog;
         let shared = world.get_or_create(reg_key, move || {
-            CommShared::new(uid_src.next_uid(), world_members)
+            CommShared::new(uid_src.next_uid(), world_members, watchdog)
         });
         Comm::new(Arc::clone(&self.world), shared, my_pos)
     }
 }
 
-/// Create the world communicator state for `n` ranks; used by the
-/// runtime. Returns per-rank `Comm` handles.
+/// Create the world communicator state for `n` ranks with no watchdog;
+/// test-only convenience. Returns per-rank `Comm` handles.
+#[cfg(test)]
 pub(crate) fn make_world(n: usize) -> Vec<Comm> {
-    let world = WorldShared::new();
+    make_world_with_watchdog(n, None)
+}
+
+/// Like [`make_world`], with a watchdog deadline applied to every
+/// blocking barrier and receive of the world.
+pub(crate) fn make_world_with_watchdog(n: usize, watchdog: Option<Duration>) -> Vec<Comm> {
+    let world = WorldShared::new(watchdog);
     let uid = world.next_uid();
-    let shared = Arc::new(CommShared::new(uid, (0..n).collect()));
+    let shared = Arc::new(CommShared::new(uid, (0..n).collect(), watchdog));
     (0..n)
         .map(|i| Comm::new(Arc::clone(&world), Arc::clone(&shared), i))
         .collect()

@@ -14,13 +14,13 @@
 use std::fs::{File, OpenOptions};
 use std::os::unix::fs::FileExt;
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{unbounded, Sender};
-use parking_lot::{Condvar, Mutex};
-
 use crate::comm::{Comm, RegistryKind};
+#[cfg(feature = "trace")]
+use tapioca_trace::TraceStamp;
 
 /// Completion notification for a non-blocking write.
 #[derive(Debug, Default)]
@@ -31,20 +31,20 @@ struct Notify {
 
 impl Notify {
     fn signal(&self) {
-        let mut d = self.done.lock();
+        let mut d = self.done.lock().unwrap();
         *d = true;
         self.cv.notify_all();
     }
 
     fn wait(&self) {
-        let mut d = self.done.lock();
+        let mut d = self.done.lock().unwrap();
         while !*d {
-            self.cv.wait(&mut d);
+            d = self.cv.wait(d).unwrap();
         }
     }
 
     fn is_done(&self) -> bool {
-        *self.done.lock()
+        *self.done.lock().unwrap()
     }
 }
 
@@ -77,6 +77,11 @@ struct Job {
     offset: u64,
     data: Vec<u8>,
     notify: Arc<Notify>,
+    /// When set, a flush-completion event is recorded after the write
+    /// lands — from the worker thread, so the timestamp reflects the
+    /// true end of the I/O, not its submission.
+    #[cfg(feature = "trace")]
+    stamp: Option<TraceStamp>,
 }
 
 struct FileInner {
@@ -88,8 +93,8 @@ struct FileInner {
 impl Drop for FileInner {
     fn drop(&mut self) {
         // Closing the channel stops the worker after it drains the queue.
-        self.tx.lock().take();
-        if let Some(h) = self.worker.lock().take() {
+        self.tx.lock().unwrap().take();
+        if let Some(h) = self.worker.lock().unwrap().take() {
             let _ = h.join();
         }
     }
@@ -121,7 +126,7 @@ impl SharedFile {
 
     fn from_file(file: File) -> SharedFile {
         let worker_file = file.try_clone().expect("clone file handle for I/O worker");
-        let (tx, rx) = unbounded::<Job>();
+        let (tx, rx) = channel::<Job>();
         let worker = std::thread::Builder::new()
             .name("tapioca-io".into())
             .spawn(move || {
@@ -130,6 +135,10 @@ impl SharedFile {
                         .write_all_at(&job.data, job.offset)
                         .expect("positioned write");
                     job.notify.signal();
+                    #[cfg(feature = "trace")]
+                    if let Some(stamp) = &job.stamp {
+                        stamp.flush_done(job.data.len() as u64);
+                    }
                 }
             })
             .expect("spawn I/O worker");
@@ -163,15 +172,46 @@ impl SharedFile {
     /// Non-blocking positioned write: returns immediately; the I/O
     /// worker applies writes in submission order.
     pub fn iwrite_at(&self, offset: u64, data: Vec<u8>) -> IoHandle {
+        #[cfg(feature = "trace")]
+        return self.submit(offset, data, None);
+        #[cfg(not(feature = "trace"))]
+        self.submit(offset, data)
+    }
+
+    /// Non-blocking positioned write that records a flush-completion
+    /// trace event (with the worker-side completion timestamp) when
+    /// `stamp` is set.
+    #[cfg(feature = "trace")]
+    pub fn iwrite_at_traced(
+        &self,
+        offset: u64,
+        data: Vec<u8>,
+        stamp: Option<TraceStamp>,
+    ) -> IoHandle {
+        self.submit(offset, data, stamp)
+    }
+
+    fn submit(
+        &self,
+        offset: u64,
+        data: Vec<u8>,
+        #[cfg(feature = "trace")] stamp: Option<TraceStamp>,
+    ) -> IoHandle {
         if data.is_empty() {
             return IoHandle::ready();
         }
         let notify = Arc::new(Notify::default());
         let handle = IoHandle { notify: Arc::clone(&notify) };
-        let tx = self.inner.tx.lock();
+        let tx = self.inner.tx.lock().unwrap();
         tx.as_ref()
             .expect("file not closed")
-            .send(Job { offset, data, notify })
+            .send(Job {
+                offset,
+                data,
+                notify,
+                #[cfg(feature = "trace")]
+                stamp,
+            })
             .expect("I/O worker alive");
         handle
     }
@@ -239,7 +279,7 @@ mod tests {
             for t in 0..8u8 {
                 let f = f.clone();
                 s.spawn(move || {
-                    f.write_at(t as u64 * 100, &vec![t; 100]);
+                    f.write_at(t as u64 * 100, &[t; 100]);
                 });
             }
         });
@@ -262,5 +302,23 @@ mod tests {
         for i in 0..100u64 {
             assert_eq!(f.read_at(i * 4, 4), (i as u32).to_le_bytes());
         }
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn traced_iwrite_records_completion() {
+        use tapioca_trace::{TraceOp, TraceScope, Tracer};
+        let tracer = Tracer::new(1);
+        let scope = TraceScope::new(std::sync::Arc::clone(&tracer), 0, 2, vec![0]);
+        scope.set_round(3);
+        let f = SharedFile::create(tmp("traced")).unwrap();
+        let h = f.iwrite_at_traced(0, vec![7u8; 64], Some(scope.stamp()));
+        h.wait();
+        // the flush event is recorded by the worker *after* signalling
+        // completion; drop the file to join the worker first
+        drop(f);
+        let t = tracer.drain();
+        let flush = t.events().iter().find(|e| e.op == TraceOp::Flush).expect("flush recorded");
+        assert_eq!((flush.partition, flush.round, flush.bytes), (2, 3, 64));
     }
 }

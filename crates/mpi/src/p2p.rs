@@ -6,16 +6,16 @@
 //! is scanned in arrival order).
 
 use std::collections::{HashMap, VecDeque};
-
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use crate::{Rank, Tag};
 
 type Msg = (Tag, Vec<u8>);
 
 struct Pair {
-    tx: Sender<Msg>,
+    tx: Mutex<Sender<Msg>>,
     rx: Mutex<Receiver<Msg>>,
     /// Messages received but not yet matched by tag.
     stash: Mutex<VecDeque<Msg>>,
@@ -23,32 +23,44 @@ struct Pair {
 
 impl Pair {
     fn new() -> Self {
-        let (tx, rx) = unbounded();
-        Self { tx, rx: Mutex::new(rx), stash: Mutex::new(VecDeque::new()) }
+        let (tx, rx) = channel();
+        Self { tx: Mutex::new(tx), rx: Mutex::new(rx), stash: Mutex::new(VecDeque::new()) }
     }
 }
 
 /// All point-to-point channels of a world.
 #[derive(Default)]
 pub struct Mailboxes {
-    pairs: Mutex<HashMap<(Rank, Rank), std::sync::Arc<Pair>>>,
+    pairs: Mutex<HashMap<(Rank, Rank), Arc<Pair>>>,
+    /// Watchdog: a blocking `recv` that waits longer than this panics
+    /// with a deadlock diagnosis instead of hanging forever. `None`
+    /// waits indefinitely.
+    timeout: Option<Duration>,
 }
 
 impl Mailboxes {
-    /// Create an empty mailbox table.
+    /// Create an empty mailbox table with no watchdog.
     pub fn new() -> Self {
         Self::default()
     }
 
-    fn pair(&self, src: Rank, dst: Rank) -> std::sync::Arc<Pair> {
-        let mut m = self.pairs.lock();
-        std::sync::Arc::clone(m.entry((src, dst)).or_insert_with(|| std::sync::Arc::new(Pair::new())))
+    /// Create an empty mailbox table whose blocking receives panic with
+    /// a diagnosis after `timeout`.
+    pub fn with_timeout(timeout: Option<Duration>) -> Self {
+        Self { pairs: Mutex::new(HashMap::new()), timeout }
+    }
+
+    fn pair(&self, src: Rank, dst: Rank) -> Arc<Pair> {
+        let mut m = self.pairs.lock().unwrap();
+        Arc::clone(m.entry((src, dst)).or_insert_with(|| Arc::new(Pair::new())))
     }
 
     /// Send `bytes` from `src` to `dst` with `tag` (never blocks).
     pub fn send(&self, src: Rank, dst: Rank, tag: Tag, bytes: Vec<u8>) {
         self.pair(src, dst)
             .tx
+            .lock()
+            .unwrap()
             .send((tag, bytes))
             .expect("receiver side of a mailbox never drops while the world lives");
     }
@@ -58,39 +70,62 @@ impl Mailboxes {
     pub fn try_recv(&self, src: Rank, dst: Rank, tag: Tag) -> Option<Vec<u8>> {
         let pair = self.pair(src, dst);
         {
-            let mut stash = pair.stash.lock();
+            let mut stash = pair.stash.lock().unwrap();
             if let Some(pos) = stash.iter().position(|(t, _)| *t == tag) {
                 return Some(stash.remove(pos).expect("position valid").1);
             }
         }
-        let rx = pair.rx.lock();
+        let rx = pair.rx.lock().unwrap();
         while let Ok((t, bytes)) = rx.try_recv() {
             if t == tag {
                 return Some(bytes);
             }
-            pair.stash.lock().push_back((t, bytes));
+            pair.stash.lock().unwrap().push_back((t, bytes));
         }
         None
     }
 
     /// Receive the next message from `src` to `dst` matching `tag`
     /// (blocks until one arrives).
+    ///
+    /// # Panics
+    /// Panics with a deadlock diagnosis if the mailbox watchdog timeout
+    /// elapses with no matching message.
     pub fn recv(&self, src: Rank, dst: Rank, tag: Tag) -> Vec<u8> {
         let pair = self.pair(src, dst);
         // Check earlier unmatched messages first (preserves order per tag).
         {
-            let mut stash = pair.stash.lock();
+            let mut stash = pair.stash.lock().unwrap();
             if let Some(pos) = stash.iter().position(|(t, _)| *t == tag) {
                 return stash.remove(pos).expect("position valid").1;
             }
         }
-        let rx = pair.rx.lock();
+        let rx = pair.rx.lock().unwrap();
         loop {
-            let (t, bytes) = rx.recv().expect("sender side never drops while the world lives");
-            if t == tag {
-                return bytes;
+            let msg = match self.timeout {
+                None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
+                Some(t) => rx.recv_timeout(t),
+            };
+            match msg {
+                Ok((t, bytes)) => {
+                    if t == tag {
+                        return bytes;
+                    }
+                    pair.stash.lock().unwrap().push_back((t, bytes));
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    let who = std::thread::current();
+                    panic!(
+                        "watchdog: {} stuck in recv(src={src}, dst={dst}, tag={tag}) \
+                         for {:?} with no matching message",
+                        who.name().unwrap_or("<unnamed thread>"),
+                        self.timeout.unwrap(),
+                    );
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!("sender side dropped while rank {dst} still waits on rank {src}")
+                }
             }
-            pair.stash.lock().push_back((t, bytes));
         }
     }
 }
@@ -154,5 +189,15 @@ mod tests {
         mb.send(1, 0, 1, vec![2]);
         assert_eq!(mb.recv(1, 0, 1), vec![2]);
         assert_eq!(mb.recv(0, 1, 1), vec![1]);
+    }
+
+    #[test]
+    fn recv_watchdog_fires_with_diagnosis() {
+        let mb = Mailboxes::with_timeout(Some(Duration::from_millis(50)));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| mb.recv(0, 1, 9)))
+            .expect_err("empty mailbox must time out");
+        let msg = err.downcast_ref::<String>().expect("panic carries a String");
+        assert!(msg.contains("watchdog"), "unexpected message: {msg}");
+        assert!(msg.contains("tag=9"), "unexpected message: {msg}");
     }
 }

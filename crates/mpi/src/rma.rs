@@ -7,18 +7,18 @@
 //! closes the access epoch: after it returns, every put issued before it
 //! (by any member) is deposited and visible.
 //!
-//! The target regions are guarded by `parking_lot::RwLock`. MPI leaves
-//! overlapping concurrent puts undefined; TAPIOCA only issues disjoint
-//! puts, so lock serialization affects timing (which this runtime does
-//! not model) but never correctness. Lock release/acquire provides the
-//! happens-before edges the fence semantics require.
+//! The target regions are guarded by `RwLock`. MPI leaves overlapping
+//! concurrent puts undefined; TAPIOCA only issues disjoint puts, so lock
+//! serialization affects timing (which this runtime does not model) but
+//! never correctness. Lock release/acquire provides the happens-before
+//! edges the fence semantics require.
 
-use std::sync::Arc;
-
-use parking_lot::RwLock;
+use std::sync::{Arc, RwLock};
 
 use crate::comm::{Comm, RegistryKind};
 use crate::Rank;
+#[cfg(feature = "trace")]
+use tapioca_trace::TraceScope;
 
 struct WinShared {
     /// One region per comm rank.
@@ -28,6 +28,10 @@ struct WinShared {
 /// An RMA window over a communicator.
 pub struct Window {
     shared: Arc<WinShared>,
+    /// Per-handle tracing context; when set, puts and fences record
+    /// events attributed to this handle's rank.
+    #[cfg(feature = "trace")]
+    scope: Option<TraceScope>,
 }
 
 impl Window {
@@ -46,7 +50,25 @@ impl Window {
                 .map(|&s| RwLock::new(vec![0u8; s as usize]))
                 .collect(),
         });
-        Window { shared }
+        Window {
+            shared,
+            #[cfg(feature = "trace")]
+            scope: None,
+        }
+    }
+
+    /// Attach a tracing scope to this handle: subsequent `put` and
+    /// `fence` calls record events. Local to this handle — other
+    /// members' handles on the same window are unaffected.
+    #[cfg(feature = "trace")]
+    pub fn set_trace_scope(&mut self, scope: TraceScope) {
+        self.scope = Some(scope);
+    }
+
+    /// The attached tracing scope, if any.
+    #[cfg(feature = "trace")]
+    pub fn trace_scope(&self) -> Option<&TraceScope> {
+        self.scope.as_ref()
     }
 
     /// Deposit `data` into `target`'s region at `offset` (one-sided).
@@ -54,34 +76,40 @@ impl Window {
     /// # Panics
     /// Panics if the write exceeds the target region.
     pub fn put(&self, target: Rank, offset: usize, data: &[u8]) {
-        let mut region = self.shared.regions[target].write();
-        let end = offset + data.len();
-        assert!(
-            end <= region.len(),
-            "put of {}..{} exceeds window region of {} bytes",
-            offset,
-            end,
-            region.len()
-        );
-        region[offset..end].copy_from_slice(data);
+        {
+            let mut region = self.shared.regions[target].write().unwrap();
+            let end = offset + data.len();
+            assert!(
+                end <= region.len(),
+                "put of {}..{} exceeds window region of {} bytes",
+                offset,
+                end,
+                region.len()
+            );
+            region[offset..end].copy_from_slice(data);
+        }
+        #[cfg(feature = "trace")]
+        if let Some(scope) = &self.scope {
+            scope.rma_put(target, data.len() as u64);
+        }
     }
 
     /// Read `len` bytes from this member's *own* region at `offset`.
     ///
     /// Aggregators use this to flush their buffer after a fence.
     pub fn read_local(&self, me: Rank, offset: usize, len: usize) -> Vec<u8> {
-        let region = self.shared.regions[me].read();
+        let region = self.shared.regions[me].read().unwrap();
         region[offset..offset + len].to_vec()
     }
 
     /// Size of a member's region.
     pub fn region_len(&self, rank: Rank) -> usize {
-        self.shared.regions[rank].read().len()
+        self.shared.regions[rank].read().unwrap().len()
     }
 
     /// Run `f` with read access to this member's own region.
     pub fn with_local<R>(&self, me: Rank, f: impl FnOnce(&[u8]) -> R) -> R {
-        let region = self.shared.regions[me].read();
+        let region = self.shared.regions[me].read().unwrap();
         f(&region)
     }
 
@@ -94,7 +122,7 @@ impl Window {
     /// One-sided read of `len` bytes at `offset` from `target`'s region
     /// (MPI_Get). Subject to the same epoch discipline as `put`.
     pub fn get(&self, target: Rank, offset: usize, len: usize) -> Vec<u8> {
-        let region = self.shared.regions[target].read();
+        let region = self.shared.regions[target].read().unwrap();
         assert!(
             offset + len <= region.len(),
             "get of {}..{} exceeds window region of {} bytes",
@@ -110,6 +138,10 @@ impl Window {
     /// puts issued before it are then visible everywhere.
     pub fn fence(&self, comm: &Comm) {
         comm.barrier();
+        #[cfg(feature = "trace")]
+        if let Some(scope) = &self.scope {
+            scope.fence();
+        }
     }
 }
 
@@ -202,6 +234,32 @@ mod tests {
             }
             win.fence(&sub);
         });
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn traced_window_records_puts_and_fences() {
+        use tapioca_trace::{TraceOp, TraceScope, Tracer};
+        let tracer = Tracer::new(2);
+        let comms = make_world(2);
+        let t2 = std::sync::Arc::clone(&tracer);
+        std::thread::scope(|s| {
+            for c in comms {
+                let tracer = std::sync::Arc::clone(&t2);
+                s.spawn(move || {
+                    let mut win = Window::allocate(&c, 8);
+                    win.set_trace_scope(TraceScope::new(tracer, c.rank(), 0, vec![0, 1]));
+                    win.put(0, c.rank() * 4, &[c.rank() as u8; 4]);
+                    win.fence(&c);
+                });
+            }
+        });
+        let trace = tracer.drain();
+        let puts = trace.events().iter().filter(|e| e.op == TraceOp::RmaPut).count();
+        let fences = trace.events().iter().filter(|e| e.op == TraceOp::Fence).count();
+        assert_eq!(puts, 2);
+        assert_eq!(fences, 2);
+        assert!(trace.events().iter().filter(|e| e.op == TraceOp::RmaPut).all(|e| e.peer == 0));
     }
 
     #[test]

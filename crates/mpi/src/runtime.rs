@@ -1,6 +1,23 @@
 //! The runtime harness: spawn N ranks as threads and run an SPMD closure.
 
-use crate::comm::{make_world, Comm};
+use std::time::Duration;
+
+use crate::comm::{make_world_with_watchdog, Comm};
+
+/// Default watchdog deadline, overridable via `TAPIOCA_WATCHDOG_SECS`
+/// (`0` disables the watchdog entirely).
+const DEFAULT_WATCHDOG_SECS: u64 = 120;
+
+fn default_watchdog() -> Option<Duration> {
+    match std::env::var("TAPIOCA_WATCHDOG_SECS") {
+        Ok(v) => match v.trim().parse::<u64>() {
+            Ok(0) => None,
+            Ok(secs) => Some(Duration::from_secs(secs)),
+            Err(_) => Some(Duration::from_secs(DEFAULT_WATCHDOG_SECS)),
+        },
+        Err(_) => Some(Duration::from_secs(DEFAULT_WATCHDOG_SECS)),
+    }
+}
 
 /// Entry point for running SPMD code on the in-process runtime.
 pub struct Runtime;
@@ -9,17 +26,38 @@ impl Runtime {
     /// Spawn `n` ranks, run `f(comm)` on each, and return the results in
     /// rank order. Panics in any rank propagate (failing the test that
     /// drove them) after all threads are joined by the scope.
+    ///
+    /// A default watchdog (120 s, or `TAPIOCA_WATCHDOG_SECS`) guards
+    /// every blocking barrier and receive: a deadlocked collective
+    /// panics with the stuck rank's name and wait state instead of
+    /// hanging forever.
     pub fn run<T, F>(n: usize, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(Comm) -> T + Sync,
     {
+        Self::run_with_watchdog(n, default_watchdog(), f)
+    }
+
+    /// Like [`Runtime::run`] with an explicit watchdog deadline
+    /// (`None` disables it).
+    pub fn run_with_watchdog<T, F>(n: usize, watchdog: Option<Duration>, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Comm) -> T + Sync,
+    {
         assert!(n > 0, "need at least one rank");
-        let comms = make_world(n);
+        let comms = make_world_with_watchdog(n, watchdog);
         std::thread::scope(|s| {
             let handles: Vec<_> = comms
                 .into_iter()
-                .map(|c| s.spawn(|| f(c)))
+                .map(|c| {
+                    let rank = c.rank();
+                    std::thread::Builder::new()
+                        .name(format!("rank-{rank}"))
+                        .spawn_scoped(s, || f(c))
+                        .expect("spawn rank thread")
+                })
                 .collect();
             handles
                 .into_iter()
@@ -61,6 +99,36 @@ mod tests {
             c.allreduce_min_loc(1.5)
         });
         assert_eq!(out, vec![(1.5, 0)]);
+    }
+
+    #[test]
+    fn rank_threads_are_named() {
+        Runtime::run(3, |c| {
+            let name = std::thread::current().name().map(str::to_owned);
+            assert_eq!(name.as_deref(), Some(format!("rank-{}", c.rank()).as_str()));
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "watchdog")]
+    fn deadlocked_barrier_names_the_stuck_rank() {
+        // rank 1 never reaches the barrier: without a watchdog this
+        // would hang forever, with one it panics with a diagnosis.
+        Runtime::run_with_watchdog(2, Some(Duration::from_millis(100)), |c| {
+            if c.rank() == 0 {
+                c.barrier();
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "stuck in recv")]
+    fn deadlocked_recv_names_the_stuck_rank() {
+        Runtime::run_with_watchdog(2, Some(Duration::from_millis(100)), |c| {
+            if c.rank() == 0 {
+                let _ = c.recv(1, 42); // rank 1 never sends
+            }
+        });
     }
 
     #[test]

@@ -3,10 +3,13 @@
 //! The central piece is a **sense-reversing barrier** built on a mutex
 //! and condvar (see *Rust Atomics and Locks*, ch. 9 for the pattern
 //! trade-offs). `std::sync::Barrier` would also work, but we need
-//! subgroup barriers created dynamically for split communicators and a
-//! barrier that hands back the generation for debugging.
+//! subgroup barriers created dynamically for split communicators, a
+//! barrier that hands back the generation for debugging, and a watchdog
+//! deadline so a deadlocked collective fails with a diagnosis instead
+//! of hanging CI forever.
 
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// A reusable N-party barrier.
 ///
@@ -18,6 +21,8 @@ pub struct Barrier {
     n: usize,
     state: Mutex<BarrierState>,
     cv: Condvar,
+    /// Watchdog deadline per `wait` call; `None` waits forever.
+    timeout: Option<Duration>,
 }
 
 #[derive(Debug)]
@@ -27,16 +32,26 @@ struct BarrierState {
 }
 
 impl Barrier {
-    /// Create a barrier for `n` parties.
+    /// Create a barrier for `n` parties with no watchdog.
     ///
     /// # Panics
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Self {
+        Self::with_timeout(n, None)
+    }
+
+    /// Create a barrier for `n` parties; a party that waits longer than
+    /// `timeout` panics with a named-rank diagnosis.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn with_timeout(n: usize, timeout: Option<Duration>) -> Self {
         assert!(n > 0, "barrier needs at least one party");
         Self {
             n,
             state: Mutex::new(BarrierState { arrived: 0, generation: 0 }),
             cv: Condvar::new(),
+            timeout,
         }
     }
 
@@ -47,8 +62,12 @@ impl Barrier {
 
     /// Block until all `n` parties have called `wait`; returns the
     /// generation index that just completed (starting at 0).
+    ///
+    /// # Panics
+    /// Panics with a deadlock diagnosis if the barrier's watchdog
+    /// timeout elapses before all parties arrive.
     pub fn wait(&self) -> u64 {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         let gen = st.generation;
         st.arrived += 1;
         if st.arrived == self.n {
@@ -56,8 +75,28 @@ impl Barrier {
             st.generation += 1;
             self.cv.notify_all();
         } else {
+            let deadline = self.timeout.map(|t| Instant::now() + t);
             while st.generation == gen {
-                self.cv.wait(&mut st);
+                match deadline {
+                    None => st = self.cv.wait(st).unwrap(),
+                    Some(d) => {
+                        let now = Instant::now();
+                        if now >= d {
+                            let who = std::thread::current();
+                            panic!(
+                                "watchdog: {} stuck in barrier for {:?} \
+                                 ({}/{} parties arrived, generation {})",
+                                who.name().unwrap_or("<unnamed thread>"),
+                                self.timeout.unwrap(),
+                                st.arrived,
+                                self.n,
+                                gen,
+                            );
+                        }
+                        let (g, _timed_out) = self.cv.wait_timeout(st, d - now).unwrap();
+                        st = g;
+                    }
+                }
             }
         }
         gen
@@ -118,6 +157,30 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn timed_barrier_still_completes() {
+        let n = 4;
+        let b = Arc::new(Barrier::with_timeout(n, Some(Duration::from_secs(30))));
+        std::thread::scope(|s| {
+            for _ in 0..n {
+                let b = Arc::clone(&b);
+                s.spawn(move || {
+                    assert_eq!(b.wait(), 0);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn watchdog_fires_on_missing_party() {
+        let b = Barrier::with_timeout(2, Some(Duration::from_millis(50)));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.wait()))
+            .expect_err("lone party must time out");
+        let msg = err.downcast_ref::<String>().expect("panic carries a String");
+        assert!(msg.contains("watchdog"), "unexpected message: {msg}");
+        assert!(msg.contains("1/2 parties"), "unexpected message: {msg}");
     }
 
     #[test]

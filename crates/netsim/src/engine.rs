@@ -779,19 +779,34 @@ mod tests {
     mod props {
         use super::*;
         use crate::fairshare::{max_min_rates, FlowDemand};
-        use proptest::prelude::*;
 
-        proptest! {
-            /// The engine's allocation-free waterfilling agrees with the
-            /// reference implementation: the first completion happens at
-            /// min(bytes_i / rate_i) under the reference rates.
-            #[test]
-            fn prop_engine_matches_reference_rates(
-                specs in proptest::collection::vec(
-                    (proptest::collection::vec(0usize..5, 1..4), 10.0f64..500.0),
-                    1..10),
-            ) {
+        fn mix(mut x: u64) -> u64 {
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x ^= x >> 27;
+            x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^ (x >> 31)
+        }
+
+        /// The engine's allocation-free waterfilling agrees with the
+        /// reference implementation: the first completion happens at
+        /// min(bytes_i / rate_i) under the reference rates.
+        #[test]
+        fn prop_engine_matches_reference_rates() {
+            for case in 0u64..40 {
                 let caps = [11.0, 23.0, 7.0, 17.0, 29.0];
+                let nspecs = 1 + (mix(case * 7 + 1) % 9) as usize;
+                let specs: Vec<(Vec<usize>, f64)> = (0..nspecs)
+                    .map(|i| {
+                        let len = 1 + (mix(case * 61 + i as u64) % 3) as usize;
+                        let route: Vec<usize> = (0..len)
+                            .map(|h| (mix(case * 127 + i as u64 * 11 + h as u64) % 5) as usize)
+                            .collect();
+                        let bytes = 10.0 + (mix(case * 211 + i as u64) % 4900) as f64 / 10.0;
+                        (route, bytes)
+                    })
+                    .collect();
+
                 let mut s = Simulator::with_capacities(caps.to_vec());
                 for (route, bytes) in &specs {
                     s.submit(0.0, route.clone(), *bytes);
@@ -815,20 +830,30 @@ mod tests {
                 let first = (0..s.num_flows())
                     .filter_map(|f| s.finish_time(f))
                     .fold(f64::INFINITY, f64::min);
-                prop_assert!((first - expect_first).abs() < 1e-6 * expect_first.max(1.0),
-                    "first completion {first} vs reference {expect_first}");
+                assert!((first - expect_first).abs() < 1e-6 * expect_first.max(1.0),
+                    "case {case}: first completion {first} vs reference {expect_first}");
             }
+        }
 
-            /// Every submitted flow eventually completes, and completion
-            /// time is lower-bounded by bytes / min-link-capacity.
-            #[test]
-            fn prop_all_complete_with_lower_bound(
-                specs in proptest::collection::vec(
-                    (0.0f64..5.0, proptest::collection::vec(0usize..6, 1..4),
-                     1.0f64..1000.0),
-                    1..20),
-            ) {
+        /// Every submitted flow eventually completes, and completion
+        /// time is lower-bounded by bytes / min-link-capacity.
+        #[test]
+        fn prop_all_complete_with_lower_bound() {
+            for case in 0u64..40 {
                 let caps = [7.0, 13.0, 29.0, 31.0, 5.0, 11.0];
+                let nspecs = 1 + (mix(case * 13 + 3) % 19) as usize;
+                let specs: Vec<(f64, Vec<usize>, f64)> = (0..nspecs)
+                    .map(|i| {
+                        let t = (mix(case * 31 + i as u64) % 50) as f64 / 10.0;
+                        let len = 1 + (mix(case * 67 + i as u64) % 3) as usize;
+                        let route: Vec<usize> = (0..len)
+                            .map(|h| (mix(case * 151 + i as u64 * 13 + h as u64) % 6) as usize)
+                            .collect();
+                        let bytes = 1.0 + (mix(case * 251 + i as u64) % 9990) as f64 / 10.0;
+                        (t, route, bytes)
+                    })
+                    .collect();
+
                 let mut s = Simulator::with_capacities(caps.to_vec());
                 let ids: Vec<_> = specs
                     .iter()
@@ -837,18 +862,22 @@ mod tests {
                 s.run_to_idle();
                 for (id, (t, route, bytes)) in ids.iter().zip(&specs) {
                     let ft = s.finish_time(*id);
-                    prop_assert!(ft.is_some(), "flow {id} never completed");
+                    assert!(ft.is_some(), "case {case}: flow {id} never completed");
                     let minc = route.iter().map(|&l| caps[l]).fold(f64::INFINITY, f64::min);
                     let lb = t + bytes / minc;
-                    prop_assert!(ft.unwrap() >= lb - 1e-6,
-                        "flow {id} finished at {} before lower bound {lb}", ft.unwrap());
+                    assert!(ft.unwrap() >= lb - 1e-6,
+                        "case {case}: flow {id} finished at {} before lower bound {lb}",
+                        ft.unwrap());
                 }
             }
+        }
 
-            /// More bytes on an otherwise identical flow never finishes
-            /// earlier (monotonicity).
-            #[test]
-            fn prop_monotonic_in_bytes(extra in 1.0f64..500.0) {
+        /// More bytes on an otherwise identical flow never finishes
+        /// earlier (monotonicity).
+        #[test]
+        fn prop_monotonic_in_bytes() {
+            for case in 0u64..25 {
+                let extra = 1.0 + (mix(case + 5) % 4990) as f64 / 10.0;
                 let mut s1 = Simulator::with_capacities(vec![10.0, 20.0]);
                 let a1 = s1.submit(0.0, vec![0, 1], 100.0);
                 s1.submit(0.0, vec![1], 50.0);
@@ -859,8 +888,9 @@ mod tests {
                 s2.submit(0.0, vec![1], 50.0);
                 s2.run_to_idle();
 
-                prop_assert!(s2.finish_time(a2).unwrap()
-                    >= s1.finish_time(a1).unwrap() - 1e-9);
+                assert!(s2.finish_time(a2).unwrap()
+                    >= s1.finish_time(a1).unwrap() - 1e-9,
+                    "case {case}");
             }
         }
     }

@@ -187,17 +187,33 @@ mod tests {
 
     mod props {
         use super::*;
-        use proptest::prelude::*;
 
-        proptest! {
-            /// No link is over-subscribed, and every flow is bottlenecked
-            /// somewhere (max-min optimality certificate).
-            #[test]
-            fn prop_feasible_and_maxmin(
-                routes in proptest::collection::vec(
-                    proptest::collection::vec(0usize..8, 1..4), 1..12),
-                caps_raw in proptest::collection::vec(1.0f64..100.0, 8),
-            ) {
+        fn mix(mut x: u64) -> u64 {
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x ^= x >> 27;
+            x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^ (x >> 31)
+        }
+
+        /// No link is over-subscribed, and every flow is bottlenecked
+        /// somewhere (max-min optimality certificate). Deterministic
+        /// seeded sweep.
+        #[test]
+        fn prop_feasible_and_maxmin() {
+            for case in 0u64..60 {
+                let caps_raw: Vec<f64> =
+                    (0..8).map(|l| 1.0 + (mix(case * 17 + l) % 990) as f64 / 10.0).collect();
+                let nflows = 1 + (mix(case * 31 + 9) % 11) as usize;
+                let routes: Vec<Vec<usize>> = (0..nflows)
+                    .map(|f| {
+                        let len = 1 + (mix(case * 131 + f as u64) % 3) as usize;
+                        (0..len)
+                            .map(|h| (mix(case * 997 + f as u64 * 7 + h as u64) % 8) as usize)
+                            .collect()
+                    })
+                    .collect();
+
                 let flows: Vec<_> = routes
                     .iter()
                     .map(|r| FlowDemand { route: r.clone() })
@@ -205,14 +221,14 @@ mod tests {
                 let rates = max_min_rates(&flows, |l| caps_raw[l]);
 
                 // Feasibility: per-link sum of rates <= capacity.
-                for l in 0..8 {
+                for (l, &cap) in caps_raw.iter().enumerate() {
                     let used: f64 = flows
                         .iter()
                         .zip(&rates)
                         .map(|(f, &r)| r * f.route.iter().filter(|&&x| x == l).count() as f64)
                         .sum();
-                    prop_assert!(used <= caps_raw[l] * (1.0 + 1e-9),
-                        "link {l} oversubscribed: {used} > {}", caps_raw[l]);
+                    assert!(used <= cap * (1.0 + 1e-9),
+                        "case {case}: link {l} oversubscribed: {used} > {cap}");
                 }
 
                 // Max-min certificate: every flow crosses a saturated link
@@ -236,7 +252,7 @@ mod tests {
                             break;
                         }
                     }
-                    prop_assert!(certified, "flow {i} is not max-min bottlenecked");
+                    assert!(certified, "case {case}: flow {i} is not max-min bottlenecked");
                 }
             }
         }

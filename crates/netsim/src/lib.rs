@@ -43,11 +43,9 @@ pub const TIME_EPS: f64 = 1e-12;
 /// events. Anything below this threshold is zero.
 pub const BYTE_EPS: f64 = 1e-3;
 
-#[cfg(test)]
-mod tests {
-    #[test]
-    fn eps_ordering_sane() {
-        assert!(super::TIME_EPS < 1e-9);
-        assert!(super::BYTE_EPS < 1.0);
-    }
-}
+// Compile-time sanity: the epsilons must stay far below the scales they
+// guard (event times in seconds, flow sizes in bytes).
+const _: () = {
+    assert!(TIME_EPS < 1e-9);
+    assert!(BYTE_EPS < 1.0);
+};

@@ -113,7 +113,6 @@ impl CoordSpace {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn roundtrip_small() {
@@ -166,26 +165,41 @@ mod tests {
         cs.coords_to_id(&[0, 2]);
     }
 
-    proptest! {
-        #[test]
-        fn prop_roundtrip(dims in proptest::collection::vec(1usize..6, 1..5),
-                          seed in any::<usize>()) {
-            let cs = CoordSpace::new(&dims);
-            let id = seed % cs.len();
-            let c = cs.coords_of(id);
-            prop_assert_eq!(cs.coords_to_id(&c), id);
+    #[test]
+    fn prop_roundtrip_exhaustive_small_spaces() {
+        // every mixed-radix space with 1..=3 dims of extent 1..=5:
+        // id -> coords -> id is the identity for every id
+        for d0 in 1usize..6 {
+            for d1 in 0usize..6 {
+                for d2 in 0usize..6 {
+                    let dims: Vec<usize> = [d0, d1, d2]
+                        .into_iter()
+                        .take_while(|&d| d > 0)
+                        .collect();
+                    let cs = CoordSpace::new(&dims);
+                    for id in 0..cs.len() {
+                        let c = cs.coords_of(id);
+                        assert_eq!(cs.coords_to_id(&c), id, "dims {dims:?}");
+                    }
+                }
+            }
         }
+    }
 
-        #[test]
-        fn prop_ring_delta_reaches(n in 1usize..32, a in 0usize..32, b in 0usize..32) {
-            let (a, b) = (a % n, b % n);
+    #[test]
+    fn prop_ring_delta_reaches_exhaustive() {
+        // signed shortest displacement reaches the target and never
+        // exceeds half the ring, for every (n, a, b) with n <= 32
+        for n in 1usize..33 {
             let cs = CoordSpace::new(&[n]);
-            let d = cs.ring_delta(0, a, b);
-            let reached = ((a as isize + d).rem_euclid(n as isize)) as usize;
-            prop_assert_eq!(reached, b);
-            // never longer than the other way around
-            prop_assert!(d.unsigned_abs() <= n - d.unsigned_abs() || d >= 0);
-            prop_assert!(d.unsigned_abs() <= n / 2 + (n % 2));
+            for a in 0..n {
+                for b in 0..n {
+                    let d = cs.ring_delta(0, a, b);
+                    let reached = ((a as isize + d).rem_euclid(n as isize)) as usize;
+                    assert_eq!(reached, b, "n={n} a={a} b={b}");
+                    assert!(d.unsigned_abs() <= n / 2 + (n % 2), "n={n} a={a} b={b}");
+                }
+            }
         }
     }
 }

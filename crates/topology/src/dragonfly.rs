@@ -320,7 +320,7 @@ mod tests {
             for t in 0..d.num_nodes() {
                 if s != t {
                     let h = d.hop_distance(s, t);
-                    assert!(h >= 2 && h <= 2 + 5, "{s}->{t} = {h}");
+                    assert!((2..=2 + 5).contains(&h), "{s}->{t} = {h}");
                 }
             }
         }

@@ -124,7 +124,7 @@ pub fn mira_profile(nodes: usize, ranks_per_node: usize) -> MachineProfile {
 /// Panics if `nodes` is not a multiple of 4 (nodes per router) or exceeds
 /// the full machine.
 pub fn theta_profile(nodes: usize, ranks_per_node: usize) -> MachineProfile {
-    assert!(nodes % 4 == 0, "Theta allocations are whole routers (4 nodes)");
+    assert!(nodes.is_multiple_of(4), "Theta allocations are whole routers (4 nodes)");
     assert!(nodes <= 9 * 96 * 4, "Theta has 3,456 nodes");
     let routers = nodes / 4;
     // Fill whole groups of 96 routers (16 x 6); shrink the last partial
@@ -164,7 +164,7 @@ pub fn theta_profile(nodes: usize, ranks_per_node: usize) -> MachineProfile {
 /// Panics if `nodes` is not a multiple of 32.
 pub fn cluster_profile(nodes: usize, ranks_per_node: usize) -> MachineProfile {
     use crate::fattree::{FatTree, FatTreeParams};
-    assert!(nodes % 32 == 0, "cluster leaves hold 32 nodes");
+    assert!(nodes.is_multiple_of(32), "cluster leaves hold 32 nodes");
     let leaves = nodes / 32;
     let fat = FatTree::new(FatTreeParams {
         leaves,

@@ -63,7 +63,7 @@ impl Torus {
     /// `bridge_nodes <= nodes_per_pset`.
     pub fn with_psets(mut self, cfg: PsetConfig) -> Self {
         let n = self.space.len();
-        assert!(cfg.nodes_per_pset > 0 && n % cfg.nodes_per_pset == 0,
+        assert!(cfg.nodes_per_pset > 0 && n.is_multiple_of(cfg.nodes_per_pset),
                 "nodes_per_pset {} must divide node count {}", cfg.nodes_per_pset, n);
         assert!(cfg.bridge_nodes >= 1 && cfg.bridge_nodes <= cfg.nodes_per_pset);
         assert!(cfg.bridge_link_bw > 0.0);

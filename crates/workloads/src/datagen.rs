@@ -5,13 +5,58 @@
 //! any scheduling/offset bug surfaces as a byte mismatch at a specific
 //! file position.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// A seeded SplitMix64 stream — the repo's only random-number source,
+/// deterministic by construction (no OS entropy, no external crates).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Start a stream at `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut x = self.state;
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        x
+    }
+
+    /// A value in `[lo, hi)` (uniform enough for test sweeps).
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// A `usize` in `[lo, hi)`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// A coin flip.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
 
 /// Fill a buffer with seeded pseudo-random bytes (reproducible).
 pub fn fill_random(seed: u64, buf: &mut [u8]) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    rng.fill_bytes(buf);
+    let mut rng = SplitMix64::new(seed);
+    for chunk in buf.chunks_mut(8) {
+        let bytes = rng.next_u64().to_le_bytes();
+        chunk.copy_from_slice(&bytes[..chunk.len()]);
+    }
 }
 
 /// A deterministic byte for file position `pos` under `seed` — O(1), so

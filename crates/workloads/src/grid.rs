@@ -132,7 +132,6 @@ impl GridDecomp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn one_d_is_contiguous_blocks() {
@@ -190,47 +189,68 @@ mod tests {
         assert_eq!(g.rank_coords(11), vec![1, 2, 1]);
     }
 
-    proptest! {
-        /// Every byte of the global array is declared exactly once.
-        #[test]
-        fn prop_blocks_tile_the_file(
-            gy in 1u64..12, gx in 1u64..12,
-            py in 1usize..4, px in 1usize..4,
-            elem in 1u64..9,
-        ) {
-            prop_assume!(py as u64 <= gy && px as u64 <= gx);
-            let g = GridDecomp::new_2d(gy, gx, py, px, elem);
-            let total = g.total_bytes();
-            let mut covered = vec![0u8; total as usize];
-            for r in 0..g.num_ranks() {
-                for d in g.decls_of_rank(r) {
-                    for b in d.offset..d.offset + d.len {
-                        covered[b as usize] += 1;
+    /// Every byte of the global array is declared exactly once —
+    /// exhaustive over all small 2D decompositions.
+    #[test]
+    fn prop_blocks_tile_the_file() {
+        for gy in 1u64..12 {
+            for gx in 1u64..12 {
+                for py in 1usize..4 {
+                    for px in 1usize..4 {
+                        if py as u64 > gy || px as u64 > gx {
+                            continue;
+                        }
+                        for elem in [1u64, 3, 8] {
+                            let g = GridDecomp::new_2d(gy, gx, py, px, elem);
+                            let total = g.total_bytes();
+                            let mut covered = vec![0u8; total as usize];
+                            for r in 0..g.num_ranks() {
+                                for d in g.decls_of_rank(r) {
+                                    for b in d.offset..d.offset + d.len {
+                                        covered[b as usize] += 1;
+                                    }
+                                }
+                            }
+                            assert!(
+                                covered.iter().all(|&c| c == 1),
+                                "{gy}x{gx} over {py}x{px} elem {elem}: \
+                                 every byte declared exactly once"
+                            );
+                        }
                     }
                 }
             }
-            prop_assert!(covered.iter().all(|&c| c == 1),
-                "every byte declared exactly once");
         }
+    }
 
-        /// 3D blocks tile as well (coarser sampling).
-        #[test]
-        fn prop_3d_blocks_tile(
-            gz in 1u64..5, gy in 1u64..5, gx in 1u64..5,
-            pz in 1usize..3, py in 1usize..3, px in 1usize..3,
-        ) {
-            prop_assume!(pz as u64 <= gz && py as u64 <= gy && px as u64 <= gx);
-            let g = GridDecomp::new_3d(gz, gy, gx, pz, py, px, 2);
-            let total = g.total_bytes();
-            let mut covered = vec![0u8; total as usize];
-            for r in 0..g.num_ranks() {
-                for d in g.decls_of_rank(r) {
-                    for b in d.offset..d.offset + d.len {
-                        covered[b as usize] += 1;
+    /// 3D blocks tile as well — exhaustive over small decompositions.
+    #[test]
+    fn prop_3d_blocks_tile() {
+        for gz in 1u64..5 {
+            for gy in 1u64..5 {
+                for gx in 1u64..5 {
+                    for pz in 1usize..3 {
+                        for py in 1usize..3 {
+                            for px in 1usize..3 {
+                                if pz as u64 > gz || py as u64 > gy || px as u64 > gx {
+                                    continue;
+                                }
+                                let g = GridDecomp::new_3d(gz, gy, gx, pz, py, px, 2);
+                                let total = g.total_bytes();
+                                let mut covered = vec![0u8; total as usize];
+                                for r in 0..g.num_ranks() {
+                                    for d in g.decls_of_rank(r) {
+                                        for b in d.offset..d.offset + d.len {
+                                            covered[b as usize] += 1;
+                                        }
+                                    }
+                                }
+                                assert!(covered.iter().all(|&c| c == 1));
+                            }
+                        }
                     }
                 }
             }
-            prop_assert!(covered.iter().all(|&c| c == 1));
         }
     }
 }

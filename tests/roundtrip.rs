@@ -29,6 +29,7 @@ fn roundtrip_dense(name: &str, ranks: usize, per: u64, aggr: usize, buf: u64, pi
             buffer_size: buf,
             pipelining,
             strategy: PlacementStrategy::TopologyAware,
+            ..Default::default()
         };
         let mut io = Tapioca::init(&comm, file, decls, cfg);
         io.write(r * per, &expected_range(seed, r * per, per as usize));
@@ -190,30 +191,38 @@ fn repeated_operations_on_one_communicator() {
 }
 
 mod props {
-    use super::*;
-    use proptest::prelude::*;
+    //! Property-style sweep with deterministic seeds: any mix of
+    //! per-rank sizes, aggregator counts and buffer sizes round-trips
+    //! byte-exactly through the full pipeline. Each case is fully
+    //! determined by its seed, so a failure message names a seed that
+    //! reproduces it exactly.
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(12))]
-        /// Any mix of per-rank sizes, aggregator counts and buffer sizes
-        /// round-trips byte-exactly through the full pipeline.
-        #[test]
-        fn prop_pipeline_roundtrips(
-            sizes in proptest::collection::vec(1u64..2000, 2..8),
-            aggr in 1usize..6,
-            buf in 32u64..700,
-            pipelining in proptest::bool::ANY,
-        ) {
-            let n = sizes.len();
+    use super::*;
+    use tapioca_workloads::datagen::SplitMix64;
+
+    #[test]
+    fn prop_pipeline_roundtrips_seeded_sweep() {
+        for seed in 0u64..12 {
+            let mut rng = SplitMix64::new(0x5EED_0000 + seed);
+            let n = rng.range_usize(2, 8);
+            let sizes: Vec<u64> = (0..n).map(|_| rng.range_u64(1, 2000)).collect();
+            let aggr = rng.range_usize(1, 6);
+            let buf = rng.range_u64(32, 700);
+            let pipelining = rng.bool();
+
             let offsets: Vec<u64> = sizes
                 .iter()
-                .scan(0u64, |acc, s| { let o = *acc; *acc += s; Some(o) })
+                .scan(0u64, |acc, s| {
+                    let o = *acc;
+                    *acc += s;
+                    Some(o)
+                })
                 .collect();
             let total: u64 = sizes.iter().sum();
-            let path = tmp(&format!("prop-{aggr}-{buf}-{total}"));
-            let (sizes2, offsets2) = (sizes.clone(), offsets.clone());
+            let path = tmp(&format!("prop-{seed}"));
+            let (sizes2, offsets2, path2) = (sizes.clone(), offsets.clone(), path.clone());
             Runtime::run(n, move |comm| {
-                let file = SharedFile::open_shared(&comm, &path);
+                let file = SharedFile::open_shared(&comm, &path2);
                 let r = comm.rank();
                 let decls = vec![WriteDecl { offset: offsets2[r], len: sizes2[r] }];
                 let mut io = Tapioca::init(&comm, file, decls, TapiocaConfig {
@@ -225,10 +234,17 @@ mod props {
                 io.write(offsets2[r], &expected_range(99, offsets2[r], sizes2[r] as usize));
                 io.finalize();
             });
-            let path = tmp(&format!("prop-{aggr}-{buf}-{total}"));
             let bytes = std::fs::read(&path).unwrap();
-            prop_assert_eq!(bytes.len() as u64, total);
-            prop_assert_eq!(verify_slice(99, 0, &bytes), None);
+            assert_eq!(
+                bytes.len() as u64,
+                total,
+                "seed {seed}: n={n} sizes={sizes:?} aggr={aggr} buf={buf} pipelining={pipelining}"
+            );
+            assert_eq!(
+                verify_slice(99, 0, &bytes),
+                None,
+                "seed {seed}: n={n} sizes={sizes:?} aggr={aggr} buf={buf} pipelining={pipelining}"
+            );
             std::fs::remove_file(&path).ok();
         }
     }
