@@ -17,11 +17,27 @@ use tapioca_baseline::romio::MpiIoConfig;
 use tapioca_baseline::sim::run_mpiio_sim;
 use tapioca_bench::*;
 use tapioca_pfs::{AccessMode, LustreTunables};
-use tapioca_topology::{theta_profile, MIB};
+use tapioca_topology::{theta_profile, TopologyProvider, MIB};
 use tapioca_workloads::hacc::{HaccIo, Layout, VAR_NAMES};
 
 fn main() {
-    let nodes = 128;
+    // Args: an optional positional node count plus `--trace-out PATH`
+    // to dump the simulated TAPIOCA collective's event trace as JSONL
+    // (checkable with `checksim`).
+    let mut nodes = 128usize;
+    let mut trace_out: Option<std::path::PathBuf> = None;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--trace-out" => {
+                i += 1;
+                trace_out = Some(argv.get(i).expect("--trace-out PATH").into());
+            }
+            other => nodes = other.parse().unwrap_or_else(|_| panic!("unknown option {other}")),
+        }
+        i += 1;
+    }
     let rpn = RANKS_PER_NODE;
     let nranks = nodes * rpn;
     let w = HaccIo {
@@ -82,9 +98,13 @@ fn main() {
         groups: vec![GroupSpec { file: 0, ranks: (0..nranks).collect(), decls }],
         mode: AccessMode::Write,
     };
+    let tracer = trace_out
+        .as_ref()
+        .map(|_| tapioca_trace::Tracer::new(profile.machine.num_ranks()));
     let tap = run_tapioca_sim(&profile, &storage, &spec, &TapiocaConfig {
         num_aggregators: aggregators,
         buffer_size: buffer,
+        tracer: tracer.clone(),
         ..Default::default()
     });
     let mpi = run_mpiio_sim(&profile, &storage, &spec, &MpiIoConfig {
@@ -93,6 +113,12 @@ fn main() {
     });
     println!("# bandwidth: TAPIOCA {:.2} GiB/s, per-call MPI I/O {:.2} GiB/s",
         tap.bandwidth_gib(), mpi.bandwidth_gib());
+
+    if let (Some(path), Some(tracer)) = (&trace_out, &tracer) {
+        let summary = dump_trace_jsonl(tracer, path).expect("write trace");
+        println!("# trace: {} ({} puts, {} flushes, {} rounds)",
+            path.display(), summary.puts, summary.flushes, summary.rounds);
+    }
 
     shape(
         "tapioca-buffers-are-full",

@@ -1,0 +1,296 @@
+//! # tapioca-check
+//!
+//! A happens-before race detector and RMA-epoch protocol checker over
+//! [`tapioca_trace::Trace`]s — the pipeline's ordering contract, made
+//! executable.
+//!
+//! The TAPIOCA write pipeline (paper Algorithm 3) is correct only if a
+//! handful of ordering invariants hold in every execution:
+//!
+//! 1. **Epoch discipline** — every RMA put of round `r` happens inside
+//!    round `r`'s access epoch: after the release fence of round `r-1`
+//!    and before the close fence of round `r`.
+//! 2. **Put disjointness** — no two puts that target overlapping byte
+//!    ranges of the same aggregation window are concurrent (unordered by
+//!    happens-before). MPI leaves overlapping concurrent puts undefined.
+//! 3. **Buffer reuse** — a pipeline buffer is refilled (round `r+2` with
+//!    double buffering) only after the flush of round `r` completed.
+//! 4. **Collective agreement** — all ranks of a partition observe the
+//!    partition's collectives (fences) in the same order, with the same
+//!    round labels.
+//! 5. **Deadlock freedom** — the cross-partition fence ordering is
+//!    acyclic; a cycle is reported with a witness naming the ranks and
+//!    the collectives they block on.
+//!
+//! [`check`] verifies all of these on a recorded trace and returns the
+//! violations found (empty = clean). Kinds are machine-readable
+//! ([`ViolationKind::code`]); messages are human diagnostics.
+//!
+//! ## How the happens-before relation is built
+//!
+//! The checker replays the trace through a vector-clock engine
+//! ([`hb`]): per-rank lane order gives program-order edges (sound
+//! because each lane is appended under a mutex in timestamp order, and
+//! the I/O worker records flush completions *before* signalling the
+//! handle the aggregator waits on), and each fence is a barrier join
+//! over the partition's participants. Two events are concurrent iff
+//! neither's clock is ≤ the other's.
+//!
+//! Simulator traces carry no fence events (the simulator executes a
+//! dependency DAG, not synchronization); for such partitions the
+//! checker falls back to completion-timestamp ordering for the buffer
+//! reuse invariant — sound because simulated completion times respect
+//! the plan DAG, which encodes exactly that dependency — and skips the
+//! epoch and overlap checks, which are meaningless without epochs.
+
+pub mod hb;
+pub mod jsonl;
+
+use std::fmt;
+
+use tapioca_trace::{Trace, TraceOp, NO_OFFSET};
+
+pub use jsonl::parse_jsonl;
+
+/// Machine-readable classification of a protocol violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ViolationKind {
+    /// An RMA put executed outside its round's fence epoch.
+    PutOutsideEpoch,
+    /// A flush completed outside the window the pipeline allows
+    /// (before its round's close fence, or after the release fence
+    /// that should have waited for it).
+    FlushOutsideEpoch,
+    /// Two puts into overlapping bytes of one aggregation window are
+    /// unordered by happens-before.
+    ConcurrentOverlappingPuts,
+    /// A pipeline buffer was refilled before its previous flush
+    /// completed.
+    RefillBeforeFlush,
+    /// Ranks of one partition disagree on the partition's collective
+    /// sequence (different fence counts or round labels).
+    CollectiveOrderMismatch,
+    /// The fence/flush wait-for graph has a cycle: the recorded
+    /// schedule could deadlock. The message names the ranks.
+    CollectiveCycle,
+    /// A partition recorded more than one election winner.
+    ConflictingElections,
+}
+
+impl ViolationKind {
+    /// Stable machine-readable identifier.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ViolationKind::PutOutsideEpoch => "put-outside-epoch",
+            ViolationKind::FlushOutsideEpoch => "flush-outside-epoch",
+            ViolationKind::ConcurrentOverlappingPuts => "concurrent-overlapping-puts",
+            ViolationKind::RefillBeforeFlush => "refill-before-flush",
+            ViolationKind::CollectiveOrderMismatch => "collective-order-mismatch",
+            ViolationKind::CollectiveCycle => "collective-cycle",
+            ViolationKind::ConflictingElections => "conflicting-elections",
+        }
+    }
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One detected violation: a kind plus a human diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// What class of invariant was broken.
+    pub kind: ViolationKind,
+    /// Human-readable diagnosis naming ranks, rounds, and offsets.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.kind.code(), self.message)
+    }
+}
+
+/// Check every pipeline invariant on `trace`; an empty result means the
+/// recorded execution is protocol-clean.
+pub fn check(trace: &Trace) -> Vec<Violation> {
+    let mut out = Vec::new();
+    check_elections(trace, &mut out);
+    check_collective_order(trace, &mut out);
+    let exec = hb::Execution::replay(trace, &mut out);
+    check_overlaps(trace, &exec, &mut out);
+    check_refill(trace, &exec, &mut out);
+    out
+}
+
+/// Invariant 4 (part 1): at most one election winner per partition.
+fn check_elections(trace: &Trace, out: &mut Vec<Violation>) {
+    use std::collections::BTreeMap;
+    let mut winners: BTreeMap<u32, usize> = BTreeMap::new();
+    for e in trace.events() {
+        if e.op != TraceOp::Elect {
+            continue;
+        }
+        match winners.get(&e.partition) {
+            None => {
+                winners.insert(e.partition, e.peer);
+            }
+            Some(&w) if w == e.peer => {}
+            Some(&w) => out.push(Violation {
+                kind: ViolationKind::ConflictingElections,
+                message: format!(
+                    "partition {} recorded conflicting election winners: rank {} and rank {}",
+                    e.partition, w, e.peer
+                ),
+            }),
+        }
+    }
+}
+
+/// Invariant 4 (part 2): within a partition, every participating rank
+/// records the same number of fences with the same round labels, in the
+/// same order.
+fn check_collective_order(trace: &Trace, out: &mut Vec<Violation>) {
+    use std::collections::BTreeMap;
+    // (partition -> rank -> round labels of its fences, in lane order)
+    let mut seqs: BTreeMap<u32, BTreeMap<usize, Vec<u32>>> = BTreeMap::new();
+    for e in trace.events() {
+        if e.op == TraceOp::Fence {
+            seqs.entry(e.partition).or_default().entry(e.rank).or_default().push(e.round);
+        }
+    }
+    for (p, by_rank) in &seqs {
+        let mut iter = by_rank.iter();
+        let Some((&r0, ref_seq)) = iter.next() else { continue };
+        for (&r, seq) in iter {
+            if seq.len() != ref_seq.len() {
+                out.push(Violation {
+                    kind: ViolationKind::CollectiveOrderMismatch,
+                    message: format!(
+                        "partition {p}: rank {r} recorded {} fences but rank {r0} recorded {}",
+                        seq.len(),
+                        ref_seq.len()
+                    ),
+                });
+            } else if seq != ref_seq {
+                let k = seq.iter().zip(ref_seq.iter()).position(|(a, b)| a != b).unwrap_or(0);
+                out.push(Violation {
+                    kind: ViolationKind::CollectiveOrderMismatch,
+                    message: format!(
+                        "partition {p}: fence #{k} is labelled round {} by rank {r} \
+                         but round {} by rank {r0} — the ranks disagree on the \
+                         collective order",
+                        seq[k], ref_seq[k]
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Invariant 2: overlapping puts into one window must be HB-ordered.
+fn check_overlaps(trace: &Trace, exec: &hb::Execution, out: &mut Vec<Violation>) {
+    use std::collections::BTreeMap;
+    let events = trace.events();
+    // partition -> put event indices carrying a window offset
+    let mut puts: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+    for (i, e) in events.iter().enumerate() {
+        if e.op == TraceOp::RmaPut && e.offset != NO_OFFSET && e.bytes > 0 {
+            puts.entry(e.partition).or_default().push(i);
+        }
+    }
+    for (p, mut idxs) in puts {
+        idxs.sort_by_key(|&i| events[i].offset);
+        // Sweep: `active` holds puts whose byte range may still overlap
+        // later (sorted-by-offset) puts.
+        let mut active: Vec<usize> = Vec::new();
+        for &i in &idxs {
+            let e = &events[i];
+            active.retain(|&j| {
+                let a = &events[j];
+                a.offset + a.bytes > e.offset
+            });
+            for &j in &active {
+                let a = &events[j];
+                if a.rank == e.rank {
+                    continue; // same lane: always program-ordered
+                }
+                if !exec.happens_before(j, i) && !exec.happens_before(i, j) {
+                    out.push(Violation {
+                        kind: ViolationKind::ConcurrentOverlappingPuts,
+                        message: format!(
+                            "partition {p}: concurrent overlapping puts into the \
+                             aggregation window — rank {} round {} wrote [{}, {}) and \
+                             rank {} round {} wrote [{}, {}), with no happens-before \
+                             order between them",
+                            a.rank,
+                            a.round,
+                            a.offset,
+                            a.offset + a.bytes,
+                            e.rank,
+                            e.round,
+                            e.offset,
+                            e.offset + e.bytes
+                        ),
+                    });
+                }
+            }
+            active.push(i);
+        }
+    }
+}
+
+/// Invariant 3: the flush of round `r` must complete before the puts of
+/// round `r + 2` (same double-buffer slot) start refilling the buffer.
+///
+/// Fenced partitions use the happens-before relation; fence-less
+/// (simulator) partitions use completion timestamps, which the plan DAG
+/// makes authoritative.
+fn check_refill(trace: &Trace, exec: &hb::Execution, out: &mut Vec<Violation>) {
+    use std::collections::BTreeMap;
+    let events = trace.events();
+    let mut flushes: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+    let mut puts: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+    for (i, e) in events.iter().enumerate() {
+        match e.op {
+            TraceOp::Flush => flushes.entry(e.partition).or_default().push(i),
+            TraceOp::RmaPut => puts.entry(e.partition).or_default().push(i),
+            _ => {}
+        }
+    }
+    for (p, fl) in &flushes {
+        let Some(pt) = puts.get(p) else { continue };
+        let fenced = exec.partition_is_fenced(*p);
+        for &fi in fl {
+            let f = &events[fi];
+            for &qi in pt {
+                let q = &events[qi];
+                // Same physical buffer: two rounds later, same parity.
+                if q.round < f.round + 2 || !(q.round - f.round).is_multiple_of(2) {
+                    continue;
+                }
+                let ordered = if fenced {
+                    exec.happens_before(fi, qi)
+                } else {
+                    f.t_ns <= q.t_ns
+                };
+                if !ordered {
+                    out.push(Violation {
+                        kind: ViolationKind::RefillBeforeFlush,
+                        message: format!(
+                            "partition {p}: buffer refilled before its flush drained — \
+                             rank {} put {} B for round {} into the slot whose round-{} \
+                             flush ({} B at file offset {}) had not completed",
+                            q.rank, q.bytes, q.round, f.round, f.bytes, f.offset
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,286 @@
+//! Hand-crafted traces that each break exactly one pipeline invariant,
+//! plus clean traces that must pass.
+
+use tapioca_trace::{Phase, Trace, TraceEvent, TraceOp, NO_OFFSET, NO_PEER};
+
+use crate::{check, ViolationKind};
+
+fn ev(t: u64, rank: usize, round: u32, op: TraceOp, bytes: u64, offset: u64) -> TraceEvent {
+    let phase = match op {
+        TraceOp::RmaPut | TraceOp::Elect => Phase::Aggregation,
+        TraceOp::Flush => Phase::Io,
+        TraceOp::Fence => Phase::Sync,
+    };
+    TraceEvent {
+        t_ns: t,
+        rank,
+        partition: 0,
+        round,
+        phase,
+        op,
+        bytes,
+        offset,
+        peer: if op == TraceOp::RmaPut { 0 } else { NO_PEER },
+    }
+}
+
+/// A correct 2-rank, 2-round pipeline on partition 0: rank 0 is the
+/// aggregator (buffer 64 B, double-buffered window of 128 B), rank 1 a
+/// member. Each round: both put, close fence, flush, release fence.
+fn good_events() -> Vec<TraceEvent> {
+    vec![
+        // round 0: puts into slot 0 ([0, 64))
+        ev(10, 0, 0, TraceOp::RmaPut, 32, 0),
+        ev(11, 1, 0, TraceOp::RmaPut, 32, 32),
+        // close fence of round 0
+        ev(20, 0, 0, TraceOp::Fence, 0, NO_OFFSET),
+        ev(20, 1, 0, TraceOp::Fence, 0, NO_OFFSET),
+        // flush of round 0 (file offset 0)
+        ev(30, 0, 0, TraceOp::Flush, 64, 0),
+        // release fence of round 0
+        ev(40, 0, 0, TraceOp::Fence, 0, NO_OFFSET),
+        ev(40, 1, 0, TraceOp::Fence, 0, NO_OFFSET),
+        // round 1: puts into slot 1 ([64, 128))
+        ev(50, 0, 1, TraceOp::RmaPut, 32, 64),
+        ev(51, 1, 1, TraceOp::RmaPut, 32, 96),
+        ev(60, 0, 1, TraceOp::Fence, 0, NO_OFFSET),
+        ev(60, 1, 1, TraceOp::Fence, 0, NO_OFFSET),
+        ev(70, 0, 1, TraceOp::Flush, 64, 64),
+        ev(80, 0, 1, TraceOp::Fence, 0, NO_OFFSET),
+        ev(80, 1, 1, TraceOp::Fence, 0, NO_OFFSET),
+    ]
+}
+
+fn kinds(trace: &Trace) -> Vec<ViolationKind> {
+    check(trace).into_iter().map(|v| v.kind).collect()
+}
+
+#[test]
+fn clean_pipeline_passes() {
+    assert_eq!(kinds(&Trace::from_events(good_events())), vec![]);
+}
+
+#[test]
+fn empty_trace_passes() {
+    assert_eq!(kinds(&Trace::default()), vec![]);
+}
+
+#[test]
+fn put_outside_epoch_is_caught() {
+    let mut evs = good_events();
+    // Rank 1's round-1 put escapes backwards past both round-0 fences:
+    // it now executes with 0 fences passed instead of 2.
+    let put = evs
+        .iter()
+        .position(|e| e.rank == 1 && e.round == 1 && e.op == TraceOp::RmaPut)
+        .unwrap();
+    evs[put].t_ns = 12;
+    let v = check(&Trace::from_events(evs));
+    assert_eq!(
+        v.iter().map(|v| v.kind).collect::<Vec<_>>(),
+        vec![ViolationKind::PutOutsideEpoch]
+    );
+    assert!(v[0].message.contains("rank 1"), "{}", v[0].message);
+    assert_eq!(v[0].kind.code(), "put-outside-epoch");
+}
+
+#[test]
+fn concurrent_overlapping_puts_are_caught() {
+    let mut evs = good_events();
+    // Rank 1's round-0 put now collides with rank 0's bytes [0, 32):
+    // both run in the same epoch with no fence between them.
+    let put = evs
+        .iter()
+        .position(|e| e.rank == 1 && e.round == 0 && e.op == TraceOp::RmaPut)
+        .unwrap();
+    evs[put].offset = 16;
+    let v = check(&Trace::from_events(evs));
+    assert_eq!(
+        v.iter().map(|v| v.kind).collect::<Vec<_>>(),
+        vec![ViolationKind::ConcurrentOverlappingPuts]
+    );
+    assert!(v[0].message.contains("[16, 48)"), "{}", v[0].message);
+}
+
+#[test]
+fn ordered_overlapping_puts_are_fine() {
+    // Same bytes rewritten two rounds later (slot reuse) is the normal
+    // pipeline pattern: fences order the rounds, so no race.
+    let mut evs = good_events();
+    for e in &mut evs {
+        if e.round == 1 && e.op == TraceOp::RmaPut {
+            e.offset -= 64; // pretend a single-buffer window
+        }
+    }
+    // The refill check now fires (round 1 reuses round 0's slot without
+    // parity distance 2) — but the *overlap* check must stay silent.
+    let v = check(&Trace::from_events(evs));
+    assert!(
+        !v.iter().any(|v| v.kind == ViolationKind::ConcurrentOverlappingPuts),
+        "{v:?}"
+    );
+}
+
+#[test]
+fn refill_before_flush_is_caught_in_sim_traces() {
+    // Fence-less (simulator-style) trace: the round-2 transfer finishes
+    // at t=50, but the flush of round 0 — whose buffer round 2 reuses —
+    // only completes at t=100.
+    let evs = vec![
+        ev(10, 0, 0, TraceOp::RmaPut, 64, NO_OFFSET),
+        ev(100, 0, 0, TraceOp::Flush, 64, 0),
+        ev(50, 0, 2, TraceOp::RmaPut, 64, NO_OFFSET),
+        ev(120, 0, 2, TraceOp::Flush, 64, 128),
+    ];
+    let v = check(&Trace::from_events(evs));
+    assert_eq!(
+        v.iter().map(|v| v.kind).collect::<Vec<_>>(),
+        vec![ViolationKind::RefillBeforeFlush]
+    );
+    assert!(v[0].message.contains("round 2"), "{}", v[0].message);
+}
+
+#[test]
+fn pipelined_sim_trace_passes() {
+    // Correct pipeline overlap: round 1 fills while round 0 flushes
+    // (allowed — different buffer), round 2 fills only after flush 0.
+    let evs = vec![
+        ev(10, 0, 0, TraceOp::RmaPut, 64, NO_OFFSET),
+        ev(20, 0, 1, TraceOp::RmaPut, 64, NO_OFFSET),
+        ev(30, 0, 0, TraceOp::Flush, 64, 0),
+        ev(40, 0, 2, TraceOp::RmaPut, 64, NO_OFFSET),
+        ev(50, 0, 1, TraceOp::Flush, 64, 64),
+        ev(60, 0, 2, TraceOp::Flush, 64, 128),
+    ];
+    assert_eq!(kinds(&Trace::from_events(evs)), vec![]);
+}
+
+#[test]
+fn flush_outside_epoch_is_caught() {
+    let mut evs = good_events();
+    // The round-0 flush completes before the round-0 close fence: the
+    // aggregator flushed a buffer whose epoch was still open.
+    let fl = evs
+        .iter()
+        .position(|e| e.op == TraceOp::Flush && e.round == 0)
+        .unwrap();
+    evs[fl].t_ns = 15;
+    let v = check(&Trace::from_events(evs));
+    assert_eq!(
+        v.iter().map(|v| v.kind).collect::<Vec<_>>(),
+        vec![ViolationKind::FlushOutsideEpoch]
+    );
+}
+
+#[test]
+fn refill_before_flush_via_hb_is_caught() {
+    // Thread-style fenced trace where the flush of round 0 is recorded
+    // *after* the release fence it should precede (e.g. an I/O worker
+    // that signals completion before recording): rounds 0 and 2 share a
+    // buffer slot but no happens-before edge orders flush 0 before the
+    // round-2 refill.
+    let mut evs = good_events();
+    // Re-label round 1 as round 2 (slot parity matches round 0) and
+    // delay the round-0 flush past every fence.
+    for e in &mut evs {
+        if e.round == 1 {
+            e.round = 2;
+            if e.op == TraceOp::RmaPut {
+                e.offset -= 64; // back into slot 0
+            }
+            if e.op == TraceOp::Flush {
+                e.offset = 128;
+            }
+        }
+    }
+    let fl = evs
+        .iter()
+        .position(|e| e.op == TraceOp::Flush && e.round == 0)
+        .unwrap();
+    evs[fl].t_ns = 95; // after the final fence at t=80
+    let v = check(&Trace::from_events(evs));
+    // The late flush is both outside its epoch window and unordered
+    // against the refill; the put epoch check also fires because the
+    // round jump breaks the fence schedule. What matters: the refill
+    // race is caught.
+    assert!(
+        v.iter().any(|v| v.kind == ViolationKind::RefillBeforeFlush),
+        "{v:?}"
+    );
+}
+
+#[test]
+fn collective_order_mismatch_is_caught() {
+    let mut evs = good_events();
+    // Rank 1 drops its final release fence: the partition's ranks no
+    // longer agree on the collective sequence.
+    let last = evs
+        .iter()
+        .rposition(|e| e.rank == 1 && e.op == TraceOp::Fence)
+        .unwrap();
+    evs.remove(last);
+    let v = check(&Trace::from_events(evs));
+    assert_eq!(
+        v.iter().map(|v| v.kind).collect::<Vec<_>>(),
+        vec![ViolationKind::CollectiveOrderMismatch]
+    );
+    assert!(v[0].message.contains("3 fences"), "{}", v[0].message);
+}
+
+#[test]
+fn collective_cycle_names_the_deadlocked_ranks() {
+    // Rank 0 fences partition 0 then 1; rank 1 fences 1 then 0. Classic
+    // lock-order inversion over collectives.
+    let mk = |t, rank, partition| TraceEvent {
+        t_ns: t,
+        rank,
+        partition,
+        round: 0,
+        phase: Phase::Sync,
+        op: TraceOp::Fence,
+        bytes: 0,
+        offset: NO_OFFSET,
+        peer: NO_PEER,
+    };
+    let evs = vec![mk(10, 0, 0), mk(20, 0, 1), mk(10, 1, 1), mk(20, 1, 0)];
+    let v = check(&Trace::from_events(evs));
+    assert_eq!(
+        v.iter().map(|v| v.kind).collect::<Vec<_>>(),
+        vec![ViolationKind::CollectiveCycle]
+    );
+    assert!(v[0].message.contains("rank 0"), "{}", v[0].message);
+    assert!(v[0].message.contains("rank 1"), "{}", v[0].message);
+    assert!(v[0].message.contains("cycle over ranks [0, 1]"), "{}", v[0].message);
+}
+
+#[test]
+fn conflicting_elections_are_caught() {
+    let mk = |rank, winner| TraceEvent {
+        t_ns: 5,
+        rank,
+        partition: 0,
+        round: 0,
+        phase: Phase::Aggregation,
+        op: TraceOp::Elect,
+        bytes: 64,
+        offset: NO_OFFSET,
+        peer: winner,
+    };
+    let v = check(&Trace::from_events(vec![mk(0, 0), mk(1, 1)]));
+    assert_eq!(
+        v.iter().map(|v| v.kind).collect::<Vec<_>>(),
+        vec![ViolationKind::ConflictingElections]
+    );
+}
+
+#[test]
+fn violations_render_with_their_code() {
+    let evs = vec![
+        ev(10, 0, 0, TraceOp::RmaPut, 64, NO_OFFSET),
+        ev(100, 0, 0, TraceOp::Flush, 64, 0),
+        ev(50, 0, 2, TraceOp::RmaPut, 64, NO_OFFSET),
+    ];
+    let v = check(&Trace::from_events(evs));
+    let rendered = format!("{}", v[0]);
+    assert!(rendered.starts_with("[refill-before-flush] "), "{rendered}");
+}

@@ -50,6 +50,16 @@ pub struct Tapioca<'c> {
     stats: Option<IoStats>,
 }
 
+impl std::fmt::Debug for Tapioca<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tapioca")
+            .field("decls", &self.decls.len())
+            .field("epoch", &self.epoch)
+            .field("flushed", &self.flushed)
+            .finish()
+    }
+}
+
 impl<'c> Tapioca<'c> {
     /// Collective: declare this rank's upcoming writes and compute the
     /// shared schedule. Uses the zero-information [`UniformTopology`]

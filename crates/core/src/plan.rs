@@ -147,6 +147,16 @@ pub struct TapiocaPlanInput<'a> {
     pub wave_base: u64,
 }
 
+impl std::fmt::Debug for TapiocaPlanInput<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TapiocaPlanInput")
+            .field("partitions", &self.schedule.partitions.len())
+            .field("mode", &self.mode)
+            .field("pipelining", &self.pipelining)
+            .finish()
+    }
+}
+
 /// Compile a TAPIOCA schedule into plan operations (appended to `plan`).
 ///
 /// Multiple groups (e.g. one per Pset file on Mira) can be appended to

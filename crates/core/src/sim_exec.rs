@@ -295,7 +295,7 @@ fn emit_sim_trace(
     report: &SimReport,
     groups: &[GroupTraceInfo],
 ) {
-    use tapioca_trace::{Phase, TraceEvent, TraceOp, NO_PEER};
+    use tapioca_trace::{Phase, TraceEvent, TraceOp, NO_OFFSET, NO_PEER};
     for g in groups {
         for (p, e) in g.elections.iter().enumerate() {
             let Some((low, agg, bytes)) = *e else { continue };
@@ -307,6 +307,7 @@ fn emit_sim_trace(
                 phase: Phase::Aggregation,
                 op: TraceOp::Elect,
                 bytes,
+                offset: NO_OFFSET,
                 peer: agg,
             });
         }
@@ -317,6 +318,8 @@ fn emit_sim_trace(
             let t_ns = (report.op_finish[id] * 1e9).round() as u64;
             let partition = g.partition_base + m.partition;
             match op.kind {
+                // Transfers model whole (round, source-node) batches, so
+                // there is no single window offset to attribute.
                 OpKind::Transfer { bytes, .. } => tracer.record(TraceEvent {
                     t_ns,
                     rank: agg,
@@ -325,9 +328,10 @@ fn emit_sim_trace(
                     phase: Phase::Aggregation,
                     op: TraceOp::RmaPut,
                     bytes: bytes.round() as u64,
+                    offset: NO_OFFSET,
                     peer: agg,
                 }),
-                OpKind::Flush { len, .. } => tracer.record(TraceEvent {
+                OpKind::Flush { len, offset, .. } => tracer.record(TraceEvent {
                     t_ns,
                     rank: agg,
                     partition,
@@ -335,6 +339,7 @@ fn emit_sim_trace(
                     phase: Phase::Io,
                     op: TraceOp::Flush,
                     bytes: len,
+                    offset,
                     peer: NO_PEER,
                 }),
             }

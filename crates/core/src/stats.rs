@@ -169,7 +169,7 @@ mod tests {
     #[cfg(feature = "trace")]
     #[test]
     fn trace_report_names_every_counter() {
-        use tapioca_trace::{Phase, Trace, TraceEvent, TraceOp, NO_PEER};
+        use tapioca_trace::{Phase, Trace, TraceEvent, TraceOp, NO_OFFSET, NO_PEER};
         let t = Trace::from_events(vec![
             TraceEvent {
                 t_ns: 1,
@@ -179,6 +179,7 @@ mod tests {
                 phase: Phase::Aggregation,
                 op: TraceOp::RmaPut,
                 bytes: 64,
+                offset: NO_OFFSET,
                 peer: 1,
             },
             TraceEvent {
@@ -189,6 +190,7 @@ mod tests {
                 phase: Phase::Io,
                 op: TraceOp::Flush,
                 bytes: 64,
+                offset: NO_OFFSET,
                 peer: NO_PEER,
             },
         ]);

@@ -14,6 +14,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use crate::p2p::Mailboxes;
+use crate::perturb::Perturber;
 use crate::sync::Barrier;
 use crate::{Rank, Tag};
 
@@ -39,15 +40,32 @@ pub struct WorldShared {
     /// Watchdog deadline for blocking collectives and receives created
     /// through this world; `None` disables the watchdog.
     pub(crate) watchdog: Option<Duration>,
+    /// Schedule perturbation for this world, if any: synchronization
+    /// boundaries (barriers, collectives, puts, fences, I/O dispatch)
+    /// call [`Perturber::point`] before proceeding.
+    pub(crate) perturb: Option<Arc<Perturber>>,
+}
+
+impl std::fmt::Debug for WorldShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorldShared")
+            .field("watchdog", &self.watchdog)
+            .field("perturbed", &self.perturb.is_some())
+            .finish()
+    }
 }
 
 impl WorldShared {
-    pub(crate) fn new(watchdog: Option<Duration>) -> Arc<Self> {
+    pub(crate) fn new_perturbed(
+        watchdog: Option<Duration>,
+        perturb: Option<Arc<Perturber>>,
+    ) -> Arc<Self> {
         Arc::new(Self {
             mailboxes: Mailboxes::with_timeout(watchdog),
             registry: Mutex::new(HashMap::new()),
             uid_counter: AtomicU64::new(1),
             watchdog,
+            perturb,
         })
     }
 
@@ -108,6 +126,16 @@ pub struct Comm {
     win_calls: Cell<u64>,
     file_calls: Cell<u64>,
     user_calls: Cell<u64>,
+}
+
+impl std::fmt::Debug for Comm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Comm")
+            .field("uid", &self.shared.uid)
+            .field("rank", &self.my_index)
+            .field("size", &self.shared.members.len())
+            .finish()
+    }
 }
 
 impl Comm {
@@ -178,8 +206,20 @@ impl Comm {
         s
     }
 
+    pub(crate) fn perturber(&self) -> Option<Arc<Perturber>> {
+        self.world.perturb.clone()
+    }
+
+    /// One perturbation point, when this world is perturbed.
+    fn perturb_point(&self) {
+        if let Some(p) = &self.world.perturb {
+            p.point();
+        }
+    }
+
     /// Block until every member has entered the barrier.
     pub fn barrier(&self) {
+        self.perturb_point();
         self.shared.barrier.wait();
     }
 
@@ -229,6 +269,7 @@ impl Comm {
 
     /// Gather every member's byte vector; result indexed by comm rank.
     pub fn allgather_bytes(&self, mine: Vec<u8>) -> Vec<Vec<u8>> {
+        self.perturb_point();
         {
             let mut slots = self.shared.slots.lock().unwrap();
             slots[self.my_index] = Some(mine);
@@ -395,7 +436,18 @@ pub(crate) fn make_world(n: usize) -> Vec<Comm> {
 /// Like [`make_world`], with a watchdog deadline applied to every
 /// blocking barrier and receive of the world.
 pub(crate) fn make_world_with_watchdog(n: usize, watchdog: Option<Duration>) -> Vec<Comm> {
-    let world = WorldShared::new(watchdog);
+    make_world_perturbed(n, watchdog, None)
+}
+
+/// Like [`make_world_with_watchdog`], additionally installing a
+/// [`Perturber`] whose points fire at every synchronization boundary of
+/// the world (barriers, collectives, RMA puts/fences, I/O dispatch).
+pub(crate) fn make_world_perturbed(
+    n: usize,
+    watchdog: Option<Duration>,
+    perturb: Option<Arc<Perturber>>,
+) -> Vec<Comm> {
+    let world = WorldShared::new_perturbed(watchdog, perturb);
     let uid = world.next_uid();
     let shared = Arc::new(CommShared::new(uid, (0..n).collect(), watchdog));
     (0..n)

@@ -19,6 +19,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use crate::comm::{Comm, RegistryKind};
+use crate::perturb::Perturber;
 #[cfg(feature = "trace")]
 use tapioca_trace::TraceStamp;
 
@@ -84,6 +85,7 @@ struct Job {
     stamp: Option<TraceStamp>,
 }
 
+#[derive(Debug)]
 struct FileInner {
     file: File,
     tx: Mutex<Option<Sender<Job>>>,
@@ -101,7 +103,7 @@ impl Drop for FileInner {
 }
 
 /// A file shared by all ranks of the process, with positioned I/O.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct SharedFile {
     inner: Arc<FileInner>,
 }
@@ -109,36 +111,53 @@ pub struct SharedFile {
 impl SharedFile {
     /// Create (truncate) a file for read/write access.
     pub fn create(path: impl AsRef<Path>) -> std::io::Result<SharedFile> {
+        Self::create_perturbed(path, None)
+    }
+
+    /// `create`, with the I/O worker hitting a perturbation point
+    /// before each write.
+    pub fn create_perturbed(
+        path: impl AsRef<Path>,
+        perturb: Option<Arc<Perturber>>,
+    ) -> std::io::Result<SharedFile> {
         let file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(true)
             .open(path)?;
-        Ok(Self::from_file(file))
+        Ok(Self::from_file(file, perturb))
     }
 
     /// Open an existing file for read/write access.
     pub fn open(path: impl AsRef<Path>) -> std::io::Result<SharedFile> {
         let file = OpenOptions::new().read(true).write(true).open(path)?;
-        Ok(Self::from_file(file))
+        Ok(Self::from_file(file, None))
     }
 
-    fn from_file(file: File) -> SharedFile {
+    fn from_file(file: File, perturb: Option<Arc<Perturber>>) -> SharedFile {
         let worker_file = file.try_clone().expect("clone file handle for I/O worker");
         let (tx, rx) = channel::<Job>();
         let worker = std::thread::Builder::new()
             .name("tapioca-io".into())
             .spawn(move || {
                 for job in rx {
+                    if let Some(p) = &perturb {
+                        p.point();
+                    }
                     worker_file
                         .write_all_at(&job.data, job.offset)
                         .expect("positioned write");
-                    job.notify.signal();
+                    // Record completion *before* signalling the handle:
+                    // the flush event must land in the aggregator's trace
+                    // lane ahead of anything ordered after `wait()` (in
+                    // particular the release fence), or lane order stops
+                    // being a happens-before witness for the checker.
                     #[cfg(feature = "trace")]
                     if let Some(stamp) = &job.stamp {
-                        stamp.flush_done(job.data.len() as u64);
+                        stamp.flush_done(job.offset, job.data.len() as u64);
                     }
+                    job.notify.signal();
                 }
             })
             .expect("spawn I/O worker");
@@ -153,12 +172,14 @@ impl SharedFile {
 
     /// Collectively open one shared file per communicator: every member
     /// passes the same `path`; exactly one OS file/worker is created.
+    /// The worker inherits the world's perturber, if any.
     pub fn open_shared(comm: &Comm, path: impl AsRef<Path>) -> SharedFile {
         let seq = comm.next_file_seq();
         let key = (comm.uid(), RegistryKind::File, seq, 0);
         let path = path.as_ref().to_path_buf();
+        let perturb = comm.perturber();
         let shared = comm.world().get_or_create(key, move || {
-            SharedFile::create(&path).expect("create shared file")
+            SharedFile::create_perturbed(&path, perturb).expect("create shared file")
         });
         comm.barrier(); // nobody writes before the file exists
         (*shared).clone()
@@ -312,13 +333,13 @@ mod tests {
         let scope = TraceScope::new(std::sync::Arc::clone(&tracer), 0, 2, vec![0]);
         scope.set_round(3);
         let f = SharedFile::create(tmp("traced")).unwrap();
-        let h = f.iwrite_at_traced(0, vec![7u8; 64], Some(scope.stamp()));
+        let h = f.iwrite_at_traced(96, vec![7u8; 64], Some(scope.stamp()));
         h.wait();
-        // the flush event is recorded by the worker *after* signalling
-        // completion; drop the file to join the worker first
-        drop(f);
+        // the worker records the flush *before* signalling, so the event
+        // is visible as soon as wait() returns
         let t = tracer.drain();
         let flush = t.events().iter().find(|e| e.op == TraceOp::Flush).expect("flush recorded");
         assert_eq!((flush.partition, flush.round, flush.bytes), (2, 3, 64));
+        assert_eq!(flush.offset, 96);
     }
 }

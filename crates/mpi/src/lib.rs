@@ -34,15 +34,26 @@
 //!   overlapping concurrent puts undefined; TAPIOCA's schedule only
 //!   issues disjoint puts, so a lock costs correctness nothing.
 
+//! ## Schedule perturbation
+//!
+//! [`runtime::Runtime::run_perturbed`] runs the same SPMD closure under
+//! a seeded [`perturb::Perturber`]: every synchronization boundary may
+//! yield, spin, or briefly sleep, pushing the ranks through different
+//! interleavings. Combined with event tracing and the `tapioca-check`
+//! protocol checker, this is a lightweight schedule-exploration harness
+//! ("loom-lite") for the pipeline's ordering invariants.
+
 pub mod comm;
 pub mod file;
 pub mod p2p;
+pub mod perturb;
 pub mod rma;
 pub mod runtime;
 pub mod sync;
 
 pub use comm::Comm;
 pub use file::{IoHandle, SharedFile};
+pub use perturb::Perturber;
 pub use rma::Window;
 pub use runtime::Runtime;
 

@@ -38,6 +38,12 @@ pub struct Mailboxes {
     timeout: Option<Duration>,
 }
 
+impl std::fmt::Debug for Mailboxes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mailboxes").field("timeout", &self.timeout).finish()
+    }
+}
+
 impl Mailboxes {
     /// Create an empty mailbox table with no watchdog.
     pub fn new() -> Self {

@@ -16,6 +16,7 @@
 use std::sync::{Arc, RwLock};
 
 use crate::comm::{Comm, RegistryKind};
+use crate::perturb::Perturber;
 use crate::Rank;
 #[cfg(feature = "trace")]
 use tapioca_trace::TraceScope;
@@ -28,10 +29,18 @@ struct WinShared {
 /// An RMA window over a communicator.
 pub struct Window {
     shared: Arc<WinShared>,
+    /// Schedule perturbation inherited from the world, if any.
+    perturb: Option<Arc<Perturber>>,
     /// Per-handle tracing context; when set, puts and fences record
     /// events attributed to this handle's rank.
     #[cfg(feature = "trace")]
     scope: Option<TraceScope>,
+}
+
+impl std::fmt::Debug for Window {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Window").field("members", &self.shared.regions.len()).finish()
+    }
 }
 
 impl Window {
@@ -52,6 +61,7 @@ impl Window {
         });
         Window {
             shared,
+            perturb: comm.perturber(),
             #[cfg(feature = "trace")]
             scope: None,
         }
@@ -76,6 +86,9 @@ impl Window {
     /// # Panics
     /// Panics if the write exceeds the target region.
     pub fn put(&self, target: Rank, offset: usize, data: &[u8]) {
+        if let Some(p) = &self.perturb {
+            p.point();
+        }
         {
             let mut region = self.shared.regions[target].write().unwrap();
             let end = offset + data.len();
@@ -90,7 +103,7 @@ impl Window {
         }
         #[cfg(feature = "trace")]
         if let Some(scope) = &self.scope {
-            scope.rma_put(target, data.len() as u64);
+            scope.rma_put(target, offset as u64, data.len() as u64);
         }
     }
 
@@ -122,6 +135,9 @@ impl Window {
     /// One-sided read of `len` bytes at `offset` from `target`'s region
     /// (MPI_Get). Subject to the same epoch discipline as `put`.
     pub fn get(&self, target: Rank, offset: usize, len: usize) -> Vec<u8> {
+        if let Some(p) = &self.perturb {
+            p.point();
+        }
         let region = self.shared.regions[target].read().unwrap();
         assert!(
             offset + len <= region.len(),

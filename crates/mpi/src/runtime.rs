@@ -2,24 +2,38 @@
 
 use std::time::Duration;
 
-use crate::comm::{make_world_with_watchdog, Comm};
+use crate::comm::{make_world_perturbed, make_world_with_watchdog, Comm};
+use crate::perturb::Perturber;
 
 /// Default watchdog deadline, overridable via `TAPIOCA_WATCHDOG_SECS`
 /// (`0` disables the watchdog entirely).
 const DEFAULT_WATCHDOG_SECS: u64 = 120;
 
-fn default_watchdog() -> Option<Duration> {
-    match std::env::var("TAPIOCA_WATCHDOG_SECS") {
+/// Resolve the watchdog from the env var's value, warning (once per
+/// call) on unparseable input instead of silently using the default.
+fn watchdog_from_env(var: Result<String, std::env::VarError>) -> Option<Duration> {
+    match var {
         Ok(v) => match v.trim().parse::<u64>() {
             Ok(0) => None,
             Ok(secs) => Some(Duration::from_secs(secs)),
-            Err(_) => Some(Duration::from_secs(DEFAULT_WATCHDOG_SECS)),
+            Err(_) => {
+                eprintln!(
+                    "tapioca-mpi: warning: TAPIOCA_WATCHDOG_SECS={v:?} is not a \
+                     non-negative integer; using default of {DEFAULT_WATCHDOG_SECS} s"
+                );
+                Some(Duration::from_secs(DEFAULT_WATCHDOG_SECS))
+            }
         },
         Err(_) => Some(Duration::from_secs(DEFAULT_WATCHDOG_SECS)),
     }
 }
 
+fn default_watchdog() -> Option<Duration> {
+    watchdog_from_env(std::env::var("TAPIOCA_WATCHDOG_SECS"))
+}
+
 /// Entry point for running SPMD code on the in-process runtime.
+#[derive(Debug)]
 pub struct Runtime;
 
 impl Runtime {
@@ -48,6 +62,30 @@ impl Runtime {
     {
         assert!(n > 0, "need at least one rank");
         let comms = make_world_with_watchdog(n, watchdog);
+        Self::drive(comms, f)
+    }
+
+    /// Like [`Runtime::run`], but with seeded schedule perturbation:
+    /// every synchronization boundary (barrier, collective entry, RMA
+    /// put/get, I/O worker dispatch) may yield, spin, or sleep, chosen
+    /// by a SplitMix64 stream over `seed`. Different seeds drive the
+    /// same program through different interleavings — the harness side
+    /// of the `tapioca-check` protocol checker.
+    pub fn run_perturbed<T, F>(n: usize, seed: u64, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Comm) -> T + Sync,
+    {
+        assert!(n > 0, "need at least one rank");
+        let comms = make_world_perturbed(n, default_watchdog(), Some(Perturber::new(seed)));
+        Self::drive(comms, f)
+    }
+
+    fn drive<T, F>(comms: Vec<Comm>, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Comm) -> T + Sync,
+    {
         std::thread::scope(|s| {
             let handles: Vec<_> = comms
                 .into_iter()
@@ -135,5 +173,29 @@ mod tests {
     #[should_panic(expected = "at least one rank")]
     fn zero_ranks_rejected() {
         Runtime::run(0, |_| ());
+    }
+
+    #[test]
+    fn watchdog_env_parsing() {
+        let secs = |d: Option<Duration>| d.map(|d| d.as_secs());
+        // unset -> default
+        assert_eq!(secs(watchdog_from_env(Err(std::env::VarError::NotPresent))), Some(120));
+        // explicit value (whitespace tolerated)
+        assert_eq!(secs(watchdog_from_env(Ok(" 7 ".into()))), Some(7));
+        // zero disables
+        assert_eq!(secs(watchdog_from_env(Ok("0".into()))), None);
+        // garbage -> warn (on stderr) and fall back to the default,
+        // rather than silently swallowing the typo
+        assert_eq!(secs(watchdog_from_env(Ok("12s".into()))), Some(120));
+        assert_eq!(secs(watchdog_from_env(Ok("-3".into()))), Some(120));
+    }
+
+    #[test]
+    fn perturbed_run_matches_unperturbed_results() {
+        let plain = Runtime::run(4, |c| c.allreduce_sum_u64(c.rank() as u64));
+        for seed in [1u64, 2, 3] {
+            let out = Runtime::run_perturbed(4, seed, |c| c.allreduce_sum_u64(c.rank() as u64));
+            assert_eq!(out, plain);
+        }
     }
 }

@@ -22,6 +22,11 @@ pub type Rank = usize;
 /// `peer` value when an event has no meaningful counterpart rank.
 pub const NO_PEER: Rank = usize::MAX;
 
+/// `offset` value when an event carries no region metadata (fences,
+/// elections, and simulator-side puts, whose plan ops are per-node flows
+/// without buffer coordinates).
+pub const NO_OFFSET: u64 = u64::MAX;
+
 /// Which pipeline phase an event belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Phase {
@@ -70,6 +75,12 @@ pub struct TraceEvent {
     pub bytes: u64,
     /// Counterpart rank ([`NO_PEER`] when not applicable).
     pub peer: Rank,
+    /// Region metadata ([`NO_OFFSET`] when not applicable): for
+    /// `RmaPut`, the byte offset inside the target's window region
+    /// (including the double-buffer slot); for `Flush`, the file offset
+    /// of the segment. `tapioca-check` uses put offsets to detect
+    /// concurrent overlapping deposits.
+    pub offset: u64,
 }
 
 /// A contention-free per-rank event recorder.
@@ -124,8 +135,19 @@ impl Tracer {
         op: TraceOp,
         bytes: u64,
         peer: Rank,
+        offset: u64,
     ) {
-        self.record(TraceEvent { t_ns: self.now_ns(), rank, partition, round, phase, op, bytes, peer });
+        self.record(TraceEvent {
+            t_ns: self.now_ns(),
+            rank,
+            partition,
+            round,
+            phase,
+            op,
+            bytes,
+            peer,
+            offset,
+        });
     }
 
     /// Merge every rank's lane into one canonical, time-ordered trace.
@@ -307,19 +329,18 @@ impl Trace {
                 TraceOp::Fence => "fence",
                 TraceOp::Elect => "elect",
             };
-            if e.peer == NO_PEER {
-                writeln!(
-                    w,
-                    "{{\"t_ns\":{},\"rank\":{},\"partition\":{},\"round\":{},\"phase\":\"{}\",\"op\":\"{}\",\"bytes\":{}}}",
-                    e.t_ns, e.rank, e.partition, e.round, phase, op, e.bytes
-                )?;
-            } else {
-                writeln!(
-                    w,
-                    "{{\"t_ns\":{},\"rank\":{},\"partition\":{},\"round\":{},\"phase\":\"{}\",\"op\":\"{}\",\"bytes\":{},\"peer\":{}}}",
-                    e.t_ns, e.rank, e.partition, e.round, phase, op, e.bytes, e.peer
-                )?;
+            write!(
+                w,
+                "{{\"t_ns\":{},\"rank\":{},\"partition\":{},\"round\":{},\"phase\":\"{}\",\"op\":\"{}\",\"bytes\":{}",
+                e.t_ns, e.rank, e.partition, e.round, phase, op, e.bytes
+            )?;
+            if e.offset != NO_OFFSET {
+                write!(w, ",\"offset\":{}", e.offset)?;
             }
+            if e.peer != NO_PEER {
+                write!(w, ",\"peer\":{}", e.peer)?;
+            }
+            writeln!(w, "}}")?;
         }
         Ok(())
     }
@@ -415,8 +436,9 @@ impl TraceScope {
         self.peers.get(local).copied().unwrap_or(NO_PEER)
     }
 
-    /// Record a put of `bytes` to communicator-local rank `target`.
-    pub fn rma_put(&self, target_local: Rank, bytes: u64) {
+    /// Record a put of `bytes` into communicator-local rank `target`'s
+    /// window region at byte `offset` within it.
+    pub fn rma_put(&self, target_local: Rank, offset: u64, bytes: u64) {
         self.tracer.record_now(
             self.rank,
             self.partition,
@@ -425,6 +447,7 @@ impl TraceScope {
             TraceOp::RmaPut,
             bytes,
             self.peer_global(target_local),
+            offset,
         );
     }
 
@@ -438,6 +461,7 @@ impl TraceScope {
             TraceOp::Fence,
             0,
             NO_PEER,
+            NO_OFFSET,
         );
     }
 
@@ -451,6 +475,7 @@ impl TraceScope {
             TraceOp::Elect,
             bytes,
             winner_global,
+            NO_OFFSET,
         );
     }
 
@@ -477,8 +502,14 @@ pub struct TraceStamp {
 }
 
 impl TraceStamp {
-    /// Record a completed flush of `bytes`.
-    pub fn flush_done(&self, bytes: u64) {
+    /// Record a completed flush of `bytes` at file offset `offset`.
+    ///
+    /// Ordering contract: the I/O worker must record this *before*
+    /// signalling the flush's completion handle, so the event sits in
+    /// the lane ahead of any fence the aggregator records after its
+    /// `wait` returns — `tapioca-check` derives the pipeline's
+    /// happens-before edges from exactly that order.
+    pub fn flush_done(&self, offset: u64, bytes: u64) {
         self.tracer.record_now(
             self.rank,
             self.partition,
@@ -487,6 +518,7 @@ impl TraceStamp {
             TraceOp::Flush,
             bytes,
             NO_PEER,
+            offset,
         );
     }
 }
@@ -501,7 +533,7 @@ mod tests {
             TraceOp::Flush => Phase::Io,
             TraceOp::Fence => Phase::Sync,
         };
-        TraceEvent { t_ns: t, rank, partition: part, round, phase, op, bytes, peer }
+        TraceEvent { t_ns: t, rank, partition: part, round, phase, op, bytes, peer, offset: NO_OFFSET }
     }
 
     #[test]
@@ -594,29 +626,31 @@ mod tests {
         let tr = Tracer::new(8);
         let scope = TraceScope::new(Arc::clone(&tr), 5, 3, vec![4, 5, 7]);
         scope.elect(7, 1000);
-        scope.rma_put(2, 64); // local rank 2 -> global 7
+        scope.rma_put(2, 128, 64); // local rank 2 -> global 7
         scope.set_round(1);
-        scope.rma_put(0, 32); // local rank 0 -> global 4
+        scope.rma_put(0, 0, 32); // local rank 0 -> global 4
         scope.fence();
-        scope.stamp().flush_done(96);
+        scope.stamp().flush_done(4096, 96);
         let t = tr.drain();
         assert_eq!(t.len(), 5);
         let puts: Vec<_> =
             t.events().iter().filter(|e| e.op == TraceOp::RmaPut).cloned().collect();
         assert_eq!(puts[0].peer, 7);
         assert_eq!(puts[0].round, 0);
+        assert_eq!(puts[0].offset, 128);
         assert_eq!(puts[1].peer, 4);
         assert_eq!(puts[1].round, 1);
+        assert_eq!(puts[1].offset, 0);
         let flush = t.events().iter().find(|e| e.op == TraceOp::Flush).unwrap();
         assert_eq!((flush.rank, flush.partition, flush.round, flush.bytes), (5, 3, 1, 96));
+        assert_eq!(flush.offset, 4096);
     }
 
     #[test]
     fn jsonl_is_one_object_per_line() {
-        let t = Trace::from_events(vec![
-            ev(1, 0, 0, 0, TraceOp::RmaPut, 10, 1),
-            ev(2, 1, 0, 0, TraceOp::Flush, 10, NO_PEER),
-        ]);
+        let mut put = ev(1, 0, 0, 0, TraceOp::RmaPut, 10, 1);
+        put.offset = 512;
+        let t = Trace::from_events(vec![put, ev(2, 1, 0, 0, TraceOp::Flush, 10, NO_PEER)]);
         let mut buf = Vec::new();
         t.write_jsonl(&mut buf).unwrap();
         let s = String::from_utf8(buf).unwrap();
@@ -624,7 +658,61 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains("\"op\":\"rma_put\""));
         assert!(lines[0].contains("\"peer\":1"));
+        assert!(lines[0].contains("\"offset\":512"));
         assert!(lines[1].contains("\"op\":\"flush\""));
         assert!(!lines[1].contains("peer"), "NO_PEER omits the field");
+        assert!(!lines[1].contains("offset"), "NO_OFFSET omits the field");
+    }
+
+    #[test]
+    fn empty_trace_edge_cases() {
+        let t = Trace::default();
+        assert!(t.is_empty());
+        assert_eq!(t.overlap_fraction(), 0.0);
+        assert!(t.structural().partitions.is_empty());
+        let s = t.summary();
+        assert_eq!((s.rounds, s.puts, s.flushes, s.fences), (0, 0, 0, 0));
+        assert_eq!(s.overlap_fraction, 0.0);
+    }
+
+    #[test]
+    fn single_event_trace_edge_cases() {
+        // One lone put: no flushes, so overlap is 0 by definition, and
+        // the structure is a single partition with one data round and no
+        // election.
+        let t = Trace::from_events(vec![ev(5, 3, 2, 0, TraceOp::RmaPut, 77, 1)]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.overlap_fraction(), 0.0);
+        let s = t.structural();
+        assert_eq!(s.partitions.len(), 1);
+        assert_eq!(s.partitions[0].partition, 2);
+        assert_eq!(s.partitions[0].aggregator, None);
+        assert_eq!(s.partitions[0].rounds.len(), 1);
+        assert_eq!(s.partitions[0].rounds[0].aggregation_bytes, 77);
+        assert_eq!(s.partitions[0].rounds[0].io_bytes, 0);
+    }
+
+    #[test]
+    fn flush_without_fences_edge_cases() {
+        // Simulation-mode shape: flushes and puts, zero fences. The
+        // flush completing after a later round's put still counts as
+        // overlapped, and the structure records the io bytes.
+        let t = Trace::from_events(vec![
+            ev(1, 0, 0, 0, TraceOp::RmaPut, 10, 1),
+            ev(2, 0, 0, 1, TraceOp::RmaPut, 10, 1),
+            ev(9, 1, 0, 0, TraceOp::Flush, 10, NO_PEER),
+        ]);
+        assert_eq!(t.summary().fences, 0);
+        assert!(t.overlap_fraction() > 0.99, "flush landed after round 1 started");
+        let s = t.structural();
+        assert_eq!(s.partitions[0].rounds[0].io_bytes, 10);
+        assert_eq!(s.partitions[0].rounds[0].flush_segments, 1);
+        assert_eq!(s.partitions[0].rounds[1].io_bytes, 0);
+
+        // A flush-only trace: total == overlapped is impossible, so the
+        // fraction is 0; the round exists with io bytes only.
+        let only_flush = Trace::from_events(vec![ev(1, 0, 0, 0, TraceOp::Flush, 32, NO_PEER)]);
+        assert_eq!(only_flush.overlap_fraction(), 0.0);
+        assert_eq!(only_flush.structural().partitions[0].rounds[0].io_bytes, 32);
     }
 }

@@ -1,0 +1,154 @@
+//! End-to-end protocol checking: run the real pipeline (both executors,
+//! perturbed and not), then verify the recorded trace satisfies every
+//! ordering invariant — and that a tampered trace does not.
+
+use std::sync::Arc;
+
+use tapioca::api::Tapioca;
+use tapioca::config::TapiocaConfig;
+use tapioca::schedule::WriteDecl;
+use tapioca::sim_exec::{run_tapioca_sim, CollectiveSpec, GroupSpec, StorageConfig};
+use tapioca_check::{check, parse_jsonl, ViolationKind};
+use tapioca_mpi::{Runtime, SharedFile};
+use tapioca_pfs::{AccessMode, LustreTunables};
+use tapioca_topology::{theta_profile, MachineProfile, TopologyProvider};
+use tapioca_trace::{Trace, TraceOp, Tracer};
+use tapioca_workloads::hacc::{HaccIo, Layout};
+use tapioca_workloads::ior::IorSpec;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("tapioca-protocol-check");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}-{}", std::process::id()))
+}
+
+fn thread_trace(
+    name: &str,
+    profile: &MachineProfile,
+    decls: &[Vec<WriteDecl>],
+    cfg: &TapiocaConfig,
+    seed: Option<u64>,
+) -> Trace {
+    let n = decls.len();
+    let tracer = Tracer::new(profile.machine.num_ranks());
+    let cfg = TapiocaConfig { tracer: Some(Arc::clone(&tracer)), ..cfg.clone() };
+    let machine = Arc::new(profile.machine.clone());
+    let path = tmp(name);
+    let decls = decls.to_vec();
+    let path2 = path.clone();
+    let body = move |comm: tapioca_mpi::Comm| {
+        let file = SharedFile::open_shared(&comm, &path2);
+        let mine = decls[comm.rank()].clone();
+        let mut io =
+            Tapioca::init_with_topology(&comm, file, mine.clone(), cfg.clone(), machine.clone());
+        for d in &mine {
+            io.write(d.offset, &vec![0x5Au8; d.len as usize]);
+        }
+        io.finalize();
+    };
+    match seed {
+        Some(s) => Runtime::run_perturbed(n, s, body),
+        None => Runtime::run(n, body),
+    };
+    std::fs::remove_file(&path).ok();
+    tracer.drain()
+}
+
+fn sim_trace(profile: &MachineProfile, decls: &[Vec<WriteDecl>], cfg: &TapiocaConfig) -> Trace {
+    let tracer = Tracer::new(profile.machine.num_ranks());
+    let cfg = TapiocaConfig { tracer: Some(Arc::clone(&tracer)), ..cfg.clone() };
+    let spec = CollectiveSpec {
+        groups: vec![GroupSpec { file: 0, ranks: (0..decls.len()).collect(), decls: decls.to_vec() }],
+        mode: AccessMode::Write,
+    };
+    let storage = StorageConfig::Lustre(LustreTunables::theta_optimized());
+    run_tapioca_sim(profile, &storage, &spec, &cfg);
+    tracer.drain()
+}
+
+#[test]
+fn thread_pipeline_trace_is_protocol_clean() {
+    let profile = theta_profile(8, 2);
+    let w = HaccIo { num_ranks: 16, particles_per_rank: 100, layout: Layout::StructOfArrays };
+    let cfg = TapiocaConfig { num_aggregators: 4, buffer_size: 2048, ..Default::default() };
+    let trace = thread_trace("thread-clean", &profile, &w.decls(), &cfg, None);
+    assert!(trace.events().iter().any(|e| e.op == TraceOp::Fence), "expected a fenced trace");
+    let v = check(&trace);
+    assert!(v.is_empty(), "thread trace has violations: {v:?}");
+}
+
+#[test]
+fn sim_pipeline_trace_is_protocol_clean() {
+    let profile = theta_profile(8, 2);
+    let w = IorSpec { num_ranks: 16, bytes_per_rank: 4096 };
+    let cfg = TapiocaConfig { num_aggregators: 4, buffer_size: 1024, ..Default::default() };
+    let trace = sim_trace(&profile, &w.decls(), &cfg);
+    assert!(!trace.is_empty());
+    let v = check(&trace);
+    assert!(v.is_empty(), "sim trace has violations: {v:?}");
+}
+
+#[test]
+fn unpipelined_thread_trace_is_protocol_clean() {
+    let profile = theta_profile(8, 2);
+    let w = IorSpec { num_ranks: 16, bytes_per_rank: 2000 };
+    let cfg = TapiocaConfig {
+        num_aggregators: 2,
+        buffer_size: 512,
+        pipelining: false,
+        ..Default::default()
+    };
+    let v = check(&thread_trace("thread-nopipe", &profile, &w.decls(), &cfg, None));
+    assert!(v.is_empty(), "unpipelined trace has violations: {v:?}");
+}
+
+#[test]
+fn perturbed_interleavings_stay_protocol_clean() {
+    // The loom-lite harness: same program, different seeded schedules;
+    // the invariants must hold on every interleaving.
+    let profile = theta_profile(8, 2);
+    let w = IorSpec { num_ranks: 16, bytes_per_rank: 4096 };
+    let cfg = TapiocaConfig { num_aggregators: 4, buffer_size: 1024, ..Default::default() };
+    for seed in 1..=4u64 {
+        let name = format!("perturbed-{seed}");
+        let v = check(&thread_trace(&name, &profile, &w.decls(), &cfg, Some(seed)));
+        assert!(v.is_empty(), "seed {seed} produced violations: {v:?}");
+    }
+}
+
+#[test]
+fn tampered_trace_is_caught() {
+    // Take a genuine thread trace, violate the epoch discipline by
+    // relabelling one put's round, and expect the checker to object.
+    let profile = theta_profile(4, 2);
+    let w = IorSpec { num_ranks: 8, bytes_per_rank: 1024 };
+    let cfg = TapiocaConfig { num_aggregators: 2, buffer_size: 512, ..Default::default() };
+    let trace = thread_trace("tampered", &profile, &w.decls(), &cfg, None);
+    let mut events = trace.events().to_vec();
+    let put = events
+        .iter()
+        .position(|e| e.op == TraceOp::RmaPut && e.round == 0)
+        .expect("trace has a round-0 put");
+    events[put].round += 1;
+    let v = check(&Trace::from_events(events));
+    assert!(
+        v.iter().any(|v| v.kind == ViolationKind::PutOutsideEpoch),
+        "tampering went undetected: {v:?}"
+    );
+}
+
+#[test]
+fn jsonl_roundtrip_preserves_the_verdict() {
+    // Dump a real trace to JSONL (the checksim transport) and re-check
+    // the parsed copy: serialization must not lose checker-relevant
+    // metadata.
+    let profile = theta_profile(4, 2);
+    let w = IorSpec { num_ranks: 8, bytes_per_rank: 1024 };
+    let cfg = TapiocaConfig { num_aggregators: 2, buffer_size: 512, ..Default::default() };
+    let trace = thread_trace("jsonl-roundtrip", &profile, &w.decls(), &cfg, None);
+    let mut buf = Vec::new();
+    trace.write_jsonl(&mut buf).unwrap();
+    let parsed = parse_jsonl(std::str::from_utf8(&buf).unwrap()).unwrap();
+    assert_eq!(parsed, trace);
+    assert!(check(&parsed).is_empty());
+}
