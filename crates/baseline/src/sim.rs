@@ -6,7 +6,7 @@
 //! application issues them back-to-back), rank-order aggregators, single
 //! buffer. Plans are executed by the very same simulator as TAPIOCA's.
 
-use tapioca::placement::{elect_aggregator, PlacementStrategy};
+use tapioca::placement::{elect_partitions, PartitionElection, PlacementStrategy};
 use tapioca::plan::{append_tapioca_plan, ExecutionPlan, OpId, OpKind, TapiocaPlanInput};
 use tapioca::schedule::{compute_schedule, ScheduleParams, WriteDecl};
 use tapioca::sim_exec::{simulate, CollectiveSpec, SimReport, StorageConfig};
@@ -57,22 +57,24 @@ pub fn run_mpiio_sim(
             if sched.partitions.is_empty() {
                 continue;
             }
-            let choices: Vec<usize> = sched
+            let members_global: Vec<Vec<Rank>> = sched
                 .partitions
                 .iter()
-                .map(|part| {
-                    let members_global: Vec<Rank> =
-                        part.members.iter().map(|&m| group.ranks[m]).collect();
-                    elect_aggregator(
-                        machine,
-                        &members_global,
-                        &part.member_bytes,
-                        io,
-                        part.index,
-                        PlacementStrategy::RankOrder,
-                    )
+                .map(|part| part.members.iter().map(|&m| group.ranks[m]).collect())
+                .collect();
+            let elections: Vec<PartitionElection<'_>> = sched
+                .partitions
+                .iter()
+                .zip(&members_global)
+                .map(|(part, members)| PartitionElection {
+                    members,
+                    weights: &part.member_bytes,
+                    io,
+                    partition_index: part.index,
                 })
                 .collect();
+            let choices: Vec<usize> =
+                elect_partitions(machine, &elections, PlacementStrategy::RankOrder);
 
             let ranks = &group.ranks;
             let node_of = |local: Rank| machine.node_of_rank(ranks[local]);

@@ -1,0 +1,298 @@
+//! Tracked performance harness: self-times the aggregator election
+//! (node-folded fast path vs. the naive pairwise oracle) and the netsim
+//! rate computation (incremental heap vs. full bottleneck scan), then
+//! writes `BENCH_perf.json` at the repo root in a stable schema.
+//!
+//! Usage:
+//!
+//! ```text
+//! perfbench [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` shrinks every sweep to CI-sized shapes (seconds, not
+//! minutes) while keeping the output schema identical, so the CI job
+//! can validate the file without caring which mode produced it.
+//!
+//! Schema (`tapioca-perfbench/v1`):
+//!
+//! ```json
+//! {
+//!   "schema": "tapioca-perfbench/v1",
+//!   "smoke": false,
+//!   "suites": {
+//!     "election": [ { "machine", "strategy", "members", "ranks",
+//!                     "ranks_per_node", "reps", "naive_ns", "fast_ns",
+//!                     "speedup", "same_winner" } ],
+//!     "netsim":   [ { "links", "flows", "reps", "scan_ns", "heap_ns",
+//!                     "speedup", "identical" } ]
+//!   }
+//! }
+//! ```
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+use tapioca::placement::{elect_aggregator, elect_aggregator_fast, PlacementStrategy};
+use tapioca_netsim::{RateAlgo, Simulator};
+use tapioca_topology::{mira_profile, theta_profile, MachineProfile, TopologyProvider};
+
+/// SplitMix64 — the workspace has no external RNG dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Median wall time of `reps` runs of `f`, in nanoseconds.
+fn median_ns(reps: usize, mut f: impl FnMut()) -> u128 {
+    let mut samples: Vec<u128> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn strategy_name(s: PlacementStrategy) -> &'static str {
+    match s {
+        PlacementStrategy::TopologyAware => "topology_aware",
+        PlacementStrategy::RankOrder => "rank_order",
+        PlacementStrategy::ShortestPathToIo => "shortest_path_to_io",
+        PlacementStrategy::WorstCase => "worst_case",
+        PlacementStrategy::Random { .. } => "random",
+    }
+}
+
+/// An irregular, rank-sorted membership: clustered node runs plus
+/// scattered stragglers — the shape real partitions take.
+fn irregular_members(rng: &mut Rng, num_ranks: usize, target: usize) -> Vec<usize> {
+    let mut set = std::collections::BTreeSet::new();
+    while set.len() < target {
+        if rng.below(3) > 0 {
+            let start = rng.below(num_ranks as u64) as usize;
+            let run = 1 + rng.below(24) as usize;
+            for r in start..(start + run).min(num_ranks) {
+                set.insert(r);
+                if set.len() >= target {
+                    break;
+                }
+            }
+        } else {
+            set.insert(rng.below(num_ranks as u64) as usize);
+        }
+    }
+    set.into_iter().collect()
+}
+
+fn election_suite(smoke: bool, json: &mut String) {
+    let machines: Vec<(&str, MachineProfile)> =
+        vec![("mira", mira_profile(512, 16)), ("theta", theta_profile(512, 16))];
+    let sizes: &[usize] = if smoke { &[64, 256] } else { &[256, 1024, 4096] };
+    let strategies = [
+        PlacementStrategy::TopologyAware,
+        PlacementStrategy::RankOrder,
+        PlacementStrategy::ShortestPathToIo,
+        PlacementStrategy::WorstCase,
+        PlacementStrategy::Random { seed: 0xfeed },
+    ];
+
+    let mut first = true;
+    for (name, profile) in &machines {
+        let topo = &profile.machine;
+        for &members_n in sizes {
+            let mut rng = Rng(0xe1ec_7104 ^ members_n as u64);
+            let members = irregular_members(&mut rng, topo.num_ranks(), members_n);
+            let weights: Vec<u64> =
+                members.iter().map(|_| rng.below(64 * 1024 * 1024)).collect();
+            let io = topo.io_nodes_for(&members).first().copied().unwrap_or(0);
+
+            for strategy in strategies {
+                // The oracle is O(P^2) route walks; keep large shapes to
+                // a single timed run so the full sweep stays tractable.
+                let naive_reps = if members_n >= 2048 { 1 } else { 5 };
+                let mut naive_pick = 0usize;
+                let naive_ns = median_ns(naive_reps, || {
+                    naive_pick = black_box(elect_aggregator(
+                        topo,
+                        black_box(&members),
+                        &weights,
+                        io,
+                        3,
+                        strategy,
+                    ));
+                });
+                let mut fast_pick = 0usize;
+                let fast_ns = median_ns(naive_reps.max(5), || {
+                    fast_pick = black_box(elect_aggregator_fast(
+                        topo,
+                        black_box(&members),
+                        &weights,
+                        io,
+                        3,
+                        strategy,
+                    ));
+                });
+                let speedup = naive_ns as f64 / (fast_ns as f64).max(1.0);
+                eprintln!(
+                    "election {name} {strat} members={members_n}: naive {naive_ns} ns, \
+                     fast {fast_ns} ns ({speedup:.1}x, same_winner={})",
+                    naive_pick == fast_pick,
+                    strat = strategy_name(strategy),
+                );
+                if !first {
+                    json.push(',');
+                }
+                first = false;
+                let _ = write!(
+                    json,
+                    "\n    {{\"machine\": \"{name}\", \"strategy\": \"{}\", \
+                     \"members\": {members_n}, \"ranks\": {}, \"ranks_per_node\": {}, \
+                     \"reps\": {naive_reps}, \"naive_ns\": {naive_ns}, \
+                     \"fast_ns\": {fast_ns}, \"speedup\": {speedup:.3}, \
+                     \"same_winner\": {}}}",
+                    strategy_name(strategy),
+                    topo.num_ranks(),
+                    topo.ranks_per_node(),
+                    naive_pick == fast_pick,
+                );
+            }
+        }
+    }
+}
+
+/// The two rate-computation regimes the sweep covers:
+///
+/// * `FanIn` — every flow crosses exactly one link, flows spread over
+///   many links (the wide independent-bottleneck shape of per-round
+///   aggregation traffic): water-filling runs one freeze batch per
+///   distinct bottleneck, so the scan degenerates to O(L²) while the
+///   heap stays O(L log L);
+/// * `Mesh` — random 1–4 link routes, so each freeze batch perturbs a
+///   large fraction of the touched links (the scan's best case).
+#[derive(Clone, Copy, PartialEq)]
+enum Workload {
+    FanIn,
+    Mesh,
+}
+
+/// Build one workload: staggered starts, a sprinkling of zero-byte
+/// fences, link capacities and routes from a seeded generator.
+fn build_netsim(s: &mut Simulator, links: usize, flows: usize, kind: Workload) {
+    let mut rng = Rng(0x5eed_ca5e ^ (links * 31 + flows) as u64);
+    for _ in 0..links {
+        s.add_virtual_link(1.0 + rng.below(64) as f64);
+    }
+    for i in 0..flows {
+        let len = match kind {
+            Workload::FanIn => 1,
+            Workload::Mesh => 1 + rng.below(4) as usize,
+        };
+        let route: Vec<usize> = (0..len).map(|_| rng.below(links as u64) as usize).collect();
+        let bytes =
+            if i % 17 == 0 { 0.0 } else { (1 + rng.below(5000)) as f64 / 7.0 };
+        let start = rng.below(30) as f64 / 10.0;
+        s.submit(start, route, bytes);
+    }
+}
+
+/// Finish-time bit patterns — the equivalence check reused from the
+/// engine's test suite.
+fn finishes(algo: RateAlgo, links: usize, flows: usize, kind: Workload) -> Vec<u64> {
+    let mut s = Simulator::with_capacities(Vec::new());
+    s.set_rate_algo(algo);
+    build_netsim(&mut s, links, flows, kind);
+    s.run_to_idle();
+    (0..s.num_flows()).map(|f| s.finish_time(f).map(f64::to_bits).unwrap_or(0)).collect()
+}
+
+fn netsim_suite(smoke: bool, json: &mut String) {
+    let shapes: &[(usize, usize)] =
+        if smoke { &[(16, 64), (64, 256)] } else { &[(64, 512), (256, 2048), (1024, 8192)] };
+    let mut first = true;
+    for &(links, flows) in shapes {
+        for kind in [Workload::FanIn, Workload::Mesh] {
+            let kind_name = match kind {
+                Workload::FanIn => "fan_in",
+                Workload::Mesh => "mesh",
+            };
+            let reps = if flows >= 4096 { 3 } else { 7 };
+            // median_ns times the whole closure (the event loop consumes
+            // the simulator), so construction is timed separately and
+            // subtracted.
+            let time_algo = |algo: RateAlgo| {
+                median_ns(reps, || {
+                    let mut s = Simulator::with_capacities(Vec::new());
+                    s.set_rate_algo(algo);
+                    build_netsim(&mut s, links, flows, kind);
+                    black_box(s.run_to_idle());
+                })
+            };
+            let scan_total = time_algo(RateAlgo::Scan);
+            let heap_total = time_algo(RateAlgo::Heap);
+            let build_only = median_ns(reps, || {
+                let mut s = Simulator::with_capacities(Vec::new());
+                build_netsim(&mut s, links, flows, kind);
+                black_box(&s);
+            });
+            let scan_ns = scan_total.saturating_sub(build_only).max(1);
+            let heap_ns = heap_total.saturating_sub(build_only).max(1);
+            let identical = finishes(RateAlgo::Scan, links, flows, kind)
+                == finishes(RateAlgo::Heap, links, flows, kind);
+            let speedup = scan_ns as f64 / heap_ns as f64;
+            eprintln!(
+                "netsim {kind_name} links={links} flows={flows}: scan {scan_ns} ns, \
+                 heap {heap_ns} ns ({speedup:.1}x, identical={identical})"
+            );
+            if !first {
+                json.push(',');
+            }
+            first = false;
+            let _ = write!(
+                json,
+                "\n    {{\"workload\": \"{kind_name}\", \"links\": {links}, \
+                 \"flows\": {flows}, \"reps\": {reps}, \
+                 \"scan_ns\": {scan_ns}, \"heap_ns\": {heap_ns}, \
+                 \"speedup\": {speedup:.3}, \"identical\": {identical}}}"
+            );
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| {
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_perf.json").to_string()
+        });
+
+    let mut election = String::new();
+    election_suite(smoke, &mut election);
+    let mut netsim = String::new();
+    netsim_suite(smoke, &mut netsim);
+
+    let json = format!(
+        "{{\n  \"schema\": \"tapioca-perfbench/v1\",\n  \"smoke\": {smoke},\n  \
+         \"suites\": {{\n   \"election\": [{election}\n   ],\n   \
+         \"netsim\": [{netsim}\n   ]\n  }}\n}}\n"
+    );
+    std::fs::write(&out, json).expect("write BENCH_perf.json");
+    eprintln!("wrote {out}");
+}

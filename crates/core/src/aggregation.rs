@@ -125,6 +125,10 @@ pub fn run_write_pipeline(
             win.set_trace_scope(scope);
         }
         let mut inflight: [Vec<IoHandle>; 2] = [Vec::new(), Vec::new()];
+        // Flush buffers reclaimed from completed writes, refilled with
+        // `read_local_into`: after warm-up the drain loop allocates
+        // nothing per round.
+        let mut free_bufs: Vec<Vec<u8>> = Vec::new();
 
         let my_chunks: Vec<_> = schedule.chunks_by_rank[me]
             .iter()
@@ -149,37 +153,33 @@ pub fn run_write_pipeline(
             stats.fences += 1;
 
             if my_idx == agg_idx {
-                let handles: Vec<IoHandle> = round
-                    .segments
-                    .iter()
-                    .map(|seg| {
-                        let data = win.read_local(
-                            my_idx,
-                            buf * b + seg.buf_offset as usize,
-                            seg.len as usize,
-                        );
-                        stats.flushes += 1;
-                        stats.flush_bytes += seg.len;
-                        #[cfg(feature = "trace")]
-                        return file.iwrite_at_traced(
-                            seg.file_offset,
-                            data,
-                            win.trace_scope().map(|s| s.stamp()),
-                        );
-                        #[cfg(not(feature = "trace"))]
-                        file.iwrite_at(seg.file_offset, data)
-                    })
-                    .collect();
+                let mut handles: Vec<IoHandle> = Vec::with_capacity(round.segments.len());
+                for seg in &round.segments {
+                    let mut data = free_bufs.pop().unwrap_or_default();
+                    data.resize(seg.len as usize, 0);
+                    win.read_local_into(my_idx, buf * b + seg.buf_offset as usize, &mut data);
+                    stats.flushes += 1;
+                    stats.flush_bytes += seg.len;
+                    #[cfg(feature = "trace")]
+                    let h = file.iwrite_at_traced(
+                        seg.file_offset,
+                        data,
+                        win.trace_scope().map(|s| s.stamp()),
+                    );
+                    #[cfg(not(feature = "trace"))]
+                    let h = file.iwrite_at(seg.file_offset, data);
+                    handles.push(h);
+                }
                 if cfg.pipelining {
                     inflight[buf] = handles;
                     // Round r+1 fills the other buffer; its previous
                     // flush (round r-1) must have drained first.
                     for h in inflight[(r + 1) % 2].drain(..) {
-                        h.wait();
+                        free_bufs.extend(h.wait_reclaim());
                     }
                 } else {
                     for h in handles {
-                        h.wait();
+                        free_bufs.extend(h.wait_reclaim());
                     }
                 }
             }
@@ -254,9 +254,13 @@ pub fn run_read_pipeline(
             }
             win.fence(&pcomm);
             for c in my_chunks.iter().filter(|c| c.round as usize == r) {
-                let data = win.get(agg_idx, c.buf_offset as usize, c.len as usize);
-                out[c.var][c.var_offset as usize..(c.var_offset + c.len) as usize]
-                    .copy_from_slice(&data);
+                // One-sided read straight into the output buffer — no
+                // intermediate Vec per chunk.
+                win.get_into(
+                    agg_idx,
+                    c.buf_offset as usize,
+                    &mut out[c.var][c.var_offset as usize..(c.var_offset + c.len) as usize],
+                );
             }
             win.fence(&pcomm);
         }

@@ -18,7 +18,9 @@
 //! ablations compared in the benches: rank-order (MPICH-like), shortest
 //! path to storage only, worst-case, and seeded random placement.
 
-use tapioca_topology::{IoNodeId, Rank, TopologyProvider};
+use std::collections::HashMap;
+
+use tapioca_topology::{IoNodeId, NodeId, NodeMetricCache, Rank, TopologyProvider};
 
 /// Aggregator election strategies.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -147,6 +149,257 @@ pub fn elect_aggregator(
         }
     }
     best.1
+}
+
+/// Node-folded election: same winner as [`elect_aggregator`], computed
+/// in O(nodes² + P) topology queries instead of O(P²).
+///
+/// Under the block rank mapping (see
+/// [`TopologyProvider::ranks_per_node`]) both `d(i, A)` and `B(i -> A)`
+/// depend only on `node(i)` and `node(A)`, so the member sum of `C1`
+/// folds into a node sum over per-node member counts and weight totals,
+/// with every node-pair metric memoized in a [`NodeMetricCache`].
+///
+/// Folding reassociates the floating-point sum, so a folded cost can
+/// differ from the oracle's pairwise sum by a few ulps — enough to flip
+/// a MINLOC tie. To stay *bit-identical* to the oracle, the folded costs
+/// are only used to prune: every candidate whose folded cost window
+/// (`± fold_tolerance`, a rigorous bound on the divergence between the
+/// two summation orders) overlaps the best window is re-evaluated with
+/// [`election_cost`] — the oracle's exact arithmetic — and the winner is
+/// chosen among those survivors with oracle MINLOC semantics. The true
+/// winner always survives the prune, so the result is provably the
+/// oracle's (the property sweep in `tests/placement_equivalence.rs`
+/// exercises this across strategies, profiles, and partition shapes).
+pub fn elect_aggregator_fast(
+    topo: &dyn TopologyProvider,
+    members: &[Rank],
+    weights: &[u64],
+    io: IoNodeId,
+    partition_index: usize,
+    strategy: PlacementStrategy,
+) -> usize {
+    let mut cache = NodeMetricCache::new();
+    elect_aggregator_cached(topo, &mut cache, members, weights, io, partition_index, strategy)
+}
+
+/// [`elect_aggregator_fast`] with a caller-owned metric cache, so
+/// repeated elections on the same machine (e.g. every partition of a
+/// run) share node-pair metrics. The cache must only ever be used with
+/// one topology object (clear it when switching machines).
+pub fn elect_aggregator_cached(
+    topo: &dyn TopologyProvider,
+    cache: &mut NodeMetricCache,
+    members: &[Rank],
+    weights: &[u64],
+    io: IoNodeId,
+    partition_index: usize,
+    strategy: PlacementStrategy,
+) -> usize {
+    assert!(!members.is_empty(), "cannot elect from an empty partition");
+    assert_eq!(members.len(), weights.len());
+    match strategy {
+        // Constant under MINLOC: member 0 always has the lowest cost.
+        PlacementStrategy::RankOrder => 0,
+        // Pure integer hashing, already O(P); replay the oracle exactly.
+        PlacementStrategy::Random { .. } => {
+            elect_aggregator(topo, members, weights, io, partition_index, strategy)
+        }
+        // Node-level distance only: u32 -> f64 is exact, so the cached
+        // per-node value *is* the oracle's cost and the ascending scan
+        // with strict `<` reproduces MINLOC ties directly.
+        PlacementStrategy::ShortestPathToIo => {
+            let mut best = (f64::INFINITY, usize::MAX);
+            for (i, &m) in members.iter().enumerate() {
+                let node = topo.node_of_rank(m);
+                let c = cache.io(topo, node, io).dist.map(|d| d as f64).unwrap_or(0.0);
+                if c < best.0 {
+                    best = (c, i);
+                }
+            }
+            best.1
+        }
+        PlacementStrategy::TopologyAware | PlacementStrategy::WorstCase => {
+            elect_folded(topo, cache, members, weights, io, partition_index, strategy)
+        }
+    }
+}
+
+/// Below this member count the pairwise oracle is already cheap and the
+/// fold bookkeeping would dominate.
+const FOLD_MIN_MEMBERS: usize = 8;
+
+/// Upper bound on `|oracle_cost - folded_cost|` for one candidate.
+///
+/// Both evaluations sum the same `p`-ish positive real terms (`C2` is
+/// even computed with identical operations); sequential f64 summation of
+/// `n` terms is within `n * eps` relative error of the real value, so
+/// the two orders diverge by at most a small multiple of
+/// `p * eps * magnitude`, where `magnitude` bounds the sum of absolute
+/// term values (not the result — the folded per-candidate cost subtracts
+/// the candidate's own weight from its node total, and that cancellation
+/// keeps *absolute* error bounded by the term magnitudes even when the
+/// result is tiny). The factor 8 is slack over the textbook bound.
+fn fold_tolerance(p: usize, magnitude: f64) -> f64 {
+    8.0 * (p as f64 + 16.0) * f64::EPSILON * magnitude
+}
+
+fn elect_folded(
+    topo: &dyn TopologyProvider,
+    cache: &mut NodeMetricCache,
+    members: &[Rank],
+    weights: &[u64],
+    io: IoNodeId,
+    partition_index: usize,
+    strategy: PlacementStrategy,
+) -> usize {
+    let p = members.len();
+    if p < FOLD_MIN_MEMBERS {
+        return elect_aggregator(topo, members, weights, io, partition_index, strategy);
+    }
+    let l = topo.latency();
+
+    // Group members by node: per-node member count and weight total.
+    let mut node_slot: HashMap<NodeId, usize> = HashMap::new();
+    let mut slots: Vec<NodeId> = Vec::new();
+    let mut count: Vec<f64> = Vec::new();
+    let mut w_sum: Vec<f64> = Vec::new();
+    let mut member_slot: Vec<usize> = Vec::with_capacity(p);
+    for (&m, &w) in members.iter().zip(weights) {
+        let node = topo.node_of_rank(m);
+        let s = *node_slot.entry(node).or_insert_with(|| {
+            slots.push(node);
+            count.push(0.0);
+            w_sum.push(0.0);
+            slots.len() - 1
+        });
+        member_slot.push(s);
+        count[s] += 1.0;
+        w_sum[s] += w as f64;
+    }
+    let nn = slots.len();
+
+    // Same exact integer sum the oracle's `topo_aware_cost` performs.
+    let total: u64 = weights.iter().sum();
+
+    // Per candidate node: cross-node C1 contribution, intra-node
+    // bandwidth, C2, and the magnitude bound for the prune tolerance.
+    let mut cross = vec![0.0f64; nn];
+    let mut intra_bw = vec![0.0f64; nn];
+    let mut c2 = vec![0.0f64; nn];
+    for s in 0..nn {
+        intra_bw[s] = cache.pair(topo, slots[s], slots[s]).bw;
+        let mut acc = 0.0;
+        for t in 0..nn {
+            if t == s {
+                continue;
+            }
+            // Metrics for members on node `t` sending to a candidate on
+            // node `s` (directed, matching `B(i -> A)`).
+            let pm = cache.pair(topo, slots[t], slots[s]);
+            acc += count[t] * (l * pm.dist as f64) + w_sum[t] / pm.bw;
+        }
+        cross[s] = acc;
+        let im = cache.io(topo, slots[s], io);
+        c2[s] = match (im.dist, im.bw) {
+            (Some(d), Some(bw)) => l * d as f64 + total as f64 / bw,
+            _ => 0.0,
+        };
+    }
+
+    // Folded signed cost per candidate, and the tightest upper bound on
+    // any candidate's cost window.
+    let sign = if matches!(strategy, PlacementStrategy::WorstCase) { -1.0 } else { 1.0 };
+    let mut folded: Vec<f64> = Vec::with_capacity(p);
+    let mut tol: Vec<f64> = Vec::with_capacity(p);
+    let mut best_upper = f64::INFINITY;
+    for (i, &w) in weights.iter().enumerate() {
+        let s = member_slot[i];
+        let f = cross[s] + (w_sum[s] - w as f64) / intra_bw[s] + c2[s];
+        let magnitude = cross[s] + w_sum[s] / intra_bw[s] + c2[s];
+        let d = fold_tolerance(p, magnitude);
+        let fs = sign * f;
+        if fs + d < best_upper {
+            best_upper = fs + d;
+        }
+        folded.push(fs);
+        tol.push(d);
+    }
+
+    // Prune, then replay the oracle's arithmetic on the survivors. The
+    // oracle winner's window always overlaps `best_upper`, so it is in
+    // the survivor set and the ascending MINLOC scan returns it.
+    let mut best = (f64::INFINITY, usize::MAX);
+    for i in 0..p {
+        if folded[i] - tol[i] <= best_upper {
+            let c = election_cost(topo, members, weights, io, partition_index, strategy, i);
+            if c < best.0 || (c == best.0 && i < best.1) {
+                best = (c, i);
+            }
+        }
+    }
+    best.1
+}
+
+/// One partition's election inputs, borrowed from the schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionElection<'a> {
+    /// Global ranks of the partition members.
+    pub members: &'a [Rank],
+    /// Bytes each member contributes (`omega`), parallel to `members`.
+    pub weights: &'a [u64],
+    /// The I/O node serving this partition's file region.
+    pub io: IoNodeId,
+    /// Partition index (seeds the `Random` strategy).
+    pub partition_index: usize,
+}
+
+/// Pairwise-equivalent work (`sum of members²`) above which a batch of
+/// elections is worth fanning out across threads.
+const PARALLEL_ELECTION_WORK: usize = 1 << 20;
+
+/// Elect aggregators for a batch of independent partitions using the
+/// fast path, sharing one metric cache when run serially and fanning
+/// out across std threads (each with its own cache) when the batch is
+/// large enough to amortize spawning. Returns one winner index (into
+/// that partition's `members`) per input, in order.
+pub fn elect_partitions(
+    topo: &dyn TopologyProvider,
+    parts: &[PartitionElection<'_>],
+    strategy: PlacementStrategy,
+) -> Vec<usize> {
+    let elect_chunk = |chunk: &[PartitionElection<'_>]| {
+        let mut cache = NodeMetricCache::new();
+        chunk
+            .iter()
+            .map(|p| {
+                elect_aggregator_cached(
+                    topo,
+                    &mut cache,
+                    p.members,
+                    p.weights,
+                    p.io,
+                    p.partition_index,
+                    strategy,
+                )
+            })
+            .collect::<Vec<usize>>()
+    };
+    let work: usize = parts.iter().map(|p| p.members.len() * p.members.len()).sum();
+    let threads = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    if parts.len() < 2 || threads < 2 || work < PARALLEL_ELECTION_WORK {
+        return elect_chunk(parts);
+    }
+    let chunk = parts.len().div_ceil(threads.min(parts.len()));
+    std::thread::scope(|s| {
+        let elect_chunk = &elect_chunk;
+        let handles: Vec<_> =
+            parts.chunks(chunk).map(|ch| s.spawn(move || elect_chunk(ch))).collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("election worker panicked"))
+            .collect()
+    })
 }
 
 /// Fallback topology for thread-mode runs that have no machine model:

@@ -14,7 +14,7 @@ use tapioca_pfs::{
 use tapioca_topology::{MachineProfile, NodeId, Rank, StorageProfile, TopologyProvider};
 
 use crate::config::TapiocaConfig;
-use crate::placement::elect_aggregator;
+use crate::placement::{elect_partitions, PartitionElection};
 use crate::plan::{append_tapioca_plan, ExecutionPlan, OpKind, TapiocaPlanInput};
 use crate::schedule::{compute_schedule, ScheduleParams, WriteDecl};
 
@@ -311,7 +311,7 @@ fn emit_sim_trace(
                 peer: agg,
             });
         }
-        for id in g.ops.clone() {
+        for id in g.ops.start..g.ops.end {
             let op = &plan.ops[id];
             let Some(m) = op.meta else { continue };
             let Some((_, agg, _)) = g.elections[m.partition as usize] else { continue };
@@ -353,7 +353,7 @@ fn emit_sim_trace(
 /// paper's "16 aggregators per Pset" phrasing.
 ///
 /// With the `trace` feature, a tracer in `cfg.tracer` receives the
-/// simulated collective's events (see [`emit_sim_trace`]); size it for
+/// simulated collective's events (see `emit_sim_trace`); size it for
 /// the machine's global rank count (`Tracer::new(machine.num_ranks())`).
 pub fn run_tapioca_sim(
     profile: &MachineProfile,
@@ -386,24 +386,26 @@ pub fn run_tapioca_sim(
         let io_nodes = machine.io_nodes_for(&group.ranks);
         let io = io_nodes.first().copied().unwrap_or(0);
 
-        // Elect one aggregator per partition (parallel across partitions;
-        // each election is exactly the distributed MINLOC of thread mode).
-        let choices: Vec<usize> = sched
+        // Elect one aggregator per partition via the node-folded fast
+        // path (parallel across partitions for large batches); each
+        // election is exactly the distributed MINLOC of thread mode.
+        let members_global: Vec<Vec<Rank>> = sched
             .partitions
             .iter()
-            .map(|part| {
-                let members_global: Vec<Rank> =
-                    part.members.iter().map(|&m| group.ranks[m]).collect();
-                elect_aggregator(
-                    machine,
-                    &members_global,
-                    &part.member_bytes,
-                    io,
-                    part.index,
-                    cfg.strategy,
-                )
+            .map(|part| part.members.iter().map(|&m| group.ranks[m]).collect())
+            .collect();
+        let elections: Vec<PartitionElection<'_>> = sched
+            .partitions
+            .iter()
+            .zip(&members_global)
+            .map(|(part, members)| PartitionElection {
+                members,
+                weights: &part.member_bytes,
+                io,
+                partition_index: part.index,
             })
             .collect();
+        let choices: Vec<usize> = elect_partitions(machine, &elections, cfg.strategy);
 
         let ranks = &group.ranks;
         let node_of = |local: Rank| machine.node_of_rank(ranks[local]);

@@ -23,29 +23,39 @@ use crate::perturb::Perturber;
 #[cfg(feature = "trace")]
 use tapioca_trace::TraceStamp;
 
-/// Completion notification for a non-blocking write.
+/// Completion notification for a non-blocking write. Carries the
+/// written buffer back so drain loops can recycle it.
 #[derive(Debug, Default)]
 struct Notify {
-    done: Mutex<bool>,
+    state: Mutex<NotifyState>,
     cv: Condvar,
 }
 
+#[derive(Debug, Default)]
+struct NotifyState {
+    done: bool,
+    /// The job's buffer, returned by the worker for reuse.
+    reclaimed: Option<Vec<u8>>,
+}
+
 impl Notify {
-    fn signal(&self) {
-        let mut d = self.done.lock().unwrap();
-        *d = true;
+    fn signal(&self, reclaimed: Option<Vec<u8>>) {
+        let mut st = self.state.lock().unwrap();
+        st.done = true;
+        st.reclaimed = reclaimed;
         self.cv.notify_all();
     }
 
-    fn wait(&self) {
-        let mut d = self.done.lock().unwrap();
-        while !*d {
-            d = self.cv.wait(d).unwrap();
+    fn wait_take(&self) -> Option<Vec<u8>> {
+        let mut st = self.state.lock().unwrap();
+        while !st.done {
+            st = self.cv.wait(st).unwrap();
         }
+        st.reclaimed.take()
     }
 
     fn is_done(&self) -> bool {
-        *self.done.lock().unwrap()
+        self.state.lock().unwrap().done
     }
 }
 
@@ -58,7 +68,14 @@ pub struct IoHandle {
 impl IoHandle {
     /// Block until the write has been applied to the file.
     pub fn wait(self) {
-        self.notify.wait();
+        self.notify.wait_take();
+    }
+
+    /// Block until the write has been applied, reclaiming its buffer for
+    /// reuse (`None` for zero-byte flushes). The double-buffer drain
+    /// loop uses this to refill windows without per-round allocation.
+    pub fn wait_reclaim(self) -> Option<Vec<u8>> {
+        self.notify.wait_take()
     }
 
     /// Non-consuming completion test.
@@ -69,7 +86,7 @@ impl IoHandle {
     /// An already-completed handle (for zero-byte flushes).
     pub fn ready() -> Self {
         let notify = Arc::new(Notify::default());
-        notify.signal();
+        notify.signal(None);
         IoHandle { notify }
     }
 }
@@ -157,7 +174,8 @@ impl SharedFile {
                     if let Some(stamp) = &job.stamp {
                         stamp.flush_done(job.offset, job.data.len() as u64);
                     }
-                    job.notify.signal();
+                    let Job { data, notify, .. } = job;
+                    notify.signal(Some(data));
                 }
             })
             .expect("spawn I/O worker");
@@ -291,6 +309,17 @@ mod tests {
         let h = f.iwrite_at(0, vec![]);
         assert!(h.test());
         h.wait();
+    }
+
+    #[test]
+    fn wait_reclaim_returns_the_buffer() {
+        let f = SharedFile::create(tmp("reclaim")).unwrap();
+        let h = f.iwrite_at(3, vec![9u8; 16]);
+        let buf = h.wait_reclaim().expect("non-empty write returns its buffer");
+        assert_eq!(buf, vec![9u8; 16]);
+        assert_eq!(f.read_at(3, 16), vec![9u8; 16]);
+        // zero-byte flushes have no buffer to give back
+        assert_eq!(f.iwrite_at(0, vec![]).wait_reclaim(), None);
     }
 
     #[test]

@@ -115,6 +115,14 @@ impl Window {
         region[offset..offset + len].to_vec()
     }
 
+    /// [`Window::read_local`] into a caller-provided buffer — the
+    /// allocation-free variant for drain loops that recycle flush
+    /// buffers. Reads `out.len()` bytes starting at `offset`.
+    pub fn read_local_into(&self, me: Rank, offset: usize, out: &mut [u8]) {
+        let region = self.shared.regions[me].read().unwrap();
+        out.copy_from_slice(&region[offset..offset + out.len()]);
+    }
+
     /// Size of a member's region.
     pub fn region_len(&self, rank: Rank) -> usize {
         self.shared.regions[rank].read().unwrap().len()
@@ -147,6 +155,25 @@ impl Window {
             region.len()
         );
         region[offset..offset + len].to_vec()
+    }
+
+    /// [`Window::get`] into a caller-provided buffer (MPI_Get with an
+    /// application-owned receive buffer): reads `out.len()` bytes from
+    /// `target`'s region at `offset` without allocating.
+    pub fn get_into(&self, target: Rank, offset: usize, out: &mut [u8]) {
+        if let Some(p) = &self.perturb {
+            p.point();
+        }
+        let region = self.shared.regions[target].read().unwrap();
+        let end = offset + out.len();
+        assert!(
+            end <= region.len(),
+            "get of {}..{} exceeds window region of {} bytes",
+            offset,
+            end,
+            region.len()
+        );
+        out.copy_from_slice(&region[offset..end]);
     }
 
     /// Close the current access epoch (collective over the window's
@@ -276,6 +303,36 @@ mod tests {
         assert_eq!(puts, 2);
         assert_eq!(fences, 2);
         assert!(trace.events().iter().filter(|e| e.op == TraceOp::RmaPut).all(|e| e.peer == 0));
+    }
+
+    #[test]
+    fn into_variants_match_allocating_reads() {
+        run(2, |c| {
+            let win = Window::allocate(&c, 8);
+            win.put(0, c.rank() * 4, &[c.rank() as u8 + 7; 4]);
+            win.fence(&c);
+            if c.rank() == 0 {
+                let mut buf = [0u8; 8];
+                win.read_local_into(0, 0, &mut buf);
+                assert_eq!(buf.to_vec(), win.read_local(0, 0, 8));
+            }
+            win.fence(&c);
+            let mut got = [0u8; 4];
+            win.get_into(0, 4, &mut got);
+            assert_eq!(got.to_vec(), win.get(0, 4, 4));
+            assert_eq!(got, [8u8; 4]);
+            win.fence(&c);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds window region")]
+    fn oversized_get_into_panics() {
+        let comms = make_world(1);
+        let c = comms.into_iter().next().unwrap();
+        let win = Window::allocate(&c, 4);
+        let mut buf = [0u8; 4];
+        win.get_into(0, 2, &mut buf);
     }
 
     #[test]

@@ -68,6 +68,25 @@ impl Ord for TimeKey {
     }
 }
 
+/// How the waterfilling loop locates the bottleneck link each round.
+///
+/// Both algorithms freeze the same flows at the same rates in the same
+/// order, so they produce **bit-identical** schedules (asserted by the
+/// `algo_equivalence` tests); they differ only in how the per-round
+/// minimum of `cap_rem / unfixed` is found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RateAlgo {
+    /// Linear rescan of every touched link per freeze round — O(L) per
+    /// round. Kept as the reference implementation.
+    Scan,
+    /// Keyed min-heap over `cap_rem / unfixed` with lazy invalidation:
+    /// each link mutation bumps a version counter and pushes a fresh
+    /// entry; stale entries are skipped on pop. O(log L) per mutation,
+    /// and rounds that freeze few flows no longer pay for every link.
+    #[default]
+    Heap,
+}
+
 /// Flow-level network simulator over a fixed link-capacity table.
 #[derive(Debug)]
 pub struct Simulator {
@@ -89,6 +108,8 @@ pub struct Simulator {
     trace: Option<Vec<TraceEvent>>,
     /// Payload bytes routed per link (accumulated at submission).
     carried: Vec<f64>,
+    /// Bottleneck search algorithm (see [`RateAlgo`]).
+    rate_algo: RateAlgo,
 }
 
 /// One recorded simulation event (when tracing is enabled).
@@ -120,6 +141,23 @@ struct Scratch {
     /// Active-flow indices per link (only `touched` entries are valid).
     flows_on: Vec<Vec<usize>>,
     touched: Vec<LinkIx>,
+    /// Position of each touched link inside `touched` — the heap's
+    /// tie-break key, reproducing the scan's "first touched link with a
+    /// strictly smaller share wins" selection exactly.
+    pos: Vec<u32>,
+    /// Per-link entry version for lazy heap invalidation; reset to 0 for
+    /// touched links at the start of each recomputation.
+    version: Vec<u32>,
+    /// Links whose state changed while freezing the current bottleneck's
+    /// flows (deduplicated via `mark`).
+    changed: Vec<LinkIx>,
+    /// `mark[l] == batch` means `l` is already queued in `changed`.
+    mark: Vec<u64>,
+    /// Monotone freeze-batch counter backing `mark`.
+    batch: u64,
+    /// Min-heap of `(share, touched-position, link, version)` entries;
+    /// entries whose version lags `version[link]` are stale.
+    heap: BinaryHeap<Reverse<(TimeKey, u32, LinkIx, u32)>>,
 }
 
 impl Simulator {
@@ -143,7 +181,15 @@ impl Simulator {
             scratch: Scratch::default(),
             trace: None,
             carried: Vec::new(),
+            rate_algo: RateAlgo::default(),
         }
+    }
+
+    /// Select the bottleneck-search algorithm. Both produce bit-identical
+    /// schedules; [`RateAlgo::Scan`] is the reference, [`RateAlgo::Heap`]
+    /// (the default) is the fast path.
+    pub fn set_rate_algo(&mut self, algo: RateAlgo) {
+        self.rate_algo = algo;
     }
 
     /// Start recording start/finish events for every flow. Intended for
@@ -334,6 +380,9 @@ impl Simulator {
             scr.cap_rem.resize(self.caps.len(), 0.0);
             scr.unfixed.resize(self.caps.len(), 0);
             scr.flows_on.resize_with(self.caps.len(), Vec::new);
+            scr.pos.resize(self.caps.len(), 0);
+            scr.version.resize(self.caps.len(), 0);
+            scr.mark.resize(self.caps.len(), 0);
         }
         // Reset only what the previous round touched.
         for &l in &scr.touched {
@@ -363,34 +412,96 @@ impl Simulator {
         }
 
         let mut fixed = vec![false; n];
-        while n_unfixed > 0 {
-            // bottleneck link among touched ones
-            let mut bott = usize::MAX;
-            let mut fair = f64::INFINITY;
-            for &l in &scr.touched {
-                if scr.unfixed[l] > 0 {
-                    let f = scr.cap_rem[l] / scr.unfixed[l] as f64;
-                    if f < fair {
-                        fair = f;
-                        bott = l;
+        match self.rate_algo {
+            RateAlgo::Scan => {
+                while n_unfixed > 0 {
+                    // bottleneck link among touched ones
+                    let mut bott = usize::MAX;
+                    let mut fair = f64::INFINITY;
+                    for &l in &scr.touched {
+                        if scr.unfixed[l] > 0 {
+                            let f = scr.cap_rem[l] / scr.unfixed[l] as f64;
+                            if f < fair {
+                                fair = f;
+                                bott = l;
+                            }
+                        }
+                    }
+                    debug_assert_ne!(bott, usize::MAX);
+                    let fair = fair.max(0.0);
+                    // freeze flows on the bottleneck; iterate over an
+                    // index range to avoid aliasing the scratch borrow
+                    for fi in 0..scr.flows_on[bott].len() {
+                        let k = scr.flows_on[bott][fi];
+                        if fixed[k] {
+                            continue;
+                        }
+                        fixed[k] = true;
+                        n_unfixed -= 1;
+                        self.rates[k] = fair;
+                        for &l in &self.flows[self.active[k]].route {
+                            scr.unfixed[l] -= 1;
+                            scr.cap_rem[l] = (scr.cap_rem[l] - fair).max(0.0);
+                        }
                     }
                 }
             }
-            debug_assert_ne!(bott, usize::MAX);
-            let fair = fair.max(0.0);
-            // freeze flows on the bottleneck; iterate over an index range
-            // to avoid aliasing the scratch borrow
-            for fi in 0..scr.flows_on[bott].len() {
-                let k = scr.flows_on[bott][fi];
-                if fixed[k] {
-                    continue;
+            RateAlgo::Heap => {
+                scr.heap.clear();
+                for (i, &l) in scr.touched.iter().enumerate() {
+                    scr.pos[l] = i as u32;
+                    scr.version[l] = 0;
+                    if scr.unfixed[l] > 0 {
+                        let share = scr.cap_rem[l] / scr.unfixed[l] as f64;
+                        scr.heap.push(Reverse((TimeKey(share), i as u32, l, 0)));
+                    }
                 }
-                fixed[k] = true;
-                n_unfixed -= 1;
-                self.rates[k] = fair;
-                for &l in &self.flows[self.active[k]].route {
-                    scr.unfixed[l] -= 1;
-                    scr.cap_rem[l] = (scr.cap_rem[l] - fair).max(0.0);
+                while n_unfixed > 0 {
+                    let Reverse((TimeKey(share), _, bott, ver)) =
+                        scr.heap.pop().expect("unfixed flows imply a live heap entry");
+                    // Lazy invalidation: entries outdated by later link
+                    // mutations (or fully frozen links) are skipped; the
+                    // survivor carries the link's *current* share, so the
+                    // selected bottleneck and rate equal the scan's.
+                    if scr.version[bott] != ver || scr.unfixed[bott] == 0 {
+                        continue;
+                    }
+                    let fair = share.max(0.0);
+                    scr.batch += 1;
+                    for fi in 0..scr.flows_on[bott].len() {
+                        let k = scr.flows_on[bott][fi];
+                        if fixed[k] {
+                            continue;
+                        }
+                        fixed[k] = true;
+                        n_unfixed -= 1;
+                        self.rates[k] = fair;
+                        for &l in &self.flows[self.active[k]].route {
+                            scr.unfixed[l] -= 1;
+                            scr.cap_rem[l] = (scr.cap_rem[l] - fair).max(0.0);
+                            if scr.mark[l] != scr.batch {
+                                scr.mark[l] = scr.batch;
+                                scr.changed.push(l);
+                            }
+                        }
+                    }
+                    // Re-key every link the batch mutated: bump its
+                    // version (invalidating old entries) and push one
+                    // fresh entry while it still has unfixed flows.
+                    for ci in 0..scr.changed.len() {
+                        let l = scr.changed[ci];
+                        scr.version[l] = scr.version[l].wrapping_add(1);
+                        if scr.unfixed[l] > 0 {
+                            let share = scr.cap_rem[l] / scr.unfixed[l] as f64;
+                            scr.heap.push(Reverse((
+                                TimeKey(share),
+                                scr.pos[l],
+                                l,
+                                scr.version[l],
+                            )));
+                        }
+                    }
+                    scr.changed.clear();
                 }
             }
         }
@@ -469,8 +580,12 @@ impl Simulator {
     }
 
     /// Move pending flows whose start time has come into the active set.
+    ///
+    /// Only arrivals that actually join the active set dirty the cached
+    /// rates: zero-byte and empty-route flows complete instantly without
+    /// changing any link's membership, so an event consisting solely of
+    /// them (fences, barrier ops) triggers no rate recomputation.
     fn activate_due(&mut self) {
-        let mut changed = false;
         while let Some(&Reverse((TimeKey(t), id))) = self.pending.peek() {
             if t <= self.time + TIME_EPS {
                 self.pending.pop();
@@ -482,14 +597,11 @@ impl Simulator {
                     f.status = FlowStatus::Active;
                     self.active.push(id);
                     self.record(id, TraceKind::Started);
+                    self.dirty = true;
                 }
-                changed = true;
             } else {
                 break;
             }
-        }
-        if changed {
-            self.dirty = true;
         }
     }
 
@@ -774,6 +886,115 @@ mod tests {
         s.submit(0.0, vec![0], 10.0);
         s.run_to_idle();
         assert!(s.trace().is_empty());
+    }
+
+    mod algo_equivalence {
+        use super::*;
+
+        fn mix(mut x: u64) -> u64 {
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x ^= x >> 27;
+            x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^ (x >> 31)
+        }
+
+        /// Bit patterns of every flow's finish time after running the
+        /// scenario built by `build` under the given algorithm.
+        fn finishes(algo: RateAlgo, build: impl Fn(&mut Simulator)) -> Vec<u64> {
+            let mut s = Simulator::with_capacities(Vec::new());
+            s.set_rate_algo(algo);
+            build(&mut s);
+            s.run_to_idle();
+            (0..s.num_flows())
+                .map(|f| s.finish_time(f).expect("flow completed").to_bits())
+                .collect()
+        }
+
+        fn assert_identical(build: impl Fn(&mut Simulator)) {
+            assert_eq!(finishes(RateAlgo::Scan, &build), finishes(RateAlgo::Heap, &build));
+        }
+
+        /// The analytic scenarios from the tests above, replayed under
+        /// both algorithms: finish times must match to the last bit.
+        #[test]
+        fn analytic_scenarios_bit_identical() {
+            assert_identical(|s| {
+                s.add_virtual_link(100.0);
+                s.submit(0.0, vec![0], 250.0);
+            });
+            assert_identical(|s| {
+                s.add_virtual_link(100.0);
+                s.submit(0.0, vec![0], 300.0);
+                s.submit(1.0, vec![0], 100.0);
+            });
+            assert_identical(|s| {
+                s.add_virtual_link(100.0);
+                s.add_virtual_link(10.0);
+                s.submit(0.0, vec![0, 1], 100.0);
+            });
+            assert_identical(|s| {
+                s.add_virtual_link(100.0);
+                s.add_virtual_link(100.0);
+                let ost = s.add_virtual_link(10.0);
+                s.submit(0.0, vec![0, ost], 10.0);
+                s.submit(0.0, vec![1, ost], 10.0);
+            });
+            assert_identical(|s| {
+                s.add_virtual_link(10.0);
+                let a = s.submit(0.0, vec![0], 100.0);
+                let b = s.submit_with_deps(0.0, 0.0, vec![0], 50.0, &[a]);
+                s.submit_with_deps(0.0, 0.5, vec![0], 10.0, &[b]);
+            });
+            assert_identical(|s| {
+                s.add_virtual_link(64.0);
+                for _ in 0..64 {
+                    s.submit(0.0, vec![0], 10.0);
+                }
+            });
+        }
+
+        /// Seeded sweep over irregular scenarios — staggered arrivals,
+        /// shared links, dependency gating, zero-byte fences, completion
+        /// slack — asserting bit-identical schedules throughout.
+        #[test]
+        fn seeded_sweep_bit_identical() {
+            for case in 0u64..60 {
+                let nlinks = 3 + (mix(case * 5 + 1) % 10) as usize;
+                let nflows = 1 + (mix(case * 11 + 2) % 40) as usize;
+                let build = |s: &mut Simulator| {
+                    for l in 0..nlinks {
+                        s.add_virtual_link(1.0 + (mix(case * 17 + l as u64) % 64) as f64);
+                    }
+                    if case % 3 == 0 {
+                        s.set_completion_slack(1e-3);
+                    }
+                    for i in 0..nflows {
+                        let len = 1 + (mix(case * 23 + i as u64) % 4) as usize;
+                        let route: Vec<usize> = (0..len)
+                            .map(|h| (mix(case * 41 + i as u64 * 7 + h as u64) % nlinks as u64)
+                                as usize)
+                            .collect();
+                        let bytes = (mix(case * 59 + i as u64) % 5000) as f64 / 7.0;
+                        let start = (mix(case * 73 + i as u64) % 30) as f64 / 10.0;
+                        // every third flow gates on an earlier one; every
+                        // seventh is a zero-byte fence
+                        let deps: Vec<FlowId> = if i >= 1 && i % 3 == 0 {
+                            vec![(mix(case * 83 + i as u64) % i as u64) as usize]
+                        } else {
+                            Vec::new()
+                        };
+                        let bytes = if i % 7 == 6 { 0.0 } else { bytes };
+                        s.submit_with_deps(start, 0.0, route, bytes, &deps);
+                    }
+                };
+                assert_eq!(
+                    finishes(RateAlgo::Scan, build),
+                    finishes(RateAlgo::Heap, build),
+                    "case {case}"
+                );
+            }
+        }
     }
 
     mod props {

@@ -26,7 +26,7 @@
 pub mod engine;
 pub mod fairshare;
 
-pub use engine::{FlowId, FlowStatus, Simulator, TraceEvent, TraceKind};
+pub use engine::{FlowId, FlowStatus, RateAlgo, Simulator, TraceEvent, TraceKind};
 pub use fairshare::{max_min_rates, FlowDemand};
 
 /// Simulated time, in seconds since simulation start.

@@ -18,7 +18,7 @@
 use std::collections::HashMap;
 
 use tapioca::config::TapiocaConfig;
-use tapioca::placement::elect_aggregator;
+use tapioca::placement::{elect_partitions, PartitionElection};
 use tapioca::schedule::{compute_schedule, ScheduleParams};
 use tapioca::sim_exec::CollectiveSpec;
 use tapioca_netsim::{FlowId, SimTime, Simulator};
@@ -117,17 +117,26 @@ pub fn run_tiered_sim(
         });
         total_bytes += sched.total_bytes() as f64;
         let io = machine.io_nodes_for(&group.ranks).first().copied().unwrap_or(0);
-        for part in &sched.partitions {
-            let members_global: Vec<Rank> =
-                part.members.iter().map(|&m| group.ranks[m]).collect();
-            let choice = elect_aggregator(
-                machine,
-                &members_global,
-                &part.member_bytes,
+        let members_global_all: Vec<Vec<Rank>> = sched
+            .partitions
+            .iter()
+            .map(|part| part.members.iter().map(|&m| group.ranks[m]).collect())
+            .collect();
+        let elections: Vec<PartitionElection<'_>> = sched
+            .partitions
+            .iter()
+            .zip(&members_global_all)
+            .map(|(part, members)| PartitionElection {
+                members,
+                weights: &part.member_bytes,
                 io,
-                part.index,
-                cfg.strategy,
-            );
+                partition_index: part.index,
+            })
+            .collect();
+        let choices = elect_partitions(machine, &elections, cfg.strategy);
+        for (part, (members_global, &choice)) in
+            sched.partitions.iter().zip(members_global_all.iter().zip(&choices))
+        {
             let agg_node = machine.node_of_rank(members_global[choice]);
             let nrounds = part.rounds.len();
             let mut transfers: Vec<Vec<(NodeId, f64)>> = vec![Vec::new(); nrounds];

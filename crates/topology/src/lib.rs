@@ -25,6 +25,7 @@
 //! Units: bandwidths are **bytes/second**, latencies **seconds**, sizes
 //! **bytes**. Helper constants such as [`GIB`] are provided for clarity.
 
+pub mod cache;
 pub mod coords;
 pub mod dragonfly;
 pub mod fattree;
@@ -32,6 +33,7 @@ pub mod profiles;
 pub mod provider;
 pub mod torus;
 
+pub use cache::{IoMetrics, NodeMetricCache, PairMetrics};
 pub use coords::CoordSpace;
 pub use dragonfly::{Dragonfly, DragonflyParams};
 pub use fattree::{FatTree, FatTreeParams};
