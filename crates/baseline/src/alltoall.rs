@@ -121,7 +121,8 @@ pub fn collective_write_alltoall(
                 file.write_at(
                     seg.file_offset,
                     &buffer[seg.buf_offset as usize..(seg.buf_offset + seg.len) as usize],
-                );
+                )
+                .expect("baseline write failed");
             }
         }
     }
@@ -177,7 +178,7 @@ mod tests {
             let r = comm.rank() as u64;
             let payload: Vec<u8> = (0..per).map(|i| (r * 97 + i * 3) as u8).collect();
             let f1 = SharedFile::open_shared(&comm, &p1);
-            collective_write(&comm, &f1, r * per, &payload, &cfg);
+            collective_write(&comm, &f1, r * per, &payload, &cfg).unwrap();
             let f2 = SharedFile::open_shared(&comm, &p2);
             collective_write_alltoall(&comm, &f2, r * per, &payload, &cfg);
         });

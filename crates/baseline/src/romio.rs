@@ -39,13 +39,17 @@ impl Default for MpiIoConfig {
 ///
 /// Collective over `comm` — every member must call it, in the same
 /// order relative to other collectives.
+///
+/// # Errors
+/// Propagates [`tapioca::TapiocaError`] from the pipeline (I/O failure
+/// or timeout of an aggregator flush).
 pub fn collective_write(
     comm: &Comm,
     file: &SharedFile,
     offset: u64,
     data: &[u8],
     cfg: &MpiIoConfig,
-) -> tapioca::aggregation::IoStats {
+) -> tapioca::Result<tapioca::aggregation::IoStats> {
     let epoch = comm.next_user_seq();
 
     // Exchange this call's declaration (offset, len) with everyone.
@@ -106,7 +110,8 @@ mod tests {
             collective_write(&comm, &file, r * per, &payload, &MpiIoConfig {
                 cb_aggregators: 3,
                 cb_buffer_size: 100,
-            });
+            })
+            .unwrap();
         });
         let bytes = std::fs::read(&path).unwrap();
         assert_eq!(bytes.len() as u64, n as u64 * per);
@@ -129,7 +134,8 @@ mod tests {
             let cfg = MpiIoConfig { cb_aggregators: 2, cb_buffer_size: 64 };
             for v in 0..3u64 {
                 let payload = vec![(v * 50 + r + 1) as u8; var as usize];
-                collective_write(&comm, &file, v * (n as u64 * var) + r * var, &payload, &cfg);
+                collective_write(&comm, &file, v * (n as u64 * var) + r * var, &payload, &cfg)
+                    .unwrap();
             }
         });
         let bytes = std::fs::read(&path).unwrap();
@@ -149,9 +155,9 @@ mod tests {
             let r = comm.rank() as u64;
             let cfg = MpiIoConfig { cb_aggregators: 2, cb_buffer_size: 32 };
             if r.is_multiple_of(2) {
-                collective_write(&comm, &file, r * 64, &[r as u8 + 1; 64], &cfg);
+                collective_write(&comm, &file, r * 64, &[r as u8 + 1; 64], &cfg).unwrap();
             } else {
-                collective_write(&comm, &file, 0, &[], &cfg);
+                collective_write(&comm, &file, 0, &[], &cfg).unwrap();
             }
         });
         let bytes = std::fs::read(&path).unwrap();

@@ -19,12 +19,16 @@ use crate::romio::MpiIoConfig;
 /// `cfg.cb_aggregators` is per file group, like TAPIOCA's
 /// `num_aggregators` (the paper tunes "aggregators per Pset" /
 /// "aggregators per OST" for both systems identically).
+///
+/// # Errors
+/// Propagates [`tapioca::TapiocaError`] from the simulator (e.g. a
+/// storage/profile kind mismatch).
 pub fn run_mpiio_sim(
     profile: &MachineProfile,
     storage: &StorageConfig,
     spec: &CollectiveSpec,
     cfg: &MpiIoConfig,
-) -> SimReport {
+) -> tapioca::Result<SimReport> {
     let machine = &profile.machine;
     let mut plan = ExecutionPlan::new();
 
@@ -89,6 +93,7 @@ pub fn run_mpiio_sim(
                 entry_deps: entry_deps.clone(),
                 // sequential calls never share a filesystem wave
                 wave_base: (v as u64 + 1) * 1_000_000,
+                crashes: Vec::new(),
             });
 
             // Barrier op: the next call starts only when this one is done
@@ -128,7 +133,7 @@ mod tests {
         let spec = hacc_groups_single(128, 2000, Layout::StructOfArrays);
         let storage = StorageConfig::Lustre(LustreTunables::theta_optimized());
         let cfg = MpiIoConfig { cb_aggregators: 8, cb_buffer_size: 8 * MIB };
-        let rep = run_mpiio_sim(&profile, &storage, &spec, &cfg);
+        let rep = run_mpiio_sim(&profile, &storage, &spec, &cfg).unwrap();
         assert!(rep.elapsed > 0.0);
         assert_eq!(rep.bytes, (128u64 * 2000 * 38) as f64);
     }
@@ -144,12 +149,14 @@ mod tests {
         let mpiio = run_mpiio_sim(&profile, &storage, &spec, &MpiIoConfig {
             cb_aggregators: 8,
             cb_buffer_size: 16 * MIB,
-        });
+        })
+        .unwrap();
         let tap = run_tapioca_sim(&profile, &storage, &spec, &TapiocaConfig {
             num_aggregators: 8,
             buffer_size: 16 * MIB,
             ..Default::default()
-        });
+        })
+        .unwrap();
         assert!(
             tap.bandwidth > mpiio.bandwidth,
             "TAPIOCA {} GiB/s must beat MPI I/O {} GiB/s on SoA",
@@ -177,8 +184,8 @@ mod tests {
         let tp = TapiocaConfig { num_aggregators: 16, buffer_size: 4 * MIB, ..Default::default() };
         let ratio = |layout| {
             let spec = mk(layout);
-            let b = run_mpiio_sim(&profile, &storage, &spec, &cb);
-            let t = run_tapioca_sim(&profile, &storage, &spec, &tp);
+            let b = run_mpiio_sim(&profile, &storage, &spec, &cb).unwrap();
+            let t = run_tapioca_sim(&profile, &storage, &spec, &tp).unwrap();
             t.bandwidth / b.bandwidth
         };
         let soa = ratio(Layout::StructOfArrays);

@@ -42,7 +42,7 @@ fn bench_sim() {
     };
     let cfg = TapiocaConfig { num_aggregators: 16, buffer_size: 8 * MIB, ..Default::default() };
     let ns = median_ns(10, || {
-        black_box(run_tapioca_sim(&profile, &storage, black_box(&spec), &cfg));
+        black_box(run_tapioca_sim(&profile, &storage, black_box(&spec), &cfg).unwrap());
     });
     println!("sim/ior_256ranks_64nodes,{ns}");
 }
@@ -62,8 +62,9 @@ fn bench_thread_pipeline() {
                 num_aggregators: 2,
                 buffer_size: 16 * 1024,
                 ..Default::default()
-            });
-            io.write(r * per, &vec![r as u8; per as usize]);
+            })
+            .expect("init failed");
+            io.write(r * per, &vec![r as u8; per as usize]).expect("write failed");
             io.finalize();
         });
     });

@@ -10,6 +10,10 @@
 //!                                 schedule perturbations, checking each
 //!                                 interleaving's trace
 //!   --seed-base S                 first perturbation seed      [1]
+//!   --faults                      also run the fault-injection recovery
+//!                                 workloads (aggregator crash, transient
+//!                                 flush errors) on both executors and
+//!                                 check their recovery traces
 //! ```
 //!
 //! Exit status is non-zero if any checked trace carries a violation, so
@@ -23,7 +27,7 @@ use tapioca::config::TapiocaConfig;
 use tapioca::schedule::WriteDecl;
 use tapioca::sim_exec::{run_tapioca_sim, CollectiveSpec, GroupSpec, StorageConfig};
 use tapioca_check::{check, parse_jsonl, Violation};
-use tapioca_mpi::{Runtime, SharedFile};
+use tapioca_mpi::{FaultPlan, FaultSpec, Runtime, SharedFile};
 use tapioca_pfs::{AccessMode, LustreTunables};
 use tapioca_topology::{theta_profile, MachineProfile, TopologyProvider};
 use tapioca_trace::{Trace, Tracer};
@@ -75,6 +79,42 @@ fn suite() -> Vec<Workload> {
     ]
 }
 
+/// Fault-injected variants of the suite: the traces must still pass the
+/// checker — recovery epochs (re-election) and retried flushes included.
+fn fault_suite() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "ior-crash",
+            profile: theta_profile(8, 2),
+            decls: IorSpec { num_ranks: 16, bytes_per_rank: 4096 }.decls(),
+            cfg: TapiocaConfig {
+                num_aggregators: 4,
+                buffer_size: 1024,
+                faults: Some(
+                    FaultPlan::seeded(11)
+                        .with(FaultSpec::AggregatorCrash { partition: 1, round: 1 }),
+                ),
+                ..Default::default()
+            },
+        },
+        Workload {
+            name: "hacc-flaky",
+            profile: theta_profile(8, 2),
+            decls: HaccIo { num_ranks: 16, particles_per_rank: 100, layout: Layout::StructOfArrays }
+                .decls(),
+            cfg: TapiocaConfig {
+                num_aggregators: 4,
+                buffer_size: 2048,
+                faults: Some(
+                    FaultPlan::seeded(7)
+                        .with(FaultSpec::TransientFlushError { probability: 0.4 }),
+                ),
+                ..Default::default()
+            },
+        },
+    ]
+}
+
 fn tmp(name: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join("tapioca-checksim");
     std::fs::create_dir_all(&dir).unwrap();
@@ -94,7 +134,7 @@ fn sim_trace(w: &Workload) -> Trace {
         mode: AccessMode::Write,
     };
     let storage = StorageConfig::Lustre(LustreTunables::theta_optimized());
-    run_tapioca_sim(&w.profile, &storage, &spec, &cfg);
+    run_tapioca_sim(&w.profile, &storage, &spec, &cfg).expect("simulation failed");
     tracer.drain()
 }
 
@@ -112,9 +152,10 @@ fn thread_trace(w: &Workload, label: &str, seed: Option<u64>) -> Trace {
         let file = SharedFile::open_shared(&comm, &path2);
         let mine = decls[comm.rank()].clone();
         let mut io =
-            Tapioca::init_with_topology(&comm, file, mine.clone(), cfg.clone(), machine.clone());
+            Tapioca::init_with_topology(&comm, file, mine.clone(), cfg.clone(), machine.clone())
+                .expect("init failed");
         for d in &mine {
-            io.write(d.offset, &vec![0xC3u8; d.len as usize]);
+            io.write(d.offset, &vec![0xC3u8; d.len as usize]).expect("write failed");
         }
         io.finalize();
     };
@@ -144,12 +185,14 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut files = Vec::new();
     let mut run_suite = false;
+    let mut with_faults = false;
     let mut perturb: Option<u64> = None;
     let mut seed_base = 1u64;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
             "--suite" => run_suite = true,
+            "--faults" => with_faults = true,
             "--perturb" => {
                 i += 1;
                 perturb = Some(argv.get(i).expect("--perturb N").parse().expect("seed count"));
@@ -167,7 +210,7 @@ fn main() {
         }
         i += 1;
     }
-    if files.is_empty() && !run_suite && perturb.is_none() {
+    if files.is_empty() && !run_suite && !with_faults && perturb.is_none() {
         eprintln!("checksim: nothing to do — pass trace files, --suite, or --perturb N");
         std::process::exit(2);
     }
@@ -183,6 +226,15 @@ fn main() {
     if run_suite {
         println!("# cross-executor protocol suite");
         for w in &suite() {
+            total += report(&format!("sim:{}", w.name), &sim_trace(w));
+            let label = format!("thread:{}", w.name);
+            total += report(&label, &thread_trace(w, &label, None));
+        }
+    }
+
+    if with_faults {
+        println!("# fault-injection recovery suite");
+        for w in &fault_suite() {
             total += report(&format!("sim:{}", w.name), &sim_trace(w));
             let label = format!("thread:{}", w.name);
             total += report(&label, &thread_trace(w, &label, None));

@@ -106,11 +106,13 @@ fn main() {
         buffer_size: buffer,
         tracer: tracer.clone(),
         ..Default::default()
-    });
+    })
+    .expect("simulation failed");
     let mpi = run_mpiio_sim(&profile, &storage, &spec, &MpiIoConfig {
         cb_aggregators: aggregators,
         cb_buffer_size: buffer,
-    });
+    })
+    .expect("simulation failed");
     println!("# bandwidth: TAPIOCA {:.2} GiB/s, per-call MPI I/O {:.2} GiB/s",
         tap.bandwidth_gib(), mpi.bandwidth_gib());
 

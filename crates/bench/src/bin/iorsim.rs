@@ -17,6 +17,7 @@
 //!   --stripe-size BYTES      Lustre stripe size        [8388608]
 //!   --placement topo|rank|io|random|worst   election   [topo]
 //!   --no-pipeline            disable double buffering
+//!   --faults PLAN            fault plan, e.g. seed=7,crash=0@1,flaky=0.2
 //!   --trace-out PATH         write the event trace as JSONL (tapioca only)
 //! ```
 
@@ -44,6 +45,7 @@ struct Args {
     stripe_size: u64,
     placement: String,
     pipeline: bool,
+    faults: Option<tapioca::FaultPlan>,
     trace_out: Option<std::path::PathBuf>,
 }
 
@@ -62,6 +64,7 @@ fn parse() -> Args {
         stripe_size: 8 * MIB,
         placement: "topo".into(),
         pipeline: true,
+        faults: None,
         trace_out: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -85,6 +88,11 @@ fn parse() -> Args {
             "--stripe-size" => a.stripe_size = next(&mut i).parse().expect("stripe-size"),
             "--placement" => a.placement = next(&mut i),
             "--no-pipeline" => a.pipeline = false,
+            "--faults" => {
+                let spec = next(&mut i);
+                a.faults =
+                    Some(tapioca::FaultPlan::parse(&spec).unwrap_or_else(|e| panic!("{e}")));
+            }
             "--trace-out" => a.trace_out = Some(next(&mut i).into()),
             "--help" | "-h" => {
                 println!("see the module docs at the top of iorsim.rs");
@@ -170,6 +178,8 @@ fn main() {
             pipelining: a.pipeline,
             strategy,
             tracer: tracer.clone(),
+            faults: a.faults.clone(),
+            ..Default::default()
         }),
         "mpiio" => measure_mpiio(&profile, &storage, &spec, &MpiIoConfig {
             cb_aggregators: aggregators,
@@ -190,6 +200,10 @@ fn main() {
     println!("data moved   : {:.2} GiB", report.bytes / gib);
     println!("elapsed      : {:.3} s", report.elapsed);
     println!("bandwidth    : {:.2} GiB/s", report.bandwidth / gib);
+    if a.faults.is_some() {
+        println!("faults       : {} injected, {} retries, {} re-elections, {} degraded",
+            report.faults_injected, report.retries, report.reelections, report.degraded);
+    }
 
     if let (Some(path), Some(tracer)) = (&a.trace_out, &tracer) {
         let summary = dump_trace_jsonl(tracer, path).expect("write trace");

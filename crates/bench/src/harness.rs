@@ -90,7 +90,8 @@ pub fn measure_tapioca(
     spec: &CollectiveSpec,
     cfg: &TapiocaConfig,
 ) -> SimReport {
-    run_tapioca_sim(profile, storage, spec, cfg)
+    // Bench binaries run vetted configs; surface a sim error loudly.
+    run_tapioca_sim(profile, storage, spec, cfg).expect("simulation failed")
 }
 
 /// Run the MPI I/O baseline at one point.
@@ -100,7 +101,7 @@ pub fn measure_mpiio(
     spec: &CollectiveSpec,
     cfg: &MpiIoConfig,
 ) -> SimReport {
-    run_mpiio_sim(profile, storage, spec, cfg)
+    run_mpiio_sim(profile, storage, spec, cfg).expect("simulation failed")
 }
 
 /// Print a CSV block: header then one row per point.

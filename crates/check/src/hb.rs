@@ -14,7 +14,13 @@
 //! flush executes, the number of fences its rank has passed in that
 //! partition pins which epoch it ran in, and the pipeline's fence
 //! schedule (close of round `r` is fence `2r`, release is `2r + 1`)
-//! says which epochs are legal. And it doubles as the deadlock detector
+//! says which epochs are legal. A `Reelect` event resets the schedule's
+//! origin — recovery opens a fresh window, so the crash round is
+//! replayed one fence later than the plain schedule predicts; the
+//! checker records `(fences seen, crash round)` at the reelection and
+//! measures every later epoch as a delta from that base, without
+//! resetting the fence *ordinals* used for collective matching. And it
+//! doubles as the deadlock detector
 //! (invariant 5): if no rank can make progress but events remain, the
 //! blocked fences form a wait-for graph whose cycle is reported with
 //! the ranks on it.
@@ -75,6 +81,10 @@ struct Replayer<'t> {
     clock: Vec<Vec<u64>>,
     /// Per dense rank, per partition: fences executed so far.
     fences_done: Vec<std::collections::BTreeMap<u32, u64>>,
+    /// Per dense rank, per partition: the recovery epoch base set by the
+    /// last `Reelect` the rank executed — (fences seen at that point,
+    /// the crash round being replayed).
+    recovery_base: Vec<std::collections::BTreeMap<u32, (u64, u32)>>,
     /// Per partition, per dense rank: total fences in the whole lane
     /// (fixes the participant set of each collective ordinal).
     fence_totals: std::collections::BTreeMap<u32, Vec<u64>>,
@@ -112,6 +122,7 @@ impl<'t> Replayer<'t> {
             cursor: vec![0; n],
             clock: vec![vec![0; n]; n],
             fences_done: vec![std::collections::BTreeMap::new(); n],
+            recovery_base: vec![std::collections::BTreeMap::new(); n],
             fence_totals,
             clocks: vec![None; events.len()],
             owner,
@@ -160,8 +171,13 @@ impl<'t> Replayer<'t> {
                         break;
                     }
                     self.clock[r][r] += 1;
+                    if e.op == TraceOp::Reelect {
+                        let seen =
+                            self.fences_done[r].get(&e.partition).copied().unwrap_or(0);
+                        self.recovery_base[r].insert(e.partition, (seen, e.round));
+                    }
                     self.check_epoch(r, i, out);
-                    if matches!(e.op, TraceOp::RmaPut | TraceOp::Flush) {
+                    if matches!(e.op, TraceOp::RmaPut | TraceOp::Flush | TraceOp::Retry) {
                         self.clocks[i] = Some(self.clock[r].clone());
                     }
                     self.cursor[r] += 1;
@@ -218,6 +234,12 @@ impl<'t> Replayer<'t> {
     /// * a flush of round `r` completes with `2r + 1` (right after its
     ///   close fence) up to `2r + 3` (the close of round `r + 1`, where
     ///   the pipelined wait drains it) fences passed.
+    ///
+    /// After a `Reelect` the schedule restarts from the recovery base:
+    /// the crash round `cr` was closed once before the crash was
+    /// detected, so its replay (and every later round `r`) is measured
+    /// as a delta — puts of round `r` want `base + 2*(r - cr)` fences,
+    /// flushes `[base + 2*(r - cr) + 1, base + 2*(r - cr) + 3]`.
     fn check_epoch(&self, r: usize, i: usize, out: &mut Vec<Violation>) {
         let e = &self.events[i];
         let p = e.partition;
@@ -225,9 +247,16 @@ impl<'t> Replayer<'t> {
             return;
         }
         let seen = self.fences_done[r].get(&p).copied().unwrap_or(0);
+        // Events of pre-crash rounds are always executed (and therefore
+        // checked) before the rank's Reelect, so a base from a later
+        // round never applies to them.
+        let (base, base_round) = match self.recovery_base[r].get(&p) {
+            Some(&(b, cr)) if e.round >= cr => (b, cr as u64),
+            _ => (0, 0),
+        };
         match e.op {
             TraceOp::RmaPut => {
-                let want = 2 * e.round as u64;
+                let want = base + 2 * (e.round as u64 - base_round);
                 if seen != want {
                     out.push(Violation {
                         kind: ViolationKind::PutOutsideEpoch,
@@ -245,7 +274,7 @@ impl<'t> Replayer<'t> {
                 }
             }
             TraceOp::Flush => {
-                let lo = 2 * e.round as u64 + 1;
+                let lo = base + 2 * (e.round as u64 - base_round) + 1;
                 let hi = lo + 2;
                 if seen < lo || seen > hi {
                     out.push(Violation {

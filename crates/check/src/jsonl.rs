@@ -70,6 +70,10 @@ fn parse_line(line: &str) -> Result<TraceEvent, String> {
                     "flush" => TraceOp::Flush,
                     "fence" => TraceOp::Fence,
                     "elect" => TraceOp::Elect,
+                    "crash" => TraceOp::Crash,
+                    "reelect" => TraceOp::Reelect,
+                    "retry" => TraceOp::Retry,
+                    "degrade" => TraceOp::Degrade,
                     other => return Err(format!("unknown op {other:?}")),
                 })
             }

@@ -21,6 +21,13 @@
 //! 5. **Deadlock freedom** — the cross-partition fence ordering is
 //!    acyclic; a cycle is reported with a witness naming the ranks and
 //!    the collectives they block on.
+//! 6. **Recovery discipline** — fault-injected runs keep the contract:
+//!    a `Reelect` opens a *recovery epoch* (a fresh window whose fence
+//!    schedule restarts at the crash round; the epoch checks measure
+//!    deltas from the reelection instead of absolute rounds), every
+//!    member of the partition agrees on the standby, and every recorded
+//!    `Retry` is eventually resolved by a completed flush of the same
+//!    file range.
 //!
 //! [`check`] verifies all of these on a recorded trace and returns the
 //! violations found (empty = clean). Kinds are machine-readable
@@ -75,6 +82,9 @@ pub enum ViolationKind {
     CollectiveCycle,
     /// A partition recorded more than one election winner.
     ConflictingElections,
+    /// A flush retry was recorded but no flush of the same file range
+    /// ever completed after it — the recovery path lost the segment.
+    RetryWithoutFlush,
 }
 
 impl ViolationKind {
@@ -88,6 +98,7 @@ impl ViolationKind {
             ViolationKind::CollectiveOrderMismatch => "collective-order-mismatch",
             ViolationKind::CollectiveCycle => "collective-cycle",
             ViolationKind::ConflictingElections => "conflicting-elections",
+            ViolationKind::RetryWithoutFlush => "retry-without-flush",
         }
     }
 }
@@ -122,29 +133,48 @@ pub fn check(trace: &Trace) -> Vec<Violation> {
     let exec = hb::Execution::replay(trace, &mut out);
     check_overlaps(trace, &exec, &mut out);
     check_refill(trace, &exec, &mut out);
+    check_retries(trace, &exec, &mut out);
     out
 }
 
-/// Invariant 4 (part 1): at most one election winner per partition.
+/// Invariant 4 (part 1): at most one election winner per partition, and
+/// — after a crash — at most one reelected standby per crash round (all
+/// members derive the standby from the same shared plan, so divergence
+/// means the collective recovery decision split-brained).
 fn check_elections(trace: &Trace, out: &mut Vec<Violation>) {
     use std::collections::BTreeMap;
     let mut winners: BTreeMap<u32, usize> = BTreeMap::new();
+    let mut standbys: BTreeMap<(u32, u32), usize> = BTreeMap::new();
     for e in trace.events() {
-        if e.op != TraceOp::Elect {
-            continue;
-        }
-        match winners.get(&e.partition) {
-            None => {
-                winners.insert(e.partition, e.peer);
-            }
-            Some(&w) if w == e.peer => {}
-            Some(&w) => out.push(Violation {
-                kind: ViolationKind::ConflictingElections,
-                message: format!(
-                    "partition {} recorded conflicting election winners: rank {} and rank {}",
-                    e.partition, w, e.peer
-                ),
-            }),
+        match e.op {
+            TraceOp::Elect => match winners.get(&e.partition) {
+                None => {
+                    winners.insert(e.partition, e.peer);
+                }
+                Some(&w) if w == e.peer => {}
+                Some(&w) => out.push(Violation {
+                    kind: ViolationKind::ConflictingElections,
+                    message: format!(
+                        "partition {} recorded conflicting election winners: rank {} and rank {}",
+                        e.partition, w, e.peer
+                    ),
+                }),
+            },
+            TraceOp::Reelect => match standbys.get(&(e.partition, e.round)) {
+                None => {
+                    standbys.insert((e.partition, e.round), e.peer);
+                }
+                Some(&w) if w == e.peer => {}
+                Some(&w) => out.push(Violation {
+                    kind: ViolationKind::ConflictingElections,
+                    message: format!(
+                        "partition {}: members disagree on the standby re-elected at \
+                         round {} — rank {} vs rank {}",
+                        e.partition, e.round, w, e.peer
+                    ),
+                }),
+            },
+            _ => {}
         }
     }
 }
@@ -288,6 +318,46 @@ fn check_refill(trace: &Trace, exec: &hb::Execution, out: &mut Vec<Violation>) {
                     });
                 }
             }
+        }
+    }
+}
+
+/// Invariant 6 (part 2): every recorded `Retry` must be resolved — a
+/// flush of the same (partition, file offset) completes after it. The
+/// file worker records a retry per failed attempt and a `Flush` only on
+/// completion; a retry with no subsequent flush means the segment was
+/// dropped by the recovery path.
+fn check_retries(trace: &Trace, exec: &hb::Execution, out: &mut Vec<Violation>) {
+    use std::collections::BTreeMap;
+    let events = trace.events();
+    let mut flushes: BTreeMap<(u32, u64), Vec<usize>> = BTreeMap::new();
+    for (i, e) in events.iter().enumerate() {
+        if e.op == TraceOp::Flush {
+            flushes.entry((e.partition, e.offset)).or_default().push(i);
+        }
+    }
+    for (i, e) in events.iter().enumerate() {
+        if e.op != TraceOp::Retry {
+            continue;
+        }
+        let resolved = flushes.get(&(e.partition, e.offset)).is_some_and(|fl| {
+            fl.iter().any(|&fi| {
+                if exec.partition_is_fenced(e.partition) {
+                    exec.happens_before(i, fi)
+                } else {
+                    e.t_ns <= events[fi].t_ns
+                }
+            })
+        });
+        if !resolved {
+            out.push(Violation {
+                kind: ViolationKind::RetryWithoutFlush,
+                message: format!(
+                    "partition {}: rank {} retried the flush of {} B at file offset {} \
+                     (round {}), but no flush of that range ever completed afterwards",
+                    e.partition, e.rank, e.bytes, e.offset, e.round
+                ),
+            });
         }
     }
 }

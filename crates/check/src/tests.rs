@@ -8,8 +8,8 @@ use crate::{check, ViolationKind};
 fn ev(t: u64, rank: usize, round: u32, op: TraceOp, bytes: u64, offset: u64) -> TraceEvent {
     let phase = match op {
         TraceOp::RmaPut | TraceOp::Elect => Phase::Aggregation,
-        TraceOp::Flush => Phase::Io,
-        TraceOp::Fence => Phase::Sync,
+        TraceOp::Flush | TraceOp::Retry => Phase::Io,
+        TraceOp::Fence | TraceOp::Crash | TraceOp::Reelect | TraceOp::Degrade => Phase::Sync,
     };
     TraceEvent {
         t_ns: t,
@@ -270,6 +270,115 @@ fn conflicting_elections_are_caught() {
     assert_eq!(
         v.iter().map(|v| v.kind).collect::<Vec<_>>(),
         vec![ViolationKind::ConflictingElections]
+    );
+}
+
+/// A correct crash-recovery execution on partition 0: rank 0 (the
+/// elected aggregator) crashes at round 0 after the close fence; rank 1
+/// is re-elected, round 0 is replayed into the fresh window, and round 1
+/// proceeds through the standby. Fence schedule per rank:
+/// close(r0)=#0, replay-close(r0)=#1, release(r0)=#2, close(r1)=#3,
+/// release(r1)=#4 — so post-recovery epochs are deltas from base
+/// (1 fence seen at Reelect, crash round 0).
+fn recovery_events() -> Vec<TraceEvent> {
+    let mk = |t: u64, rank: usize, round: u32, op: TraceOp, bytes: u64, offset: u64, peer| {
+        TraceEvent {
+            t_ns: t,
+            rank,
+            partition: 0,
+            round,
+            phase: match op {
+                TraceOp::RmaPut | TraceOp::Elect => Phase::Aggregation,
+                TraceOp::Flush | TraceOp::Retry => Phase::Io,
+                _ => Phase::Sync,
+            },
+            op,
+            bytes,
+            offset,
+            peer,
+        }
+    };
+    vec![
+        mk(5, 0, 0, TraceOp::Elect, 128, NO_OFFSET, 0),
+        // round 0 fill into slot 0 of the doomed window
+        mk(10, 0, 0, TraceOp::RmaPut, 32, 0, 0),
+        mk(11, 1, 0, TraceOp::RmaPut, 32, 32, 0),
+        mk(20, 0, 0, TraceOp::Fence, 0, NO_OFFSET, NO_PEER),
+        mk(20, 1, 0, TraceOp::Fence, 0, NO_OFFSET, NO_PEER),
+        // crash detected; standby rank 1 takes over, both lanes mark it
+        mk(25, 0, 0, TraceOp::Crash, 0, NO_OFFSET, 0),
+        mk(26, 0, 0, TraceOp::Reelect, 0, NO_OFFSET, 1),
+        mk(26, 1, 0, TraceOp::Reelect, 0, NO_OFFSET, 1),
+        // replay of round 0 into slot 0 of the fresh window
+        mk(30, 0, 0, TraceOp::RmaPut, 32, 0, 1),
+        mk(31, 1, 0, TraceOp::RmaPut, 32, 32, 1),
+        mk(40, 0, 0, TraceOp::Fence, 0, NO_OFFSET, NO_PEER),
+        mk(40, 1, 0, TraceOp::Fence, 0, NO_OFFSET, NO_PEER),
+        // the standby retries once, then the flush lands
+        mk(45, 1, 0, TraceOp::Retry, 64, 0, NO_PEER),
+        mk(50, 1, 0, TraceOp::Flush, 64, 0, NO_PEER),
+        mk(60, 0, 0, TraceOp::Fence, 0, NO_OFFSET, NO_PEER),
+        mk(60, 1, 0, TraceOp::Fence, 0, NO_OFFSET, NO_PEER),
+        // round 1 through the standby, slot 1
+        mk(70, 0, 1, TraceOp::RmaPut, 32, 64, 1),
+        mk(71, 1, 1, TraceOp::RmaPut, 32, 96, 1),
+        mk(80, 0, 1, TraceOp::Fence, 0, NO_OFFSET, NO_PEER),
+        mk(80, 1, 1, TraceOp::Fence, 0, NO_OFFSET, NO_PEER),
+        mk(90, 1, 1, TraceOp::Flush, 64, 64, NO_PEER),
+        mk(95, 0, 1, TraceOp::Fence, 0, NO_OFFSET, NO_PEER),
+        mk(95, 1, 1, TraceOp::Fence, 0, NO_OFFSET, NO_PEER),
+    ]
+}
+
+#[test]
+fn crash_recovery_trace_passes() {
+    assert_eq!(kinds(&Trace::from_events(recovery_events())), vec![]);
+}
+
+#[test]
+fn replayed_put_outside_recovery_epoch_is_caught() {
+    // Relabel rank 1's replayed put as round 1: in the recovery epoch it
+    // would need base + 2 = 3 fences passed, but it runs with 1.
+    let mut evs = recovery_events();
+    let i = evs
+        .iter()
+        .position(|e| e.op == TraceOp::RmaPut && e.t_ns == 31)
+        .unwrap();
+    evs[i].round = 1;
+    let v = check(&Trace::from_events(evs));
+    assert!(v.iter().any(|v| v.kind == ViolationKind::PutOutsideEpoch), "{v:?}");
+}
+
+#[test]
+fn unresolved_retry_is_caught() {
+    // Drop the flush the retry was supposed to resolve into.
+    let mut evs = recovery_events();
+    let i = evs
+        .iter()
+        .position(|e| e.op == TraceOp::Flush && e.offset == 0)
+        .unwrap();
+    evs.remove(i);
+    let v = check(&Trace::from_events(evs));
+    assert!(
+        v.iter().any(|v| v.kind == ViolationKind::RetryWithoutFlush),
+        "{v:?}"
+    );
+    assert_eq!(ViolationKind::RetryWithoutFlush.code(), "retry-without-flush");
+}
+
+#[test]
+fn split_brain_reelection_is_caught() {
+    // Rank 0 thinks the standby is rank 1; rank 1 thinks it is rank 0.
+    let mut evs = recovery_events();
+    let i = evs
+        .iter()
+        .position(|e| e.op == TraceOp::Reelect && e.rank == 1)
+        .unwrap();
+    evs[i].peer = 0;
+    let v = check(&Trace::from_events(evs));
+    assert!(
+        v.iter().any(|v| v.kind == ViolationKind::ConflictingElections),
+        "{v:?}"
     );
 }
 

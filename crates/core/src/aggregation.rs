@@ -17,6 +17,31 @@
 //!
 //! The net effect is the paper's overlap: the flush of round `r` runs
 //! concurrently with the puts of round `r + 1`.
+//!
+//! ## Fault handling
+//!
+//! When the config carries a [`tapioca_mpi::FaultPlan`], the pipeline
+//! consults it *purely*: every member derives the identical fault
+//! schedule from the plan's seed, so recovery decisions are collectively
+//! computable and no extra messaging (which could itself deadlock) is
+//! needed. Three rungs, in escalating order:
+//!
+//! * **Transient flush errors** within the retry budget are absorbed by
+//!   the file worker (bounded retry with exponential backoff under the
+//!   config's [`tapioca_mpi::IoPolicy`]); the aggregator records one
+//!   `Retry` trace event per failed attempt.
+//! * **Aggregator crash** at round `cr`: the crashed aggregator is
+//!   demoted after the fence that closes round `cr` (its in-flight
+//!   flushes are drained first, so rounds `< cr` are durable); the
+//!   members re-elect a standby via the same MINLOC with the dead
+//!   candidate's cost forced to infinity, allocate a fresh window (a new
+//!   fence epoch), and *replay* the lost round's puts into it. Rounds
+//!   `>= cr` then flow through the standby.
+//! * **Graceful degradation**: a fault that exhausts the retry budget
+//!   (or a declared stall) is detected *before* the round runs — every
+//!   member writes its own remaining chunks directly to the file and the
+//!   partition exits through one barrier. Slower, but deadlock-free and
+//!   byte-identical.
 
 use tapioca_mpi::{Comm, IoHandle, SharedFile, Window};
 use tapioca_topology::TopologyProvider;
@@ -27,8 +52,9 @@ use std::sync::Arc;
 use tapioca_trace::TraceScope;
 
 use crate::config::TapiocaConfig;
+use crate::error::{io_err, Result};
 use crate::placement::election_cost;
-use crate::schedule::Schedule;
+use crate::schedule::{FlushSegment, Schedule};
 
 /// Key namespace so several `Tapioca` instances on one communicator
 /// never collide in the subgroup registry.
@@ -43,9 +69,10 @@ fn subgroup_key(epoch: u64, partition: usize) -> u64 {
 pub struct IoStats {
     /// Partitions this rank participated in.
     pub partitions: usize,
-    /// Partitions this rank was elected aggregator of.
+    /// Partitions this rank was elected aggregator of (re-elections
+    /// included).
     pub elected: usize,
-    /// One-sided puts issued (one per chunk).
+    /// One-sided puts issued (one per chunk; crash replays re-count).
     pub puts: u64,
     /// Bytes deposited via puts.
     pub put_bytes: u64,
@@ -55,6 +82,19 @@ pub struct IoStats {
     pub flushes: u64,
     /// Bytes flushed to the file (as aggregator).
     pub flush_bytes: u64,
+    /// Faults injected from the config's plan (failed flush attempts,
+    /// crashes, degrade triggers; counted once per partition event).
+    pub faults_injected: u64,
+    /// Flush retries performed by the file worker for this rank's
+    /// aggregated segments.
+    pub retries: u64,
+    /// Standby re-elections after an aggregator crash (counted by the
+    /// partition's lowest member).
+    pub reelections: u64,
+    /// Partitions this rank participated in that fell back to direct
+    /// per-rank writes (every member counts its own participation, so
+    /// each rank can report a degraded outcome).
+    pub degraded: u64,
 }
 
 impl IoStats {
@@ -67,6 +107,56 @@ impl IoStats {
         self.fences += other.fences;
         self.flushes += other.flushes;
         self.flush_bytes += other.flush_bytes;
+        self.faults_injected += other.faults_injected;
+        self.retries += other.retries;
+        self.reelections += other.reelections;
+        self.degraded += other.degraded;
+    }
+}
+
+/// One in-flight flush plus what is needed to recover it: its segment
+/// and the window slot it was read from (the slot is not refilled until
+/// the round after the drain, so its bytes are intact for a fallback).
+struct Flight {
+    handle: IoHandle,
+    seg: FlushSegment,
+    slot: usize,
+}
+
+/// Wait for one in-flight flush; on failure or timeout, fall back to a
+/// synchronous direct write of the same bytes (from the reclaimed buffer
+/// when the worker handed it back, else re-read from the window slot).
+#[allow(clippy::too_many_arguments)]
+fn settle_flight(
+    f: Flight,
+    win: &Window,
+    my_idx: usize,
+    b: usize,
+    file: &SharedFile,
+    timeout: std::time::Duration,
+    free_bufs: &mut Vec<Vec<u8>>,
+) -> Result<()> {
+    let Flight { handle, seg, slot } = f;
+    let (buf, err) = handle.wait_parts_timeout(Some(timeout));
+    match err {
+        None => {
+            free_bufs.extend(buf);
+            Ok(())
+        }
+        Some(_) => {
+            let data = match buf {
+                Some(d) => d,
+                None => {
+                    // Timed out: the worker still owns the buffer, but
+                    // the window slot it was filled from is only reused
+                    // two rounds later — its bytes are still intact.
+                    let mut d = vec![0u8; seg.len as usize];
+                    win.read_local_into(my_idx, slot * b + seg.buf_offset as usize, &mut d);
+                    d
+                }
+            };
+            file.write_at(seg.file_offset, &data).map_err(|e| io_err("write_at", e))
+        }
     }
 }
 
@@ -81,9 +171,10 @@ pub fn run_write_pipeline(
     cfg: &TapiocaConfig,
     topo: &dyn TopologyProvider,
     epoch: u64,
-) -> IoStats {
+) -> Result<IoStats> {
     let me = comm.rank();
     let b = cfg.buffer_size as usize;
+    let policy = cfg.io_policy;
     let mut stats = IoStats::default();
 
     for part in &schedule.partitions {
@@ -104,13 +195,31 @@ pub fn run_write_pipeline(
             cfg.strategy,
             my_idx,
         );
-        let (_, agg_idx) = pcomm.allreduce_min_loc(my_cost);
+        let (_, mut agg_idx) = pcomm.allreduce_min_loc(my_cost);
         stats.partitions += 1;
         if my_idx == agg_idx {
             stats.elected += 1;
         }
 
-        #[allow(unused_mut)]
+        // Fault schedule of this partition, derived identically by every
+        // member (pure functions of the plan): the crash round (only
+        // meaningful with a standby available) and the first round whose
+        // injected fault exhausts the retry budget.
+        let plan = cfg.faults.as_ref();
+        let nrounds = part.rounds.len();
+        let crash_round: Option<usize> = plan
+            .and_then(|p| p.crash_at(part.index as u32))
+            .map(|cr| cr as usize)
+            .filter(|&cr| part.members.len() > 1 && cr < nrounds);
+        let degrade_at: Option<usize> = plan.and_then(|p| {
+            (0..nrounds).find(|&r| {
+                part.rounds[r].segments.iter().enumerate().any(|(s, _)| {
+                    p.flush_fault(part.index as u32, r as u32, s as u32)
+                        .is_some_and(|h| h.exceeds(&policy))
+                })
+            })
+        });
+
         let mut win = Window::allocate(&pcomm, if my_idx == agg_idx { 2 * b } else { 0 });
         // Attach this rank's trace scope to the window so puts and
         // fences are recorded at their call sites. The election result
@@ -124,11 +233,14 @@ pub fn run_write_pipeline(
             }
             win.set_trace_scope(scope);
         }
-        let mut inflight: [Vec<IoHandle>; 2] = [Vec::new(), Vec::new()];
+        let mut inflight: [Vec<Flight>; 2] = [Vec::new(), Vec::new()];
         // Flush buffers reclaimed from completed writes, refilled with
         // `read_local_into`: after warm-up the drain loop allocates
         // nothing per round.
         let mut free_bufs: Vec<Vec<u8>> = Vec::new();
+        // First round replayed through a re-elected standby; window slot
+        // of round r is (r - base) % 2 so the fresh window starts at 0.
+        let mut base = 0usize;
 
         let my_chunks: Vec<_> = schedule.chunks_by_rank[me]
             .iter()
@@ -136,11 +248,53 @@ pub fn run_write_pipeline(
             .collect();
 
         for (r, round) in part.rounds.iter().enumerate() {
-            let buf = r % 2;
             #[cfg(feature = "trace")]
             if let Some(scope) = win.trace_scope() {
                 scope.set_round(r as u32);
             }
+
+            // Graceful degradation: a fault at this round exhausts the
+            // retry budget. Every member knows (the plan is shared), so
+            // instead of collectively feeding an aggregator that cannot
+            // flush, each member writes its own remaining chunks
+            // directly. Slower, but byte-identical and deadlock-free.
+            if degrade_at == Some(r) {
+                #[cfg(feature = "trace")]
+                if my_idx == 0 {
+                    if let Some(scope) = win.trace_scope() {
+                        let remaining: u64 =
+                            part.rounds[r..].iter().map(|rd| rd.bytes).sum();
+                        scope.degrade(remaining);
+                    }
+                }
+                for c in my_chunks.iter().filter(|c| c.round as usize >= r) {
+                    let data = &staged[c.var]
+                        [c.var_offset as usize..(c.var_offset + c.len) as usize];
+                    file.write_at(c.file_offset, data).map_err(|e| io_err("write_at", e))?;
+                }
+                if my_idx == agg_idx {
+                    for fs in &mut inflight {
+                        for f in fs.drain(..) {
+                            settle_flight(
+                                f,
+                                &win,
+                                my_idx,
+                                b,
+                                file,
+                                policy.op_timeout,
+                                &mut free_bufs,
+                            )?;
+                        }
+                    }
+                }
+                stats.degraded += 1;
+                if my_idx == 0 {
+                    stats.faults_injected += 1;
+                }
+                break;
+            }
+
+            let mut buf = (r - base) % 2;
             for c in my_chunks.iter().filter(|c| c.round as usize == r) {
                 let data = &staged[c.var]
                     [c.var_offset as usize..(c.var_offset + c.len) as usize];
@@ -152,34 +306,133 @@ pub fn run_write_pipeline(
             win.fence(&pcomm);
             stats.fences += 1;
 
+            // Aggregator crash: the fill of round r is lost with the
+            // crashed window. Drain the old aggregator's in-flight
+            // flushes (rounds < r stay durable), re-elect a standby with
+            // the dead candidate excluded, open a fresh window (a new
+            // fence epoch for the checker), and replay round r into it.
+            if crash_round == Some(r) {
+                let old_agg = agg_idx;
+                if my_idx == old_agg {
+                    for fs in &mut inflight {
+                        for f in fs.drain(..) {
+                            settle_flight(
+                                f,
+                                &win,
+                                my_idx,
+                                b,
+                                file,
+                                policy.op_timeout,
+                                &mut free_bufs,
+                            )?;
+                        }
+                    }
+                }
+                #[cfg(feature = "trace")]
+                if my_idx == 0 {
+                    if let Some(scope) = win.trace_scope() {
+                        scope.crash(part.members[old_agg]);
+                    }
+                }
+                let standby_cost = if my_idx == old_agg { f64::INFINITY } else { my_cost };
+                let (_, new_agg) = pcomm.allreduce_min_loc(standby_cost);
+                agg_idx = new_agg;
+                if my_idx == 0 {
+                    stats.reelections += 1;
+                    stats.faults_injected += 1;
+                }
+                if my_idx == agg_idx {
+                    stats.elected += 1;
+                }
+                win = Window::allocate(&pcomm, if my_idx == agg_idx { 2 * b } else { 0 });
+                #[cfg(feature = "trace")]
+                if let Some(tracer) = &cfg.tracer {
+                    let scope = TraceScope::new(
+                        Arc::clone(tracer),
+                        me,
+                        part.index as u32,
+                        part.members.clone(),
+                    );
+                    scope.set_round(r as u32);
+                    // Every member marks the epoch reset on its own lane
+                    // before any replayed put.
+                    scope.reelect(part.members[agg_idx]);
+                    win.set_trace_scope(scope);
+                }
+                base = r;
+                buf = 0;
+                for c in my_chunks.iter().filter(|c| c.round as usize == r) {
+                    let data = &staged[c.var]
+                        [c.var_offset as usize..(c.var_offset + c.len) as usize];
+                    win.put(agg_idx, c.buf_offset as usize, data);
+                    stats.puts += 1;
+                    stats.put_bytes += c.len;
+                }
+                win.fence(&pcomm);
+                stats.fences += 1;
+            }
+
             if my_idx == agg_idx {
-                let mut handles: Vec<IoHandle> = Vec::with_capacity(round.segments.len());
-                for seg in &round.segments {
+                let mut handles: Vec<Flight> = Vec::with_capacity(round.segments.len());
+                for (s, seg) in round.segments.iter().enumerate() {
+                    let hint =
+                        plan.and_then(|p| p.flush_fault(part.index as u32, r as u32, s as u32));
+                    if let Some(h) = &hint {
+                        // Within-budget by construction (the exhausting
+                        // round degrades above); count the injected
+                        // failures and record one Retry event each.
+                        stats.faults_injected += h.fail_attempts as u64;
+                        stats.retries += h.fail_attempts as u64;
+                        #[cfg(feature = "trace")]
+                        if let Some(scope) = win.trace_scope() {
+                            for _ in 0..h.fail_attempts {
+                                scope.retry(seg.file_offset, seg.len);
+                            }
+                        }
+                    }
                     let mut data = free_bufs.pop().unwrap_or_default();
                     data.resize(seg.len as usize, 0);
                     win.read_local_into(my_idx, buf * b + seg.buf_offset as usize, &mut data);
                     stats.flushes += 1;
                     stats.flush_bytes += seg.len;
                     #[cfg(feature = "trace")]
-                    let h = file.iwrite_at_traced(
+                    let h = file.iwrite_at_policy(
                         seg.file_offset,
                         data,
+                        policy,
+                        hint,
                         win.trace_scope().map(|s| s.stamp()),
                     );
                     #[cfg(not(feature = "trace"))]
-                    let h = file.iwrite_at(seg.file_offset, data);
-                    handles.push(h);
+                    let h = file.iwrite_at_policy(seg.file_offset, data, policy, hint);
+                    handles.push(Flight { handle: h, seg: *seg, slot: buf });
                 }
                 if cfg.pipelining {
                     inflight[buf] = handles;
                     // Round r+1 fills the other buffer; its previous
                     // flush (round r-1) must have drained first.
-                    for h in inflight[(r + 1) % 2].drain(..) {
-                        free_bufs.extend(h.wait_reclaim());
+                    for f in inflight[(buf + 1) % 2].drain(..) {
+                        settle_flight(
+                            f,
+                            &win,
+                            my_idx,
+                            b,
+                            file,
+                            policy.op_timeout,
+                            &mut free_bufs,
+                        )?;
                     }
                 } else {
-                    for h in handles {
-                        free_bufs.extend(h.wait_reclaim());
+                    for f in handles {
+                        settle_flight(
+                            f,
+                            &win,
+                            my_idx,
+                            b,
+                            file,
+                            policy.op_timeout,
+                            &mut free_bufs,
+                        )?;
                     }
                 }
             }
@@ -190,16 +443,16 @@ pub fn run_write_pipeline(
         }
 
         if my_idx == agg_idx {
-            for hs in &mut inflight {
-                for h in hs.drain(..) {
-                    h.wait();
+            for fs in &mut inflight {
+                for f in fs.drain(..) {
+                    settle_flight(f, &win, my_idx, b, file, policy.op_timeout, &mut free_bufs)?;
                 }
             }
         }
         // All flushes of this partition are durable before anyone leaves.
         pcomm.barrier();
     }
-    stats
+    Ok(stats)
 }
 
 /// Run the two-phase *read* pipeline: aggregators read each round's
@@ -208,6 +461,7 @@ pub fn run_write_pipeline(
 ///
 /// Reads use a single buffer (no flush to overlap with); the paper's
 /// machinery — partitions, election, rounds, fences — is identical.
+/// Faults are not injected on the read path.
 pub fn run_read_pipeline(
     comm: &Comm,
     schedule: &Schedule,
@@ -216,7 +470,7 @@ pub fn run_read_pipeline(
     cfg: &TapiocaConfig,
     topo: &dyn TopologyProvider,
     epoch: u64,
-) -> Vec<Vec<u8>> {
+) -> Result<Vec<Vec<u8>>> {
     let me = comm.rank();
     let b = cfg.buffer_size as usize;
     let mut out: Vec<Vec<u8>> = var_lens.iter().map(|&l| vec![0u8; l as usize]).collect();
@@ -248,7 +502,9 @@ pub fn run_read_pipeline(
         for (r, round) in part.rounds.iter().enumerate() {
             if my_idx == agg_idx {
                 for seg in &round.segments {
-                    let data = file.read_at(seg.file_offset, seg.len as usize);
+                    let data = file
+                        .read_at(seg.file_offset, seg.len as usize)
+                        .map_err(|e| io_err("read_at", e))?;
                     win.write_local(my_idx, seg.buf_offset as usize, &data);
                 }
             }
@@ -266,5 +522,5 @@ pub fn run_read_pipeline(
         }
         pcomm.barrier();
     }
-    out
+    Ok(out)
 }

@@ -3,8 +3,8 @@
 //! (Algorithm 2).
 //!
 //! ```text
-//! TAPIOCA_Init(count, type, ofst, 3);     ->  Tapioca::init(comm, file, decls, cfg)
-//! TAPIOCA_Write(f, offset, x, n, ...);    ->  io.write(offset, &x)
+//! TAPIOCA_Init(count, type, ofst, 3);     ->  Tapioca::init(comm, file, decls, cfg)?
+//! TAPIOCA_Write(f, offset, x, n, ...);    ->  io.write(offset, &x)?
 //! ```
 //!
 //! `init` allgathers the declarations, computes the round schedule, and
@@ -15,6 +15,12 @@
 //! `DESIGN.md`: user payloads are staged until the last declared write
 //! instead of being streamed per call — correctness-equivalent, one
 //! extra copy.
+//!
+//! Every entry point returns [`crate::error::Result`]: invalid configs,
+//! undeclared writes, and I/O failures that survive the retry budget
+//! surface as [`crate::TapiocaError`] values, never as panics (the one
+//! documented exception is [`Tapioca::finalize`], where panicking is the
+//! only alternative to deadlocking the peers).
 
 use std::sync::Arc;
 
@@ -23,6 +29,7 @@ use tapioca_topology::TopologyProvider;
 
 use crate::aggregation::{run_read_pipeline, run_write_pipeline, IoStats};
 use crate::config::TapiocaConfig;
+use crate::error::{Result, TapiocaError};
 use crate::placement::UniformTopology;
 use crate::schedule::{compute_schedule, Schedule, ScheduleParams, WriteDecl};
 
@@ -34,6 +41,11 @@ pub enum WriteOutcome {
     /// This was the last declared write: the collective pipeline ran and
     /// all data (of every rank) is flushed.
     Flushed,
+    /// The pipeline ran and all data is durable, but at least one
+    /// partition this rank participated in exhausted its retry budget
+    /// and fell back to direct per-rank writes (see `DESIGN.md`,
+    /// "Fault model & recovery").
+    Degraded,
 }
 
 /// A TAPIOCA instance bound to one communicator and one file.
@@ -64,26 +76,36 @@ impl<'c> Tapioca<'c> {
     /// Collective: declare this rank's upcoming writes and compute the
     /// shared schedule. Uses the zero-information [`UniformTopology`]
     /// (election degenerates to lowest rank).
+    ///
+    /// # Errors
+    /// [`TapiocaError::InvalidConfig`] if `cfg` fails validation. Every
+    /// rank computes the same verdict from the same config, so an error
+    /// return is collective too — no rank proceeds alone.
     pub fn init(
         comm: &'c Comm,
         file: SharedFile,
         decls: Vec<WriteDecl>,
         cfg: TapiocaConfig,
-    ) -> Tapioca<'c> {
+    ) -> Result<Tapioca<'c>> {
         let topo = Arc::new(UniformTopology { num_ranks: comm.size() });
         Self::init_with_topology(comm, file, decls, cfg, topo)
     }
 
     /// Collective: like [`Tapioca::init`] but with a real machine model,
     /// enabling the topology-aware election.
+    ///
+    /// # Errors
+    /// [`TapiocaError::InvalidConfig`] if `cfg` fails validation; the
+    /// check runs *before* any collective call, so all ranks bail out
+    /// symmetrically.
     pub fn init_with_topology(
         comm: &'c Comm,
         file: SharedFile,
         decls: Vec<WriteDecl>,
         cfg: TapiocaConfig,
         topo: Arc<dyn TopologyProvider>,
-    ) -> Tapioca<'c> {
-        cfg.validate();
+    ) -> Result<Tapioca<'c>> {
+        cfg.validate()?;
         let epoch = comm.next_user_seq();
 
         // Allgather declarations: (offset, len) pairs.
@@ -112,7 +134,7 @@ impl<'c> Tapioca<'c> {
             align_to_buffer: true,
         });
         let staged = vec![None; decls.len()];
-        Tapioca {
+        Ok(Tapioca {
             comm,
             file,
             cfg,
@@ -123,7 +145,7 @@ impl<'c> Tapioca<'c> {
             epoch,
             flushed: false,
             stats: None,
-        }
+        })
     }
 
     /// The computed schedule (for inspection and tests).
@@ -141,10 +163,12 @@ impl<'c> Tapioca<'c> {
     /// last declared write arrives, the collective pipeline runs (all
     /// ranks reach it at their own last write).
     ///
-    /// # Panics
-    /// Panics if `(offset, data.len())` matches no outstanding declared
-    /// write of this rank.
-    pub fn write(&mut self, offset: u64, data: &[u8]) -> WriteOutcome {
+    /// # Errors
+    /// [`TapiocaError::InvalidConfig`] if `(offset, data.len())` matches
+    /// no outstanding declared write of this rank (detected locally,
+    /// before any collective call). I/O errors from the pipeline
+    /// propagate once the last declared write triggers the flush.
+    pub fn write(&mut self, offset: u64, data: &[u8]) -> Result<WriteOutcome> {
         let var = self
             .decls
             .iter()
@@ -152,22 +176,26 @@ impl<'c> Tapioca<'c> {
             .position(|(i, d)| {
                 d.offset == offset && d.len == data.len() as u64 && self.staged[i].is_none()
             })
-            .unwrap_or_else(|| {
-                panic!(
+            .ok_or_else(|| {
+                TapiocaError::InvalidConfig(format!(
                     "write of {} bytes at offset {offset} matches no outstanding declaration",
                     data.len()
-                )
-            });
+                ))
+            })?;
         self.staged[var] = Some(data.to_vec());
         if self.staged.iter().all(Option::is_some) {
-            self.flush();
-            WriteOutcome::Flushed
+            self.flush()?;
+            if self.stats.as_ref().is_some_and(|s| s.degraded > 0) {
+                Ok(WriteOutcome::Degraded)
+            } else {
+                Ok(WriteOutcome::Flushed)
+            }
         } else {
-            WriteOutcome::Staged
+            Ok(WriteOutcome::Staged)
         }
     }
 
-    fn flush(&mut self) {
+    fn flush(&mut self) -> Result<()> {
         let staged: Vec<Vec<u8>> = self
             .staged
             .iter()
@@ -181,14 +209,18 @@ impl<'c> Tapioca<'c> {
             &self.cfg,
             self.topo.as_ref(),
             self.epoch * 2,
-        );
+        )?;
         self.stats = Some(stats);
         self.flushed = true;
+        Ok(())
     }
 
     /// Collective two-phase read of every declared extent; returns one
     /// buffer per declared write of this rank.
-    pub fn read_declared(&self) -> Vec<Vec<u8>> {
+    ///
+    /// # Errors
+    /// [`TapiocaError::Io`] if an aggregator's file read fails.
+    pub fn read_declared(&self) -> Result<Vec<Vec<u8>>> {
         let lens: Vec<u64> = self.decls.iter().map(|d| d.len).collect();
         run_read_pipeline(
             self.comm,
@@ -240,9 +272,9 @@ mod tests {
             let file = SharedFile::open_shared(&comm, &path);
             let r = comm.rank() as u64;
             let decls = vec![WriteDecl { offset: r * per, len: per }];
-            let mut io = Tapioca::init(&comm, file, decls, cfg(3, 96));
+            let mut io = Tapioca::init(&comm, file, decls, cfg(3, 96)).unwrap();
             let payload: Vec<u8> = (0..per).map(|i| (r * 7 + i) as u8).collect();
-            assert_eq!(io.write(r * per, &payload), WriteOutcome::Flushed);
+            assert_eq!(io.write(r * per, &payload).unwrap(), WriteOutcome::Flushed);
             io.finalize();
         });
         let bytes = std::fs::read(&path).unwrap();
@@ -266,10 +298,10 @@ mod tests {
             let decls: Vec<WriteDecl> = (0..3u64)
                 .map(|v| WriteDecl { offset: v * (n as u64 * var_len) + r * var_len, len: var_len })
                 .collect();
-            let mut io = Tapioca::init(&comm, file, decls.clone(), cfg(2, 128));
+            let mut io = Tapioca::init(&comm, file, decls.clone(), cfg(2, 128)).unwrap();
             for (v, d) in decls.iter().enumerate() {
                 let payload = vec![10 * (v as u8 + 1) + r as u8; var_len as usize];
-                let outcome = io.write(d.offset, &payload);
+                let outcome = io.write(d.offset, &payload).unwrap();
                 if v < 2 {
                     assert_eq!(outcome, WriteOutcome::Staged);
                 } else {
@@ -297,10 +329,10 @@ mod tests {
             let file = SharedFile::open_shared(&comm, &path);
             let r = comm.rank() as u64;
             let decls = vec![WriteDecl { offset: r * per, len: per }];
-            let mut io = Tapioca::init(&comm, file, decls, cfg(4, 64));
+            let mut io = Tapioca::init(&comm, file, decls, cfg(4, 64)).unwrap();
             let payload: Vec<u8> = (0..per).map(|i| (r * 31 + i * 3) as u8).collect();
-            io.write(r * per, &payload);
-            let back = io.read_declared();
+            io.write(r * per, &payload).unwrap();
+            let back = io.read_declared().unwrap();
             assert_eq!(back.len(), 1);
             assert_eq!(back[0], payload, "rank {r} read back mismatch");
             io.finalize();
@@ -327,9 +359,9 @@ mod tests {
             let file = SharedFile::open_shared(&comm, &path);
             let r = comm.rank();
             let decls = vec![WriteDecl { offset: offs2[r], len: sizes2[r] }];
-            let mut io = Tapioca::init(&comm, file, decls, cfg(3, 50));
+            let mut io = Tapioca::init(&comm, file, decls, cfg(3, 50)).unwrap();
             let payload = vec![r as u8 + 1; sizes2[r] as usize];
-            io.write(offs2[r], &payload);
+            io.write(offs2[r], &payload).unwrap();
             io.finalize();
         });
         let bytes = std::fs::read(&path).unwrap();
@@ -352,8 +384,9 @@ mod tests {
                 buffer_size: 32,
                 pipelining: false,
                 ..Default::default()
-            });
-            io.write(r * 64, &[r as u8 + 9; 64]);
+            })
+            .unwrap();
+            io.write(r * 64, &[r as u8 + 9; 64]).unwrap();
             io.finalize();
         });
         let bytes = std::fs::read(&path).unwrap();
@@ -371,13 +404,17 @@ mod tests {
         Runtime::run(3, |comm| {
             let r = comm.rank() as u64;
             let f1 = SharedFile::open_shared(&comm, &p1);
-            let mut io1 = Tapioca::init(&comm, f1, vec![WriteDecl { offset: r * 8, len: 8 }], cfg(1, 8));
-            io1.write(r * 8, &[1u8; 8]);
+            let mut io1 =
+                Tapioca::init(&comm, f1, vec![WriteDecl { offset: r * 8, len: 8 }], cfg(1, 8))
+                    .unwrap();
+            io1.write(r * 8, &[1u8; 8]).unwrap();
             io1.finalize();
 
             let f2 = SharedFile::open_shared(&comm, &p2);
-            let mut io2 = Tapioca::init(&comm, f2, vec![WriteDecl { offset: r * 8, len: 8 }], cfg(2, 4));
-            io2.write(r * 8, &[2u8; 8]);
+            let mut io2 =
+                Tapioca::init(&comm, f2, vec![WriteDecl { offset: r * 8, len: 8 }], cfg(2, 4))
+                    .unwrap();
+            io2.write(r * 8, &[2u8; 8]).unwrap();
             io2.finalize();
         });
         assert!(std::fs::read(&p1).unwrap().iter().all(|&b| b == 1));
@@ -385,13 +422,30 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "matches no outstanding declaration")]
-    fn undeclared_write_panics() {
+    fn undeclared_write_errors_without_collective() {
         let path = tmp("undeclared");
         Runtime::run(1, |comm| {
             let file = SharedFile::open_shared(&comm, &path);
-            let mut io = Tapioca::init(&comm, file, vec![WriteDecl { offset: 0, len: 8 }], cfg(1, 8));
-            io.write(99, &[0u8; 8]);
+            let mut io =
+                Tapioca::init(&comm, file, vec![WriteDecl { offset: 0, len: 8 }], cfg(1, 8))
+                    .unwrap();
+            let err = io.write(99, &[0u8; 8]).unwrap_err();
+            assert!(matches!(err, TapiocaError::InvalidConfig(_)));
+            assert!(err.to_string().contains("matches no outstanding declaration"));
+            // The declared write still works after the rejected one.
+            io.write(0, &[7u8; 8]).unwrap();
+            io.finalize();
+        });
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_init() {
+        let path = tmp("badcfg");
+        Runtime::run(1, |comm| {
+            let file = SharedFile::open_shared(&comm, &path);
+            let err =
+                Tapioca::init(&comm, file, vec![], cfg(0, 8)).map(|_| ()).unwrap_err();
+            assert!(matches!(err, TapiocaError::InvalidConfig(_)));
         });
     }
 }

@@ -11,6 +11,7 @@
 use tapioca_topology::{MachineProfile, StorageProfile};
 
 use crate::config::TapiocaConfig;
+use crate::error::{Result, TapiocaError};
 use crate::sim_exec::{run_tapioca_sim, CollectiveSpec, StorageConfig};
 
 /// Rule-based tuning: the paper's own settings, generalized.
@@ -24,19 +25,29 @@ use crate::sim_exec::{run_tapioca_sim, CollectiveSpec, StorageConfig};
 ///
 /// `group_ranks` is the number of ranks writing one file (a Pset's worth
 /// under subfiling).
-pub fn rule_based(profile: &MachineProfile, storage: &StorageConfig, group_ranks: usize) -> TapiocaConfig {
+///
+/// # Errors
+/// [`TapiocaError::InvalidConfig`] when the storage config kind does not
+/// match the machine profile.
+pub fn rule_based(
+    profile: &MachineProfile,
+    storage: &StorageConfig,
+    group_ranks: usize,
+) -> Result<TapiocaConfig> {
     match (&profile.storage, storage) {
-        (StorageProfile::Lustre { .. }, StorageConfig::Lustre(tun)) => TapiocaConfig {
+        (StorageProfile::Lustre { .. }, StorageConfig::Lustre(tun)) => Ok(TapiocaConfig {
             num_aggregators: (2 * tun.stripe_count).min(group_ranks).max(1),
             buffer_size: tun.stripe_size,
             ..Default::default()
-        },
-        (StorageProfile::Gpfs { .. }, StorageConfig::Gpfs(_)) => TapiocaConfig {
+        }),
+        (StorageProfile::Gpfs { .. }, StorageConfig::Gpfs(_)) => Ok(TapiocaConfig {
             num_aggregators: 16.min(group_ranks).max(1),
             buffer_size: 16 * 1024 * 1024,
             ..Default::default()
-        },
-        _ => panic!("storage config kind does not match the machine profile"),
+        }),
+        _ => Err(TapiocaError::InvalidConfig(
+            "storage config kind does not match the machine profile".into(),
+        )),
     }
 }
 
@@ -54,13 +65,16 @@ pub struct TuneResult {
 ///
 /// This is an *offline* procedure over the declared workload — exactly
 /// what `TAPIOCA_Init`'s information makes possible.
+///
+/// # Errors
+/// Propagates [`TapiocaError`] from [`rule_based`] and the simulator.
 pub fn empirical_sweep(
     profile: &MachineProfile,
     storage: &StorageConfig,
     spec: &CollectiveSpec,
-) -> TuneResult {
+) -> Result<TuneResult> {
     let group_ranks = spec.groups.first().map(|g| g.ranks.len()).unwrap_or(1);
-    let seed = rule_based(profile, storage, group_ranks);
+    let seed = rule_based(profile, storage, group_ranks)?;
     let base = seed.num_aggregators.max(4);
     let mut counts: Vec<usize> = [base / 4, base / 2, base, base * 2, base * 4]
         .into_iter()
@@ -71,7 +85,7 @@ pub fn empirical_sweep(
     let mut candidates = Vec::new();
     for a in counts {
         let cfg = TapiocaConfig { num_aggregators: a, ..seed.clone() };
-        let rep = run_tapioca_sim(profile, storage, spec, &cfg);
+        let rep = run_tapioca_sim(profile, storage, spec, &cfg)?;
         candidates.push((cfg, rep.bandwidth));
     }
     let best = candidates
@@ -80,7 +94,7 @@ pub fn empirical_sweep(
         .expect("at least one candidate")
         .0
         .clone();
-    TuneResult { best, candidates }
+    Ok(TuneResult { best, candidates })
 }
 
 #[cfg(test)]
@@ -98,12 +112,14 @@ mod tests {
             &theta,
             &StorageConfig::Lustre(LustreTunables::theta_optimized()),
             8192,
-        );
+        )
+        .unwrap();
         assert_eq!(cfg.buffer_size, 8 * MIB, "buffer = stripe (Table I)");
         assert_eq!(cfg.num_aggregators, 96, "2 per OST");
 
         let mira = mira_profile(512, 16);
-        let cfg = rule_based(&mira, &StorageConfig::Gpfs(GpfsTunables::mira_optimized()), 2048);
+        let cfg =
+            rule_based(&mira, &StorageConfig::Gpfs(GpfsTunables::mira_optimized()), 2048).unwrap();
         assert_eq!(cfg.num_aggregators, 16);
         assert_eq!(cfg.buffer_size, 16 * MIB);
     }
@@ -115,7 +131,8 @@ mod tests {
             &theta,
             &StorageConfig::Lustre(LustreTunables::theta_optimized()),
             10,
-        );
+        )
+        .unwrap();
         assert_eq!(cfg.num_aggregators, 10);
     }
 
@@ -135,7 +152,7 @@ mod tests {
             }],
             mode: AccessMode::Write,
         };
-        let result = empirical_sweep(&profile, &storage, &spec);
+        let result = empirical_sweep(&profile, &storage, &spec).unwrap();
         let best_bw = result
             .candidates
             .iter()
@@ -149,9 +166,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "does not match")]
     fn mismatched_storage_rejected() {
         let mira = mira_profile(128, 4);
-        rule_based(&mira, &StorageConfig::Lustre(LustreTunables::theta_optimized()), 100);
+        let err = rule_based(&mira, &StorageConfig::Lustre(LustreTunables::theta_optimized()), 100)
+            .unwrap_err();
+        assert!(err.to_string().contains("does not match"));
     }
 }

@@ -1,6 +1,8 @@
 //! Library configuration.
 
+use crate::error::{Result, TapiocaError};
 use crate::placement::PlacementStrategy;
+use tapioca_mpi::{FaultPlan, IoPolicy};
 
 #[cfg(feature = "trace")]
 use std::sync::Arc;
@@ -12,6 +14,10 @@ use tapioca_trace::Tracer;
 /// The paper's tuned values: Mira — 16 aggregators per Pset with 16 MB
 /// buffers (32/32 MB for the microbenchmark); Theta — 48-384 aggregators
 /// with the buffer sized to the Lustre stripe (Table I: 1:1 is best).
+///
+/// Prefer [`TapiocaConfig::builder`] over struct literals: the builder
+/// validates on [`ConfigBuilder::build`] and keeps call sites stable as
+/// the config surface grows (tracer, faults, I/O policy).
 #[derive(Debug, Clone)]
 pub struct TapiocaConfig {
     /// Number of aggregators (= partitions) for the whole operation.
@@ -23,6 +29,12 @@ pub struct TapiocaConfig {
     pub pipelining: bool,
     /// Aggregator election strategy.
     pub strategy: PlacementStrategy,
+    /// Deterministic fault schedule consumed by both executors. `None`
+    /// (the default) injects nothing; recovery machinery stays off the
+    /// hot path entirely.
+    pub faults: Option<FaultPlan>,
+    /// Retry/backoff/timeout policy of the non-blocking file worker.
+    pub io_policy: IoPolicy,
     /// Event recorder for this collective. `None` (the default) records
     /// nothing: the only cost left on the hot path is one `Option` check
     /// per instrumented operation. Both executors — the thread-mode
@@ -46,6 +58,8 @@ impl PartialEq for TapiocaConfig {
             && self.buffer_size == other.buffer_size
             && self.pipelining == other.pipelining
             && self.strategy == other.strategy
+            && self.faults == other.faults
+            && self.io_policy == other.io_policy
             && tracer_eq
     }
 }
@@ -57,6 +71,8 @@ impl Default for TapiocaConfig {
             buffer_size: 16 * 1024 * 1024,
             pipelining: true,
             strategy: PlacementStrategy::TopologyAware,
+            faults: None,
+            io_policy: IoPolicy::default(),
             #[cfg(feature = "trace")]
             tracer: None,
         }
@@ -64,19 +80,112 @@ impl Default for TapiocaConfig {
 }
 
 impl TapiocaConfig {
-    /// Validate invariants; called by `init`.
-    ///
-    /// # Panics
-    /// Panics on zero aggregators or zero buffer size.
-    pub fn validate(&self) {
-        assert!(self.num_aggregators > 0, "need at least one aggregator");
-        assert!(self.buffer_size > 0, "buffer size must be positive");
+    /// Start building a config from the defaults.
+    pub fn builder() -> ConfigBuilder {
+        ConfigBuilder { cfg: TapiocaConfig::default() }
+    }
+
+    /// Validate invariants; called by `init` and the simulator drivers.
+    pub fn validate(&self) -> Result<()> {
+        if self.num_aggregators == 0 {
+            return Err(TapiocaError::InvalidConfig("need at least one aggregator".into()));
+        }
+        if self.buffer_size == 0 {
+            return Err(TapiocaError::InvalidConfig("buffer size must be positive".into()));
+        }
+        if let Some(plan) = &self.faults {
+            plan.validate().map_err(TapiocaError::InvalidConfig)?;
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`TapiocaConfig`]; validates on [`ConfigBuilder::build`].
+///
+/// ```
+/// use tapioca::config::TapiocaConfig;
+/// let cfg = TapiocaConfig::builder()
+///     .aggregators(8)
+///     .buffer_mib(16)
+///     .pipelining(true)
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.num_aggregators, 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConfigBuilder {
+    cfg: TapiocaConfig,
+}
+
+impl ConfigBuilder {
+    /// Number of aggregators (= partitions).
+    #[must_use]
+    pub fn aggregators(mut self, n: usize) -> Self {
+        self.cfg.num_aggregators = n;
+        self
+    }
+
+    /// Aggregation buffer size in bytes.
+    #[must_use]
+    pub fn buffer_bytes(mut self, bytes: u64) -> Self {
+        self.cfg.buffer_size = bytes;
+        self
+    }
+
+    /// Aggregation buffer size in MiB.
+    #[must_use]
+    pub fn buffer_mib(mut self, mib: u64) -> Self {
+        self.cfg.buffer_size = mib * 1024 * 1024;
+        self
+    }
+
+    /// Enable/disable the double-buffered flush pipeline.
+    #[must_use]
+    pub fn pipelining(mut self, on: bool) -> Self {
+        self.cfg.pipelining = on;
+        self
+    }
+
+    /// Aggregator election strategy.
+    #[must_use]
+    pub fn strategy(mut self, s: PlacementStrategy) -> Self {
+        self.cfg.strategy = s;
+        self
+    }
+
+    /// Install a deterministic fault schedule.
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.cfg.faults = Some(plan);
+        self
+    }
+
+    /// Retry/backoff/timeout policy for file operations.
+    #[must_use]
+    pub fn io_policy(mut self, policy: IoPolicy) -> Self {
+        self.cfg.io_policy = policy;
+        self
+    }
+
+    /// Install an event tracer.
+    #[cfg(feature = "trace")]
+    #[must_use]
+    pub fn tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.cfg.tracer = Some(tracer);
+        self
+    }
+
+    /// Validate and produce the config.
+    pub fn build(self) -> Result<TapiocaConfig> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tapioca_mpi::FaultSpec;
 
     #[test]
     fn default_matches_mira_tuning() {
@@ -84,13 +193,45 @@ mod tests {
         assert_eq!(c.num_aggregators, 16);
         assert_eq!(c.buffer_size, 16 * 1024 * 1024);
         assert!(c.pipelining);
-        c.validate();
+        assert!(c.faults.is_none());
+        c.validate().unwrap();
     }
 
     #[test]
-    #[should_panic(expected = "at least one aggregator")]
     fn zero_aggregators_invalid() {
-        TapiocaConfig { num_aggregators: 0, ..Default::default() }.validate();
+        let err = TapiocaConfig { num_aggregators: 0, ..Default::default() }
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("at least one aggregator"));
+        let err =
+            TapiocaConfig { buffer_size: 0, ..Default::default() }.validate().unwrap_err();
+        assert!(err.to_string().contains("buffer size"));
+    }
+
+    #[test]
+    fn builder_builds_and_validates() {
+        let cfg = TapiocaConfig::builder()
+            .aggregators(4)
+            .buffer_bytes(4096)
+            .pipelining(false)
+            .strategy(PlacementStrategy::RankOrder)
+            .faults(FaultPlan::seeded(7))
+            .build()
+            .unwrap();
+        assert_eq!(cfg.num_aggregators, 4);
+        assert_eq!(cfg.buffer_size, 4096);
+        assert!(!cfg.pipelining);
+        assert_eq!(cfg.faults.as_ref().unwrap().seed, 7);
+
+        assert!(TapiocaConfig::builder().aggregators(0).build().is_err());
+        let bad = FaultPlan::seeded(0)
+            .with(FaultSpec::TransientFlushError { probability: 2.0 });
+        assert!(TapiocaConfig::builder().faults(bad).build().is_err());
+    }
+
+    #[test]
+    fn builder_defaults_match_default() {
+        assert_eq!(TapiocaConfig::builder().build().unwrap(), TapiocaConfig::default());
     }
 
     #[cfg(feature = "trace")]

@@ -43,8 +43,8 @@
 //!     let rank = comm.rank() as u64;
 //!     // every rank writes 32 bytes at rank * 32
 //!     let decl = vec![WriteDecl { offset: rank * 32, len: 32 }];
-//!     let mut io = Tapioca::init(&comm, file, decl, cfg.clone());
-//!     io.write(rank * 32, &vec![rank as u8; 32]);
+//!     let mut io = Tapioca::init(&comm, file, decl, cfg.clone()).unwrap();
+//!     io.write(rank * 32, &vec![rank as u8; 32]).unwrap();
 //!     io.finalize();
 //! });
 //! let bytes = std::fs::read(&path).unwrap();
@@ -56,6 +56,7 @@ pub mod aggregation;
 pub mod api;
 pub mod autotune;
 pub mod config;
+pub mod error;
 pub mod placement;
 pub mod plan;
 pub mod schedule;
@@ -64,5 +65,9 @@ pub mod stats;
 
 pub use api::Tapioca;
 pub use config::TapiocaConfig;
+pub use error::{Result, TapiocaError};
 pub use placement::PlacementStrategy;
 pub use schedule::{compute_schedule, Schedule, ScheduleParams, WriteDecl};
+// Fault-injection vocabulary, re-exported from the runtime crate so
+// simulation-only users need not name `tapioca_mpi` directly.
+pub use tapioca_mpi::{FaultPlan, FaultSpec, IoPolicy};

@@ -122,6 +122,22 @@ impl ExecutionPlan {
     }
 }
 
+/// A planned aggregator crash: the DAG mirror of the thread runtime's
+/// demotion + replay protocol. The fill of `round` reaches the original
+/// aggregator and is lost with its window; every member then replays
+/// that round to the re-elected `standby`, which flushes it and serves
+/// the remaining rounds. The replay traffic is what makes the recovery
+/// cost visible in the simulated makespan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanCrash {
+    /// Partition (schedule-local index) whose aggregator crashes.
+    pub partition: usize,
+    /// Round at whose closing fence the crash is detected.
+    pub round: u32,
+    /// Member index (into the partition's members) of the standby.
+    pub standby: usize,
+}
+
 /// Inputs for compiling one TAPIOCA schedule into plan operations.
 pub struct TapiocaPlanInput<'a> {
     /// The schedule (over local rank ids `0..n_local`).
@@ -145,6 +161,9 @@ pub struct TapiocaPlanInput<'a> {
     /// Wave-id offset so concurrent groups of one call share filesystem
     /// waves while sequential calls do not.
     pub wave_base: u64,
+    /// Aggregator crashes to compile into the DAG (write mode only; at
+    /// most one per partition is honored, matching the fault plan).
+    pub crashes: Vec<PlanCrash>,
 }
 
 impl std::fmt::Debug for TapiocaPlanInput<'_> {
@@ -177,6 +196,15 @@ pub fn append_tapioca_plan(
         let agg_node = (input.node_of_rank)(part.members[agg_member]);
         let file = (input.file_of_partition)(p);
         let nrounds = part.rounds.len();
+        // Same guard as the thread runtime: a crash needs a standby and
+        // a round to crash in, else it is ignored.
+        let crash = input
+            .crashes
+            .iter()
+            .find(|c| c.partition == p)
+            .filter(|c| part.members.len() > 1 && (c.round as usize) < nrounds)
+            .copied();
+        let standby_node = crash.map(|c| (input.node_of_rank)(part.members[c.standby]));
 
         // per-(round, source node) byte totals
         let mut per_round: Vec<Vec<(NodeId, f64)>> = vec![Vec::new(); nrounds];
@@ -213,16 +241,40 @@ pub fn append_tapioca_plan(
                         gate.extend_from_slice(&flush_hist[fr]);
                     }
                     let meta = Some(PlanMeta { partition: p as u32, round: r as u32 });
-                    let transfers: Vec<OpId> = per_round[r]
+                    // Rounds after the crash flow straight to the
+                    // standby; the crash round itself fills the doomed
+                    // aggregator first (see below).
+                    let fill_dst = match crash {
+                        Some(c) if r > c.round as usize => standby_node.expect("standby"),
+                        _ => agg_node,
+                    };
+                    let mut transfers: Vec<OpId> = per_round[r]
                         .iter()
                         .map(|&(node, bytes)| {
                             plan.push_meta(
-                                OpKind::Transfer { src: node, dst: agg_node, bytes },
+                                OpKind::Transfer { src: node, dst: fill_dst, bytes },
                                 gate.clone(),
                                 meta,
                             )
                         })
                         .collect();
+                    if crash.is_some_and(|c| r == c.round as usize) {
+                        // The fill above is lost with the crashed window;
+                        // after the fence (= all wasted transfers) every
+                        // member replays the round to the standby.
+                        let standby = standby_node.expect("standby");
+                        let replay: Vec<OpId> = per_round[r]
+                            .iter()
+                            .map(|&(node, bytes)| {
+                                plan.push_meta(
+                                    OpKind::Transfer { src: node, dst: standby, bytes },
+                                    transfers.clone(),
+                                    meta,
+                                )
+                            })
+                            .collect();
+                        transfers = replay;
+                    }
                     // flush: after this round's fence and the previous flush
                     let mut fdeps = transfers.clone();
                     if let Some(prev) = flush_hist.last() {
@@ -231,13 +283,17 @@ pub fn append_tapioca_plan(
                         // empty first round: still honor the entry gate
                         fdeps.extend_from_slice(&input.entry_deps);
                     }
+                    let flush_src = match crash {
+                        Some(c) if r >= c.round as usize => standby_node.expect("standby"),
+                        _ => agg_node,
+                    };
                     let flushes: Vec<OpId> = round
                         .segments
                         .iter()
                         .map(|seg| {
                             plan.push_meta(
                                 OpKind::Flush {
-                                    src: agg_node,
+                                    src: flush_src,
                                     file,
                                     offset: seg.file_offset,
                                     len: seg.len,
@@ -333,6 +389,7 @@ mod tests {
             pipelining,
             entry_deps: Vec::new(),
             wave_base: 0,
+            crashes: Vec::new(),
         });
         plan
     }
@@ -421,6 +478,7 @@ mod tests {
             pipelining: true,
             entry_deps: Vec::new(),
             wave_base: 0,
+            crashes: Vec::new(),
         });
         // first op is the read flush, then scatter transfers from agg
         assert!(matches!(plan.ops[0].kind, OpKind::Flush { mode: AccessMode::Read, file: 7, .. }));

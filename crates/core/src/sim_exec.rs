@@ -6,6 +6,7 @@
 //! plan (see [`crate::plan`]) and executed here with link contention,
 //! storage service stations, and lock penalties.
 
+use tapioca_mpi::{FaultPlan, IoPolicy};
 use tapioca_netsim::{FlowId, SimTime, Simulator};
 use tapioca_pfs::{
     AccessMode, FileId, FlushReq, GpfsModel, GpfsTunables, LustreModel, LustreTunables,
@@ -14,8 +15,9 @@ use tapioca_pfs::{
 use tapioca_topology::{MachineProfile, NodeId, Rank, StorageProfile, TopologyProvider};
 
 use crate::config::TapiocaConfig;
-use crate::placement::{elect_partitions, PartitionElection};
-use crate::plan::{append_tapioca_plan, ExecutionPlan, OpKind, TapiocaPlanInput};
+use crate::error::{Result, TapiocaError};
+use crate::placement::{elect_partitions, election_cost, PartitionElection};
+use crate::plan::{append_tapioca_plan, ExecutionPlan, OpKind, PlanCrash, TapiocaPlanInput};
 use crate::schedule::{compute_schedule, ScheduleParams, WriteDecl};
 
 /// Filesystem tunables for a simulation (must match the profile's
@@ -52,6 +54,17 @@ pub struct SimReport {
     pub last_transfer_finish: SimTime,
     /// When the last storage operation completed.
     pub last_flush_finish: SimTime,
+    /// Faults injected from the fault plan (failed flush attempts plus
+    /// one per crash) — mirrors `IoStats::faults_injected`.
+    pub faults_injected: u64,
+    /// Flush retries the modelled I/O worker performed.
+    pub retries: u64,
+    /// Aggregator crashes recovered by standby re-election.
+    pub reelections: u64,
+    /// Partitions whose retry budget was exhausted (thread mode falls
+    /// back to direct writes there; the simulator stops charging flush
+    /// penalties from that round on, matching the early detection).
+    pub degraded: u64,
 }
 
 impl SimReport {
@@ -75,10 +88,35 @@ fn lnet_nodes(num_nodes: usize) -> Vec<NodeId> {
 
 /// Execute `plan` against `profile` + `storage`.
 ///
-/// # Panics
-/// Panics when the storage config kind does not match the profile's
-/// storage profile (Gpfs vs Lustre).
-pub fn simulate(profile: &MachineProfile, storage: &StorageConfig, plan: &ExecutionPlan) -> SimReport {
+/// # Errors
+/// [`TapiocaError::InvalidConfig`] when the storage config kind does not
+/// match the profile's storage profile (Gpfs vs Lustre).
+pub fn simulate(
+    profile: &MachineProfile,
+    storage: &StorageConfig,
+    plan: &ExecutionPlan,
+) -> Result<SimReport> {
+    simulate_faulty(profile, storage, plan, None, &IoPolicy::default())
+}
+
+/// Like [`simulate`], but perturbed by a [`FaultPlan`]: link capacities
+/// are degraded by `LinkDegrade` specs, and every write flush consults
+/// the plan for a transient-fault hint — the same pure function thread
+/// mode evaluates — whose retry/backoff cost (`FaultHint::penalty`) is
+/// added to the flush's service delay. A hint that exhausts the budget
+/// marks its partition degraded: from that round on no penalties are
+/// charged, matching the thread runtime's early fallback to direct
+/// writes.
+///
+/// # Errors
+/// [`TapiocaError::InvalidConfig`] on a storage/profile kind mismatch.
+pub fn simulate_faulty(
+    profile: &MachineProfile,
+    storage: &StorageConfig,
+    plan: &ExecutionPlan,
+    faults: Option<&FaultPlan>,
+    policy: &IoPolicy,
+) -> Result<SimReport> {
     let machine = &profile.machine;
     let net = machine.interconnect();
     let mut sim = Simulator::from_interconnect(net);
@@ -86,6 +124,39 @@ pub fn simulate(profile: &MachineProfile, storage: &StorageConfig, plan: &Execut
     // round) into single events: 20 us against multi-ms rounds is a
     // <1% perturbation for an order-of-magnitude event reduction.
     sim.set_completion_slack(20e-6);
+    // Degrade the fabric before the storage models append their virtual
+    // service stations (those keep nominal rates).
+    if let Some(f) = faults.and_then(FaultPlan::link_degrade) {
+        sim.scale_capacities(f);
+    }
+
+    // Per-flush fault hints: segment ordinals within (partition, round)
+    // follow flush emission order, the same coordinates thread mode
+    // hashes. The prepass also finds each partition's degrade round.
+    let mut seg_of_op: std::collections::HashMap<usize, (u32, u32, u32)> =
+        std::collections::HashMap::new();
+    let mut degrade_round: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    let mut faults_injected = 0u64;
+    let mut retries = 0u64;
+    if let Some(fp) = faults {
+        let mut ord: std::collections::HashMap<(u32, u32), u32> = std::collections::HashMap::new();
+        for (id, op) in plan.ops.iter().enumerate() {
+            let (OpKind::Flush { mode: AccessMode::Write, .. }, Some(m)) = (&op.kind, op.meta)
+            else {
+                continue;
+            };
+            let s = ord.entry((m.partition, m.round)).or_insert(0);
+            seg_of_op.insert(id, (m.partition, m.round, *s));
+            if fp
+                .flush_fault(m.partition, m.round, *s)
+                .is_some_and(|h| h.exceeds(policy))
+            {
+                let e = degrade_round.entry(m.partition).or_insert(m.round);
+                *e = (*e).min(m.round);
+            }
+            *s += 1;
+        }
+    }
 
     // Install the storage model's virtual links.
     let model = match (&profile.storage, storage) {
@@ -114,7 +185,11 @@ pub fn simulate(profile: &MachineProfile, storage: &StorageConfig, plan: &Execut
             lnet_nodes(net.num_nodes()),
             *tun,
         )),
-        _ => panic!("storage config kind does not match the machine profile"),
+        _ => {
+            return Err(TapiocaError::InvalidConfig(
+                "storage config kind does not match the machine profile".into(),
+            ))
+        }
     };
     let mut model = model;
 
@@ -180,6 +255,29 @@ pub fn simulate(profile: &MachineProfile, storage: &StorageConfig, plan: &Execut
                 vec![sim.submit_with_deps(0.0, delay, route, *bytes, &dep_flows)]
             }
             OpKind::Flush { .. } => {
+                // Recovery cost of an injected transient fault: the
+                // worker's failed attempts + backoffs, identical
+                // arithmetic to the thread runtime's `FaultHint`
+                // schedule. Degraded partitions stop paying from their
+                // degrade round on (thread mode detects the exhausted
+                // budget *before* the round and writes directly).
+                let fault_delay = match (faults, seg_of_op.get(&id)) {
+                    (Some(fp), Some(&(p, r, s))) => {
+                        if degrade_round.get(&p).is_some_and(|&dr| r >= dr) {
+                            0.0
+                        } else {
+                            match fp.flush_fault(p, r, s) {
+                                Some(h) => {
+                                    faults_injected += h.fail_attempts as u64;
+                                    retries += h.fail_attempts as u64;
+                                    h.penalty(policy).as_secs_f64()
+                                }
+                                None => 0.0,
+                            }
+                        }
+                    }
+                    _ => 0.0,
+                };
                 let planned = flows_of_flush.remove(&id).unwrap_or_default();
                 planned
                     .into_iter()
@@ -200,7 +298,7 @@ pub fn simulate(profile: &MachineProfile, storage: &StorageConfig, plan: &Execut
                         };
                         let fabric_hops = route.len();
                         route.extend_from_slice(&pf.storage_route);
-                        let delay = pf.delay + latency * fabric_hops as f64;
+                        let delay = pf.delay + latency * fabric_hops as f64 + fault_delay;
                         sim.submit_with_deps(0.0, delay, route, pf.bytes, &dep_flows)
                     })
                     .collect()
@@ -236,7 +334,7 @@ pub fn simulate(profile: &MachineProfile, storage: &StorageConfig, plan: &Execut
             }
         }
     }
-    SimReport {
+    Ok(SimReport {
         elapsed,
         bytes,
         bandwidth: if elapsed > 0.0 { bytes / elapsed } else { 0.0 },
@@ -245,7 +343,11 @@ pub fn simulate(profile: &MachineProfile, storage: &StorageConfig, plan: &Execut
         flushes,
         last_transfer_finish,
         last_flush_finish,
-    }
+        faults_injected,
+        retries,
+        reelections: 0,
+        degraded: degrade_round.len() as u64,
+    })
 }
 
 /// One file group of a collective operation: the ranks writing one file
@@ -280,6 +382,9 @@ struct GroupTraceInfo {
     /// Per partition: (lowest member, elected aggregator, total bytes),
     /// all global ranks; `None` for empty partitions.
     elections: Vec<Option<(Rank, Rank, u64)>>,
+    /// Injected crashes: (crashed aggregator, standby, round), global
+    /// ranks; `None` for partitions without one.
+    crashes: Vec<Option<(Rank, Rank, u32)>>,
 }
 
 /// Project a completed simulation onto the trace schema: one `Elect`
@@ -310,6 +415,23 @@ fn emit_sim_trace(
                 offset: NO_OFFSET,
                 peer: agg,
             });
+            // Injected crash: demotion + standby re-election, recorded
+            // on the lowest member's lane like thread mode does.
+            if let Some((old, standby, cr)) = g.crashes[p] {
+                for (op, peer) in [(TraceOp::Crash, old), (TraceOp::Reelect, standby)] {
+                    tracer.record(TraceEvent {
+                        t_ns: 0,
+                        rank: low,
+                        partition: g.partition_base + p as u32,
+                        round: cr,
+                        phase: Phase::Sync,
+                        op,
+                        bytes: 0,
+                        offset: NO_OFFSET,
+                        peer,
+                    });
+                }
+            }
         }
         for id in g.ops.start..g.ops.end {
             let op = &plan.ops[id];
@@ -360,23 +482,31 @@ pub fn run_tapioca_sim(
     storage: &StorageConfig,
     spec: &CollectiveSpec,
     cfg: &TapiocaConfig,
-) -> SimReport {
-    cfg.validate();
+) -> Result<SimReport> {
+    cfg.validate()?;
     let machine = &profile.machine;
     let mut plan = ExecutionPlan::new();
+    let mut ncrashes = 0u64;
     #[cfg(feature = "trace")]
     let mut group_infos: Vec<GroupTraceInfo> = Vec::new();
     #[cfg(feature = "trace")]
     let mut partition_base = 0u32;
 
     for group in &spec.groups {
-        assert_eq!(group.ranks.len(), group.decls.len());
+        if group.ranks.len() != group.decls.len() {
+            return Err(TapiocaError::InvalidConfig(format!(
+                "group has {} ranks but {} declaration lists",
+                group.ranks.len(),
+                group.decls.len()
+            )));
+        }
         if let Some(&max_rank) = group.ranks.iter().max() {
-            assert!(
-                max_rank < machine.num_ranks(),
-                "spec rank {max_rank} exceeds the machine's {} ranks",
-                machine.num_ranks()
-            );
+            if max_rank >= machine.num_ranks() {
+                return Err(TapiocaError::InvalidConfig(format!(
+                    "spec rank {max_rank} exceeds the machine's {} ranks",
+                    machine.num_ranks()
+                )));
+            }
         }
         let sched = compute_schedule(&group.decls, ScheduleParams {
             num_aggregators: cfg.num_aggregators,
@@ -407,9 +537,62 @@ pub fn run_tapioca_sim(
             .collect();
         let choices: Vec<usize> = elect_partitions(machine, &elections, cfg.strategy);
 
+        // Compile the fault plan's aggregator crashes (write mode only,
+        // partition indices are schedule-local like thread mode's). The
+        // standby is the argmin of the same election cost with the dead
+        // candidate excluded, ties to the lowest index — bit-identical
+        // to the thread runtime's MINLOC with an infinite cost entry.
+        // A partition that degrades at or before the crash round never
+        // reaches the crash (thread mode breaks out of the round loop
+        // first), so the crash is dropped there too.
+        let crashes: Vec<PlanCrash> = match (&cfg.faults, spec.mode) {
+            (Some(fp), AccessMode::Write) => sched
+                .partitions
+                .iter()
+                .filter_map(|part| {
+                    let cr = fp.crash_at(part.index as u32)?;
+                    if part.members.len() < 2 || cr as usize >= part.rounds.len() {
+                        return None;
+                    }
+                    let degrades_first = part.rounds.iter().enumerate().any(|(r, round)| {
+                        r as u32 <= cr
+                            && round.segments.iter().enumerate().any(|(s, _)| {
+                                fp.flush_fault(part.index as u32, r as u32, s as u32)
+                                    .is_some_and(|h| h.exceeds(&cfg.io_policy))
+                            })
+                    });
+                    if degrades_first {
+                        return None;
+                    }
+                    let chosen = choices[part.index];
+                    let standby = (0..part.members.len())
+                        .filter(|&idx| idx != chosen)
+                        .min_by(|&a, &b| {
+                            let cost = |idx: usize| {
+                                election_cost(
+                                    machine,
+                                    &members_global[part.index],
+                                    &part.member_bytes,
+                                    io,
+                                    part.index,
+                                    cfg.strategy,
+                                    idx,
+                                )
+                            };
+                            cost(a).total_cmp(&cost(b))
+                        })?;
+                    Some(PlanCrash { partition: part.index, round: cr, standby })
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
+        ncrashes += crashes.len() as u64;
+
         let ranks = &group.ranks;
         let node_of = |local: Rank| machine.node_of_rank(ranks[local]);
         let file = group.file;
+        #[cfg(feature = "trace")]
+        let crashes_for_trace = crashes.clone();
         let _op_range = append_tapioca_plan(&mut plan, &TapiocaPlanInput {
             schedule: &sched,
             aggregator_choice: &choices,
@@ -419,6 +602,7 @@ pub fn run_tapioca_sim(
             pipelining: cfg.pipelining,
             entry_deps: Vec::new(),
             wave_base: 0,
+            crashes,
         });
         #[cfg(feature = "trace")]
         {
@@ -437,16 +621,37 @@ pub fn run_tapioca_sim(
                     }
                 })
                 .collect();
-            group_infos.push(GroupTraceInfo { ops: _op_range, partition_base, elections });
+            let crash_info = sched
+                .partitions
+                .iter()
+                .map(|part| {
+                    crashes_for_trace.iter().find(|c| c.partition == part.index).map(|c| {
+                        (
+                            group.ranks[part.members[choices[part.index]]],
+                            group.ranks[part.members[c.standby]],
+                            c.round,
+                        )
+                    })
+                })
+                .collect();
+            group_infos.push(GroupTraceInfo {
+                ops: _op_range,
+                partition_base,
+                elections,
+                crashes: crash_info,
+            });
             partition_base += sched.partitions.len() as u32;
         }
     }
-    let report = simulate(profile, storage, &plan);
+    let mut report =
+        simulate_faulty(profile, storage, &plan, cfg.faults.as_ref(), &cfg.io_policy)?;
+    report.reelections += ncrashes;
+    report.faults_injected += ncrashes;
     #[cfg(feature = "trace")]
     if let Some(tracer) = &cfg.tracer {
         emit_sim_trace(tracer, &plan, &report, &group_infos);
     }
-    report
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -493,7 +698,7 @@ mod tests {
             ..Default::default()
         };
         let storage = StorageConfig::Gpfs(GpfsTunables::mira_optimized());
-        let rep = run_tapioca_sim(&profile, &storage, &spec, &cfg);
+        let rep = run_tapioca_sim(&profile, &storage, &spec, &cfg).unwrap();
         assert!(rep.elapsed > 0.0);
         assert_eq!(rep.bytes, (128 * 4) as f64 * MIB as f64);
         assert!(rep.bandwidth > 0.0);
@@ -512,7 +717,7 @@ mod tests {
             ..Default::default()
         };
         let storage = StorageConfig::Lustre(LustreTunables::theta_optimized());
-        let rep = run_tapioca_sim(&profile, &storage, &spec, &cfg);
+        let rep = run_tapioca_sim(&profile, &storage, &spec, &cfg).unwrap();
         assert!(rep.elapsed > 0.0 && rep.bandwidth > 0.0);
     }
 
@@ -522,11 +727,12 @@ mod tests {
         let spec = mira_spec(128, 4, MIB);
         let storage = StorageConfig::Gpfs(GpfsTunables::mira_optimized());
         let base = TapiocaConfig { num_aggregators: 8, buffer_size: 4 * MIB, ..Default::default() };
-        let on = run_tapioca_sim(&profile, &storage, &spec, &base);
+        let on = run_tapioca_sim(&profile, &storage, &spec, &base).unwrap();
         let off = run_tapioca_sim(&profile, &storage, &spec, &TapiocaConfig {
             pipelining: false,
             ..base
-        });
+        })
+        .unwrap();
         assert!(on.elapsed <= off.elapsed * 1.0001,
             "pipelining must not hurt: {} vs {}", on.elapsed, off.elapsed);
     }
@@ -537,11 +743,12 @@ mod tests {
         let spec = mira_spec(128, 4, MIB / 4);
         let storage = StorageConfig::Gpfs(GpfsTunables::mira_optimized());
         let base = TapiocaConfig { num_aggregators: 8, buffer_size: MIB, ..Default::default() };
-        let ta = run_tapioca_sim(&profile, &storage, &spec, &base);
+        let ta = run_tapioca_sim(&profile, &storage, &spec, &base).unwrap();
         let worst = run_tapioca_sim(&profile, &storage, &spec, &TapiocaConfig {
             strategy: PlacementStrategy::WorstCase,
             ..base
-        });
+        })
+        .unwrap();
         assert!(ta.elapsed <= worst.elapsed * 1.0001);
     }
 
@@ -552,7 +759,7 @@ mod tests {
         spec.mode = AccessMode::Read;
         let cfg = TapiocaConfig { num_aggregators: 8, buffer_size: 8 * MIB, ..Default::default() };
         let storage = StorageConfig::Lustre(LustreTunables::theta_optimized());
-        let rep = run_tapioca_sim(&profile, &storage, &spec, &cfg);
+        let rep = run_tapioca_sim(&profile, &storage, &spec, &cfg).unwrap();
         assert!(rep.bandwidth > 0.0);
     }
 
@@ -562,7 +769,7 @@ mod tests {
         let spec = theta_spec(32, 4, MIB);
         let cfg = TapiocaConfig { num_aggregators: 8, buffer_size: 8 * MIB, ..Default::default() };
         let storage = StorageConfig::Lustre(LustreTunables::theta_optimized());
-        let rep = run_tapioca_sim(&profile, &storage, &spec, &cfg);
+        let rep = run_tapioca_sim(&profile, &storage, &spec, &cfg).unwrap();
         assert!(rep.transfers > 0 && rep.flushes > 0);
         assert_eq!(rep.transfers + rep.flushes, rep.op_finish.len());
         // writes end at the storage: the last flush defines the makespan
@@ -571,16 +778,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "does not match")]
-    fn mismatched_storage_kind_panics() {
+    fn mismatched_storage_kind_errors() {
         let profile = mira_profile(128, 4);
         let spec = mira_spec(128, 4, 1024);
         let cfg = TapiocaConfig { num_aggregators: 4, buffer_size: 1024, ..Default::default() };
-        run_tapioca_sim(
+        let err = run_tapioca_sim(
             &profile,
             &StorageConfig::Lustre(LustreTunables::theta_optimized()),
             &spec,
             &cfg,
-        );
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("does not match"));
     }
 }

@@ -80,7 +80,7 @@ impl WorldShared {
         T: Send + Sync + 'static,
         F: FnOnce() -> T,
     {
-        let mut reg = self.registry.lock().unwrap();
+        let mut reg = crate::lock_ok(&self.registry);
         let entry = reg
             .entry(key)
             .or_insert_with(|| Arc::new(create()) as Arc<dyn Any + Send + Sync>);
@@ -271,12 +271,12 @@ impl Comm {
     pub fn allgather_bytes(&self, mine: Vec<u8>) -> Vec<Vec<u8>> {
         self.perturb_point();
         {
-            let mut slots = self.shared.slots.lock().unwrap();
+            let mut slots = crate::lock_ok(&self.shared.slots);
             slots[self.my_index] = Some(mine);
         }
         self.shared.barrier.wait();
         let all: Vec<Vec<u8>> = {
-            let slots = self.shared.slots.lock().unwrap();
+            let slots = crate::lock_ok(&self.shared.slots);
             slots
                 .iter()
                 .map(|o| o.clone().expect("every member contributed"))
@@ -290,12 +290,12 @@ impl Comm {
     /// Broadcast `bytes` from comm rank `root` to everyone.
     pub fn bcast(&self, root: Rank, bytes: Vec<u8>) -> Vec<u8> {
         if self.my_index == root {
-            let mut slots = self.shared.slots.lock().unwrap();
+            let mut slots = crate::lock_ok(&self.shared.slots);
             slots[root] = Some(bytes);
         }
         self.shared.barrier.wait();
         let out = {
-            let slots = self.shared.slots.lock().unwrap();
+            let slots = crate::lock_ok(&self.shared.slots);
             slots[root].clone().expect("root contributed")
         };
         self.shared.barrier.wait();

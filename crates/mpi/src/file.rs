@@ -10,21 +10,32 @@
 //! in submission order (MPI guarantees ordering of operations on a file
 //! handle from one process; a single worker preserves it globally here,
 //! which is stricter and therefore safe).
+//!
+//! The worker retries failed writes under an [`IoPolicy`] (bounded
+//! attempts with exponential backoff); a [`FaultHint`] deterministically
+//! injects failures and latency for fault-injection runs. Exhausted
+//! retries and timed-out waits surface as [`IoError`] through the
+//! [`IoHandle`] instead of aborting the rank.
 
 use std::fs::{File, OpenOptions};
+use std::io::ErrorKind;
 use std::os::unix::fs::FileExt;
 use std::path::Path;
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crate::comm::{Comm, RegistryKind};
+use crate::fault::{backoff, FaultHint, IoError, IoPolicy};
+use crate::lock_ok;
 use crate::perturb::Perturber;
 #[cfg(feature = "trace")]
 use tapioca_trace::TraceStamp;
 
 /// Completion notification for a non-blocking write. Carries the
-/// written buffer back so drain loops can recycle it.
+/// written buffer back so drain loops can recycle it, and the error
+/// (if any) so callers can recover instead of aborting.
 #[derive(Debug, Default)]
 struct Notify {
     state: Mutex<NotifyState>,
@@ -36,26 +47,48 @@ struct NotifyState {
     done: bool,
     /// The job's buffer, returned by the worker for reuse.
     reclaimed: Option<Vec<u8>>,
+    /// Why the operation failed, when it did.
+    error: Option<IoError>,
 }
 
 impl Notify {
-    fn signal(&self, reclaimed: Option<Vec<u8>>) {
-        let mut st = self.state.lock().unwrap();
+    fn signal(&self, reclaimed: Option<Vec<u8>>, error: Option<IoError>) {
+        let mut st = lock_ok(&self.state);
         st.done = true;
         st.reclaimed = reclaimed;
+        st.error = error;
         self.cv.notify_all();
     }
 
-    fn wait_take(&self) -> Option<Vec<u8>> {
-        let mut st = self.state.lock().unwrap();
+    fn wait_take(&self) -> (Option<Vec<u8>>, Option<IoError>) {
+        let mut st = lock_ok(&self.state);
         while !st.done {
-            st = self.cv.wait(st).unwrap();
+            st = self.cv.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
         }
-        st.reclaimed.take()
+        (st.reclaimed.take(), st.error.clone())
+    }
+
+    /// Like `wait_take` with a deadline; `Err(())` on timeout (the
+    /// operation stays in flight — the worker still owns the buffer).
+    fn wait_take_timeout(&self, limit: Duration) -> Result<(Option<Vec<u8>>, Option<IoError>), ()> {
+        let deadline = std::time::Instant::now() + limit;
+        let mut st = lock_ok(&self.state);
+        while !st.done {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(());
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            st = guard;
+        }
+        Ok((st.reclaimed.take(), st.error.clone()))
     }
 
     fn is_done(&self) -> bool {
-        self.state.lock().unwrap().done
+        lock_ok(&self.state).done
     }
 }
 
@@ -66,16 +99,46 @@ pub struct IoHandle {
 }
 
 impl IoHandle {
-    /// Block until the write has been applied to the file.
-    pub fn wait(self) {
-        self.notify.wait_take();
+    /// Block until the write has been applied to the file (or its retry
+    /// budget exhausted).
+    pub fn wait(self) -> Result<(), IoError> {
+        match self.notify.wait_take() {
+            (_, None) => Ok(()),
+            (_, Some(e)) => Err(e),
+        }
     }
 
     /// Block until the write has been applied, reclaiming its buffer for
     /// reuse (`None` for zero-byte flushes). The double-buffer drain
     /// loop uses this to refill windows without per-round allocation.
-    pub fn wait_reclaim(self) -> Option<Vec<u8>> {
+    /// The buffer is dropped on error; use [`IoHandle::wait_parts`] to
+    /// keep it for a direct-write fallback.
+    pub fn wait_reclaim(self) -> Result<Option<Vec<u8>>, IoError> {
+        match self.notify.wait_take() {
+            (buf, None) => Ok(buf),
+            (_, Some(e)) => Err(e),
+        }
+    }
+
+    /// Block until completion, returning both the reclaimed buffer and
+    /// the error, if any. A failed write still hands its buffer back so
+    /// the caller can fall back to a direct write of the same bytes.
+    pub fn wait_parts(self) -> (Option<Vec<u8>>, Option<IoError>) {
         self.notify.wait_take()
+    }
+
+    /// [`IoHandle::wait_parts`] with a per-op deadline: after `limit`
+    /// the wait reports [`IoError::Timeout`] instead of blocking forever
+    /// on a stalled device (`None` disables the deadline). On timeout
+    /// the operation stays in flight and the worker keeps the buffer.
+    pub fn wait_parts_timeout(self, limit: Option<Duration>) -> (Option<Vec<u8>>, Option<IoError>) {
+        match limit {
+            None => self.notify.wait_take(),
+            Some(l) => match self.notify.wait_take_timeout(l) {
+                Ok(parts) => parts,
+                Err(()) => (None, Some(IoError::Timeout { op: "iwrite_at", waited: l })),
+            },
+        }
     }
 
     /// Non-consuming completion test.
@@ -86,7 +149,7 @@ impl IoHandle {
     /// An already-completed handle (for zero-byte flushes).
     pub fn ready() -> Self {
         let notify = Arc::new(Notify::default());
-        notify.signal(None);
+        notify.signal(None, None);
         IoHandle { notify }
     }
 }
@@ -95,6 +158,11 @@ struct Job {
     offset: u64,
     data: Vec<u8>,
     notify: Arc<Notify>,
+    /// Retry budget and backoff for this operation.
+    policy: IoPolicy,
+    /// Deterministic fault injection: leading attempts that must fail
+    /// and per-attempt latency.
+    hint: Option<FaultHint>,
     /// When set, a flush-completion event is recorded after the write
     /// lands — from the worker thread, so the timestamp reflects the
     /// true end of the I/O, not its submission.
@@ -112,9 +180,45 @@ struct FileInner {
 impl Drop for FileInner {
     fn drop(&mut self) {
         // Closing the channel stops the worker after it drains the queue.
-        self.tx.lock().unwrap().take();
-        if let Some(h) = self.worker.lock().unwrap().take() {
+        lock_ok(&self.tx).take();
+        if let Some(h) = lock_ok(&self.worker).take() {
             let _ = h.join();
+        }
+    }
+}
+
+/// Run one job's write with bounded retry; `None` on success.
+fn run_job(worker_file: &File, job: &Job) -> Option<IoError> {
+    let mut attempt: u32 = 0;
+    loop {
+        if let Some(h) = &job.hint {
+            if !h.delay.is_zero() {
+                std::thread::sleep(h.delay);
+            }
+        }
+        let injected = job.hint.is_some_and(|h| attempt < h.fail_attempts);
+        let res = if injected {
+            Err(std::io::Error::new(ErrorKind::Interrupted, "injected transient flush failure"))
+        } else {
+            worker_file.write_all_at(&job.data, job.offset)
+        };
+        match res {
+            Ok(()) => return None,
+            Err(e) => {
+                if attempt >= job.policy.max_retries {
+                    return Some(IoError::Exhausted {
+                        op: "iwrite_at",
+                        attempts: attempt + 1,
+                        kind: e.kind(),
+                        msg: e.to_string(),
+                    });
+                }
+                let pause = backoff(&job.policy, attempt);
+                if !pause.is_zero() {
+                    std::thread::sleep(pause);
+                }
+                attempt += 1;
+            }
         }
     }
 }
@@ -143,17 +247,17 @@ impl SharedFile {
             .create(true)
             .truncate(true)
             .open(path)?;
-        Ok(Self::from_file(file, perturb))
+        Self::from_file(file, perturb)
     }
 
     /// Open an existing file for read/write access.
     pub fn open(path: impl AsRef<Path>) -> std::io::Result<SharedFile> {
         let file = OpenOptions::new().read(true).write(true).open(path)?;
-        Ok(Self::from_file(file, None))
+        Self::from_file(file, None)
     }
 
-    fn from_file(file: File, perturb: Option<Arc<Perturber>>) -> SharedFile {
-        let worker_file = file.try_clone().expect("clone file handle for I/O worker");
+    fn from_file(file: File, perturb: Option<Arc<Perturber>>) -> std::io::Result<SharedFile> {
+        let worker_file = file.try_clone()?;
         let (tx, rx) = channel::<Job>();
         let worker = std::thread::Builder::new()
             .name("tapioca-io".into())
@@ -162,35 +266,40 @@ impl SharedFile {
                     if let Some(p) = &perturb {
                         p.point();
                     }
-                    worker_file
-                        .write_all_at(&job.data, job.offset)
-                        .expect("positioned write");
+                    let error = run_job(&worker_file, &job);
                     // Record completion *before* signalling the handle:
                     // the flush event must land in the aggregator's trace
                     // lane ahead of anything ordered after `wait()` (in
                     // particular the release fence), or lane order stops
                     // being a happens-before witness for the checker.
+                    // Failed writes are not durable and record nothing.
                     #[cfg(feature = "trace")]
-                    if let Some(stamp) = &job.stamp {
-                        stamp.flush_done(job.offset, job.data.len() as u64);
+                    if error.is_none() {
+                        if let Some(stamp) = &job.stamp {
+                            stamp.flush_done(job.offset, job.data.len() as u64);
+                        }
                     }
                     let Job { data, notify, .. } = job;
-                    notify.signal(Some(data));
+                    notify.signal(Some(data), error);
                 }
-            })
-            .expect("spawn I/O worker");
-        SharedFile {
+            })?;
+        Ok(SharedFile {
             inner: Arc::new(FileInner {
                 file,
                 tx: Mutex::new(Some(tx)),
                 worker: Mutex::new(Some(worker)),
             }),
-        }
+        })
     }
 
     /// Collectively open one shared file per communicator: every member
     /// passes the same `path`; exactly one OS file/worker is created.
     /// The worker inherits the world's perturber, if any.
+    ///
+    /// # Panics
+    /// Panics when the file cannot be created: the open is collective
+    /// (every member must receive the same handle), so there is no
+    /// per-rank error to return without desynchronizing the group.
     pub fn open_shared(comm: &Comm, path: impl AsRef<Path>) -> SharedFile {
         let seq = comm.next_file_seq();
         let key = (comm.uid(), RegistryKind::File, seq, 0);
@@ -204,17 +313,33 @@ impl SharedFile {
     }
 
     /// Blocking positioned write.
-    pub fn write_at(&self, offset: u64, data: &[u8]) {
-        self.inner.file.write_all_at(data, offset).expect("positioned write");
+    pub fn write_at(&self, offset: u64, data: &[u8]) -> std::io::Result<()> {
+        self.inner.file.write_all_at(data, offset)
     }
 
     /// Non-blocking positioned write: returns immediately; the I/O
     /// worker applies writes in submission order.
     pub fn iwrite_at(&self, offset: u64, data: Vec<u8>) -> IoHandle {
         #[cfg(feature = "trace")]
-        return self.submit(offset, data, None);
+        return self.submit(offset, data, IoPolicy::default(), None, None);
         #[cfg(not(feature = "trace"))]
-        self.submit(offset, data)
+        self.submit(offset, data, IoPolicy::default(), None)
+    }
+
+    /// Non-blocking positioned write under an explicit retry policy,
+    /// optionally with an injected fault.
+    pub fn iwrite_at_policy(
+        &self,
+        offset: u64,
+        data: Vec<u8>,
+        policy: IoPolicy,
+        hint: Option<FaultHint>,
+        #[cfg(feature = "trace")] stamp: Option<TraceStamp>,
+    ) -> IoHandle {
+        #[cfg(feature = "trace")]
+        return self.submit(offset, data, policy, hint, stamp);
+        #[cfg(not(feature = "trace"))]
+        self.submit(offset, data, policy, hint)
     }
 
     /// Non-blocking positioned write that records a flush-completion
@@ -227,13 +352,15 @@ impl SharedFile {
         data: Vec<u8>,
         stamp: Option<TraceStamp>,
     ) -> IoHandle {
-        self.submit(offset, data, stamp)
+        self.submit(offset, data, IoPolicy::default(), None, stamp)
     }
 
     fn submit(
         &self,
         offset: u64,
         data: Vec<u8>,
+        policy: IoPolicy,
+        hint: Option<FaultHint>,
         #[cfg(feature = "trace")] stamp: Option<TraceStamp>,
     ) -> IoHandle {
         if data.is_empty() {
@@ -241,35 +368,42 @@ impl SharedFile {
         }
         let notify = Arc::new(Notify::default());
         let handle = IoHandle { notify: Arc::clone(&notify) };
-        let tx = self.inner.tx.lock().unwrap();
-        tx.as_ref()
-            .expect("file not closed")
-            .send(Job {
+        let tx = lock_ok(&self.inner.tx);
+        let sent = tx.as_ref().is_some_and(|t| {
+            t.send(Job {
                 offset,
                 data,
-                notify,
+                notify: Arc::clone(&notify),
+                policy,
+                hint,
                 #[cfg(feature = "trace")]
                 stamp,
             })
-            .expect("I/O worker alive");
+            .is_ok()
+        });
+        // A closed file or dead worker reports through the handle
+        // instead of aborting the submitting rank.
+        if !sent {
+            handle.notify.signal(None, Some(IoError::Disconnected { op: "iwrite_at" }));
+        }
         handle
     }
 
     /// Blocking positioned read of exactly `len` bytes.
-    pub fn read_at(&self, offset: u64, len: usize) -> Vec<u8> {
+    pub fn read_at(&self, offset: u64, len: usize) -> std::io::Result<Vec<u8>> {
         let mut buf = vec![0u8; len];
-        self.inner.file.read_exact_at(&mut buf, offset).expect("positioned read");
-        buf
+        self.inner.file.read_exact_at(&mut buf, offset)?;
+        Ok(buf)
     }
 
     /// Current file length in bytes.
-    pub fn len(&self) -> u64 {
-        self.inner.file.metadata().expect("stat").len()
+    pub fn len(&self) -> std::io::Result<u64> {
+        Ok(self.inner.file.metadata()?.len())
     }
 
     /// Whether the file is empty.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
+    pub fn is_empty(&self) -> std::io::Result<bool> {
+        Ok(self.len()? == 0)
     }
 }
 
@@ -283,12 +417,27 @@ mod tests {
         dir.join(format!("{name}-{}", std::process::id()))
     }
 
+    /// `iwrite_at_policy` shim hiding the cfg-dependent stamp arg.
+    fn iwrite_policy(
+        f: &SharedFile,
+        offset: u64,
+        data: Vec<u8>,
+        policy: IoPolicy,
+        hint: Option<FaultHint>,
+    ) -> IoHandle {
+        #[cfg(feature = "trace")]
+        return f.iwrite_at_policy(offset, data, policy, hint, None);
+        #[cfg(not(feature = "trace"))]
+        f.iwrite_at_policy(offset, data, policy, hint)
+    }
+
     #[test]
     fn write_then_read_roundtrip() {
         let f = SharedFile::create(tmp("rt")).unwrap();
-        f.write_at(10, b"hello");
-        assert_eq!(f.read_at(10, 5), b"hello");
-        assert_eq!(f.len(), 15);
+        f.write_at(10, b"hello").unwrap();
+        assert_eq!(f.read_at(10, 5).unwrap(), b"hello");
+        assert_eq!(f.len().unwrap(), 15);
+        assert!(!f.is_empty().unwrap());
     }
 
     #[test]
@@ -298,9 +447,9 @@ mod tests {
         let h1 = f.iwrite_at(0, vec![1u8; 8]);
         let h2 = f.iwrite_at(4, vec![2u8; 8]);
         assert!(!h2.test() || h2.test()); // test() callable before wait
-        h1.wait();
-        h2.wait();
-        assert_eq!(f.read_at(0, 12), [1, 1, 1, 1, 2, 2, 2, 2, 2, 2, 2, 2]);
+        h1.wait().unwrap();
+        h2.wait().unwrap();
+        assert_eq!(f.read_at(0, 12).unwrap(), [1, 1, 1, 1, 2, 2, 2, 2, 2, 2, 2, 2]);
     }
 
     #[test]
@@ -308,18 +457,18 @@ mod tests {
         let f = SharedFile::create(tmp("empty")).unwrap();
         let h = f.iwrite_at(0, vec![]);
         assert!(h.test());
-        h.wait();
+        h.wait().unwrap();
     }
 
     #[test]
     fn wait_reclaim_returns_the_buffer() {
         let f = SharedFile::create(tmp("reclaim")).unwrap();
         let h = f.iwrite_at(3, vec![9u8; 16]);
-        let buf = h.wait_reclaim().expect("non-empty write returns its buffer");
+        let buf = h.wait_reclaim().unwrap().expect("non-empty write returns its buffer");
         assert_eq!(buf, vec![9u8; 16]);
-        assert_eq!(f.read_at(3, 16), vec![9u8; 16]);
+        assert_eq!(f.read_at(3, 16).unwrap(), vec![9u8; 16]);
         // zero-byte flushes have no buffer to give back
-        assert_eq!(f.iwrite_at(0, vec![]).wait_reclaim(), None);
+        assert_eq!(f.iwrite_at(0, vec![]).wait_reclaim().unwrap(), None);
     }
 
     #[test]
@@ -329,12 +478,12 @@ mod tests {
             for t in 0..8u8 {
                 let f = f.clone();
                 s.spawn(move || {
-                    f.write_at(t as u64 * 100, &[t; 100]);
+                    f.write_at(t as u64 * 100, &[t; 100]).unwrap();
                 });
             }
         });
         for t in 0..8u8 {
-            assert_eq!(f.read_at(t as u64 * 100, 100), vec![t; 100]);
+            assert_eq!(f.read_at(t as u64 * 100, 100).unwrap(), vec![t; 100]);
         }
     }
 
@@ -350,8 +499,62 @@ mod tests {
         }
         let f = SharedFile::open(&path).unwrap();
         for i in 0..100u64 {
-            assert_eq!(f.read_at(i * 4, 4), (i as u32).to_le_bytes());
+            assert_eq!(f.read_at(i * 4, 4).unwrap(), (i as u32).to_le_bytes());
         }
+    }
+
+    #[test]
+    fn transient_fault_within_budget_still_lands() {
+        let f = SharedFile::create(tmp("transient")).unwrap();
+        let policy = IoPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_micros(10),
+            op_timeout: Duration::from_secs(5),
+        };
+        let hint = FaultHint { fail_attempts: 2, delay: Duration::ZERO };
+        let h = iwrite_policy(&f, 8, vec![5u8; 32], policy, Some(hint));
+        assert_eq!(h.wait_reclaim().unwrap(), Some(vec![5u8; 32]));
+        assert_eq!(f.read_at(8, 32).unwrap(), vec![5u8; 32]);
+    }
+
+    #[test]
+    fn exhausted_budget_reports_and_returns_buffer() {
+        let f = SharedFile::create(tmp("exhaust")).unwrap();
+        let policy = IoPolicy {
+            max_retries: 1,
+            base_backoff: Duration::from_micros(10),
+            op_timeout: Duration::from_secs(5),
+        };
+        let hint = FaultHint { fail_attempts: u32::MAX, delay: Duration::ZERO };
+        let h = iwrite_policy(&f, 0, vec![7u8; 16], policy, Some(hint));
+        let (buf, err) = h.wait_parts();
+        // the buffer comes back for a direct-write fallback
+        assert_eq!(buf, Some(vec![7u8; 16]));
+        match err {
+            Some(IoError::Exhausted { attempts, .. }) => assert_eq!(attempts, 2),
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+        // nothing durable
+        assert_eq!(f.len().unwrap(), 0);
+    }
+
+    #[test]
+    fn stalled_wait_times_out() {
+        let f = SharedFile::create(tmp("stall")).unwrap();
+        let policy = IoPolicy {
+            max_retries: 0,
+            base_backoff: Duration::ZERO,
+            op_timeout: Duration::from_millis(5),
+        };
+        let hint = FaultHint { fail_attempts: 0, delay: Duration::from_millis(200) };
+        let h = iwrite_policy(&f, 0, vec![1u8; 4], policy, Some(hint));
+        let (buf, err) = h.wait_parts_timeout(Some(policy.op_timeout));
+        assert_eq!(buf, None, "worker still owns the buffer");
+        assert!(matches!(err, Some(IoError::Timeout { .. })), "got {err:?}");
+        // the slow write still lands eventually (drop joins the worker)
+        drop(f);
+        let f = SharedFile::open(tmp("stall")).unwrap();
+        assert_eq!(f.read_at(0, 4).unwrap(), vec![1u8; 4]);
     }
 
     #[cfg(feature = "trace")]
@@ -363,7 +566,7 @@ mod tests {
         scope.set_round(3);
         let f = SharedFile::create(tmp("traced")).unwrap();
         let h = f.iwrite_at_traced(96, vec![7u8; 64], Some(scope.stamp()));
-        h.wait();
+        h.wait().unwrap();
         // the worker records the flush *before* signalling, so the event
         // is visible as soon as wait() returns
         let t = tracer.drain();

@@ -44,6 +44,7 @@
 //! ("loom-lite") for the pipeline's ordering invariants.
 
 pub mod comm;
+pub mod fault;
 pub mod file;
 pub mod p2p;
 pub mod perturb;
@@ -52,10 +53,23 @@ pub mod runtime;
 pub mod sync;
 
 pub use comm::Comm;
+pub use fault::{FaultHint, FaultPlan, FaultSpec, IoError, IoPolicy};
 pub use file::{IoHandle, SharedFile};
 pub use perturb::Perturber;
 pub use rma::Window;
 pub use runtime::Runtime;
+
+/// Lock a mutex, recovering from poisoning.
+///
+/// A poisoned lock means another rank's thread panicked while holding
+/// it. The state protected by these mutexes is plain data with no
+/// partial invariants held across a panic point (slot vectors, channel
+/// ends, notification flags), so the guard is recovered instead of
+/// cascading the abort into every other rank — the panicking rank
+/// already takes the run down through the runtime's join.
+pub(crate) fn lock_ok<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Rank index within a communicator (0-based, dense).
 pub type Rank = usize;

@@ -57,16 +57,14 @@ impl Mailboxes {
     }
 
     fn pair(&self, src: Rank, dst: Rank) -> Arc<Pair> {
-        let mut m = self.pairs.lock().unwrap();
+        let mut m = crate::lock_ok(&self.pairs);
         Arc::clone(m.entry((src, dst)).or_insert_with(|| Arc::new(Pair::new())))
     }
 
     /// Send `bytes` from `src` to `dst` with `tag` (never blocks).
     pub fn send(&self, src: Rank, dst: Rank, tag: Tag, bytes: Vec<u8>) {
-        self.pair(src, dst)
-            .tx
-            .lock()
-            .unwrap()
+        let pair = self.pair(src, dst);
+        crate::lock_ok(&pair.tx)
             .send((tag, bytes))
             .expect("receiver side of a mailbox never drops while the world lives");
     }
@@ -76,17 +74,17 @@ impl Mailboxes {
     pub fn try_recv(&self, src: Rank, dst: Rank, tag: Tag) -> Option<Vec<u8>> {
         let pair = self.pair(src, dst);
         {
-            let mut stash = pair.stash.lock().unwrap();
+            let mut stash = crate::lock_ok(&pair.stash);
             if let Some(pos) = stash.iter().position(|(t, _)| *t == tag) {
                 return Some(stash.remove(pos).expect("position valid").1);
             }
         }
-        let rx = pair.rx.lock().unwrap();
+        let rx = crate::lock_ok(&pair.rx);
         while let Ok((t, bytes)) = rx.try_recv() {
             if t == tag {
                 return Some(bytes);
             }
-            pair.stash.lock().unwrap().push_back((t, bytes));
+            crate::lock_ok(&pair.stash).push_back((t, bytes));
         }
         None
     }
@@ -101,12 +99,12 @@ impl Mailboxes {
         let pair = self.pair(src, dst);
         // Check earlier unmatched messages first (preserves order per tag).
         {
-            let mut stash = pair.stash.lock().unwrap();
+            let mut stash = crate::lock_ok(&pair.stash);
             if let Some(pos) = stash.iter().position(|(t, _)| *t == tag) {
                 return stash.remove(pos).expect("position valid").1;
             }
         }
-        let rx = pair.rx.lock().unwrap();
+        let rx = crate::lock_ok(&pair.rx);
         loop {
             let msg = match self.timeout {
                 None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
@@ -117,7 +115,7 @@ impl Mailboxes {
                     if t == tag {
                         return bytes;
                     }
-                    pair.stash.lock().unwrap().push_back((t, bytes));
+                    crate::lock_ok(&pair.stash).push_back((t, bytes));
                 }
                 Err(RecvTimeoutError::Timeout) => {
                     let who = std::thread::current();

@@ -67,7 +67,7 @@ impl Barrier {
     /// Panics with a deadlock diagnosis if the barrier's watchdog
     /// timeout elapses before all parties arrive.
     pub fn wait(&self) -> u64 {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let gen = st.generation;
         st.arrived += 1;
         if st.arrived == self.n {
@@ -78,7 +78,7 @@ impl Barrier {
             let deadline = self.timeout.map(|t| Instant::now() + t);
             while st.generation == gen {
                 match deadline {
-                    None => st = self.cv.wait(st).unwrap(),
+                    None => st = self.cv.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner),
                     Some(d) => {
                         let now = Instant::now();
                         if now >= d {
@@ -93,7 +93,7 @@ impl Barrier {
                                 gen,
                             );
                         }
-                        let (g, _timed_out) = self.cv.wait_timeout(st, d - now).unwrap();
+                        let (g, _timed_out) = self.cv.wait_timeout(st, d - now).unwrap_or_else(std::sync::PoisonError::into_inner);
                         st = g;
                     }
                 }

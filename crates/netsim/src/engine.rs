@@ -249,6 +249,20 @@ impl Simulator {
         self.caps.len() - 1
     }
 
+    /// Scale every *existing* link capacity by `factor` — the
+    /// fault-injection hook for modelling a degraded fabric (e.g. a
+    /// `LinkDegrade` spec). Call before installing storage models so
+    /// their virtual service stations keep their nominal rates.
+    ///
+    /// # Panics
+    /// Panics unless `0 < factor <= 1`.
+    pub fn scale_capacities(&mut self, factor: f64) {
+        assert!(factor > 0.0 && factor <= 1.0, "degrade factor must be in (0, 1]");
+        for c in &mut self.caps {
+            *c *= factor;
+        }
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.time

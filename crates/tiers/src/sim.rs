@@ -63,7 +63,7 @@ pub fn run_tiered_sim(
     cfg: &TapiocaConfig,
     tiered: &TieredConfig,
 ) -> TieredReport {
-    cfg.validate();
+    cfg.validate().expect("invalid TAPIOCA config");
     tiered.validate();
     assert_eq!(spec.mode, AccessMode::Write, "tiered staging is a write-path extension");
     let machine = &profile.machine;

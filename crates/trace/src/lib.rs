@@ -49,6 +49,19 @@ pub enum TraceOp {
     Fence,
     /// Aggregator election result (`peer` = elected global rank).
     Elect,
+    /// An aggregator failed (`peer` = crashed global rank, `round` =
+    /// crash round).
+    Crash,
+    /// A standby aggregator took over after a crash (`peer` = new
+    /// aggregator's global rank). Opens a new fence epoch: the checker
+    /// counts RMA-epoch enclosure relative to the re-election point.
+    Reelect,
+    /// A flush attempt failed and was retried (`offset` = file offset of
+    /// the retried segment, `bytes` = its length).
+    Retry,
+    /// The partition fell back to direct per-rank writes (`round` =
+    /// first directly-written round).
+    Degrade,
 }
 
 /// One recorded event.
@@ -218,6 +231,8 @@ impl Trace {
                 }
                 TraceOp::Fence => fences += 1,
                 TraceOp::Elect => {}
+                // Fault/recovery events are not data movement.
+                TraceOp::Crash | TraceOp::Reelect | TraceOp::Retry | TraceOp::Degrade => {}
             }
         }
         TraceSummary {
@@ -301,6 +316,10 @@ impl Trace {
                     r.flush_segments += 1;
                 }
                 TraceOp::Fence => {}
+                // Recovery events are executor-specific timing artifacts;
+                // structural equivalence is only asserted for fault-free
+                // runs, where none occur.
+                TraceOp::Crash | TraceOp::Reelect | TraceOp::Retry | TraceOp::Degrade => {}
             }
         }
         StructuralTrace {
@@ -328,6 +347,10 @@ impl Trace {
                 TraceOp::Flush => "flush",
                 TraceOp::Fence => "fence",
                 TraceOp::Elect => "elect",
+                TraceOp::Crash => "crash",
+                TraceOp::Reelect => "reelect",
+                TraceOp::Retry => "retry",
+                TraceOp::Degrade => "degrade",
             };
             write!(
                 w,
@@ -479,6 +502,66 @@ impl TraceScope {
         );
     }
 
+    /// Record an aggregator failure (`crashed_global` = the failed
+    /// aggregator's global rank) at the current round.
+    pub fn crash(&self, crashed_global: Rank) {
+        self.tracer.record_now(
+            self.rank,
+            self.partition,
+            self.round.get(),
+            Phase::Sync,
+            TraceOp::Crash,
+            0,
+            crashed_global,
+            NO_OFFSET,
+        );
+    }
+
+    /// Record a standby re-election (`winner_global` = the new
+    /// aggregator). Every member records this on its own lane: the
+    /// checker resets that lane's fence-epoch base at this point.
+    pub fn reelect(&self, winner_global: Rank) {
+        self.tracer.record_now(
+            self.rank,
+            self.partition,
+            self.round.get(),
+            Phase::Sync,
+            TraceOp::Reelect,
+            0,
+            winner_global,
+            NO_OFFSET,
+        );
+    }
+
+    /// Record one retried flush attempt of the segment at file `offset`.
+    pub fn retry(&self, offset: u64, bytes: u64) {
+        self.tracer.record_now(
+            self.rank,
+            self.partition,
+            self.round.get(),
+            Phase::Io,
+            TraceOp::Retry,
+            bytes,
+            NO_PEER,
+            offset,
+        );
+    }
+
+    /// Record the fall-back to direct per-rank writes at the current
+    /// round.
+    pub fn degrade(&self, bytes: u64) {
+        self.tracer.record_now(
+            self.rank,
+            self.partition,
+            self.round.get(),
+            Phase::Io,
+            TraceOp::Degrade,
+            bytes,
+            NO_PEER,
+            NO_OFFSET,
+        );
+    }
+
     /// Snapshot for handing to another thread (e.g. the I/O worker) so a
     /// flush can be recorded at its true completion time.
     pub fn stamp(&self) -> TraceStamp {
@@ -530,8 +613,8 @@ mod tests {
     fn ev(t: u64, rank: Rank, part: u32, round: u32, op: TraceOp, bytes: u64, peer: Rank) -> TraceEvent {
         let phase = match op {
             TraceOp::RmaPut | TraceOp::Elect => Phase::Aggregation,
-            TraceOp::Flush => Phase::Io,
-            TraceOp::Fence => Phase::Sync,
+            TraceOp::Flush | TraceOp::Retry | TraceOp::Degrade => Phase::Io,
+            TraceOp::Fence | TraceOp::Crash | TraceOp::Reelect => Phase::Sync,
         };
         TraceEvent { t_ns: t, rank, partition: part, round, phase, op, bytes, peer, offset: NO_OFFSET }
     }
@@ -662,6 +745,35 @@ mod tests {
         assert!(lines[1].contains("\"op\":\"flush\""));
         assert!(!lines[1].contains("peer"), "NO_PEER omits the field");
         assert!(!lines[1].contains("offset"), "NO_OFFSET omits the field");
+    }
+
+    #[test]
+    fn recovery_events_record_and_serialize() {
+        let tr = Tracer::new(4);
+        let scope = TraceScope::new(Arc::clone(&tr), 1, 0, vec![0, 1, 2]);
+        scope.set_round(2);
+        scope.crash(2);
+        scope.reelect(0);
+        scope.retry(4096, 128);
+        scope.degrade(256);
+        let t = tr.drain();
+        assert_eq!(t.len(), 4);
+        let ops: Vec<TraceOp> = t.events().iter().map(|e| e.op).collect();
+        assert!(ops.contains(&TraceOp::Crash));
+        assert!(ops.contains(&TraceOp::Reelect));
+        let retry = t.events().iter().find(|e| e.op == TraceOp::Retry).unwrap();
+        assert_eq!((retry.offset, retry.bytes, retry.round), (4096, 128, 2));
+        // recovery events are not data movement and do not disturb the
+        // structural projection
+        let s = t.summary();
+        assert_eq!((s.puts, s.flushes, s.io_bytes), (0, 0, 0));
+        assert!(t.structural().partitions[0].rounds.is_empty());
+        let mut buf = Vec::new();
+        t.write_jsonl(&mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        for needle in ["\"crash\"", "\"reelect\"", "\"retry\"", "\"degrade\""] {
+            assert!(s.contains(needle), "missing {needle} in {s}");
+        }
     }
 
     #[test]

@@ -43,9 +43,9 @@ fn run_tapioca(w: &HaccIo, path: &std::path::Path) {
         let file = SharedFile::open_shared(&comm, path);
         let rank = comm.rank() as u64;
         let decls = w.decls_of_rank(rank);
-        let mut io = Tapioca::init(&comm, file, decls.clone(), cfg.clone());
+        let mut io = Tapioca::init(&comm, file, decls.clone(), cfg.clone()).unwrap();
         for (v, d) in decls.iter().enumerate() {
-            io.write(d.offset, &w.payload(rank, v));
+            io.write(d.offset, &w.payload(rank, v)).unwrap();
         }
         io.finalize();
     });
@@ -59,7 +59,7 @@ fn run_baseline(w: &HaccIo, path: &std::path::Path) {
         let rank = comm.rank() as u64;
         // plain MPI I/O: one collective call per declared variable
         for (v, d) in w.decls_of_rank(rank).iter().enumerate() {
-            collective_write(&comm, &file, d.offset, &w.payload(rank, v), &cfg);
+            collective_write(&comm, &file, d.offset, &w.payload(rank, v), &cfg).unwrap();
         }
     });
 }

@@ -43,7 +43,8 @@ fn main() {
             num_aggregators: 4,
             buffer_size: 4096,
             ..Default::default()
-        });
+        })
+        .unwrap();
         let st = schedule_stats(io.schedule());
         // fill each run with its cells' values
         let ncols = 96u64;
@@ -54,7 +55,7 @@ fn main() {
             for c in 0..d.len / 8 {
                 bytes.extend_from_slice(&cell(row, col0 + c).to_le_bytes());
             }
-            io.write(d.offset, &bytes);
+            io.write(d.offset, &bytes).unwrap();
         }
         io.finalize();
         st

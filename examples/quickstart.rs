@@ -33,15 +33,15 @@ fn main() {
 
         // 1. Declare the upcoming write (TAPIOCA_Init).
         let decls = vec![WriteDecl { offset: rank * BYTES_PER_RANK, len: BYTES_PER_RANK }];
-        let mut io = Tapioca::init(&comm, file, decls, cfg.clone());
+        let mut io = Tapioca::init(&comm, file, decls, cfg.clone()).unwrap();
 
         // 2. Issue it (TAPIOCA_Write). The last declared write triggers
         //    the collective aggregation pipeline.
         let payload: Vec<u8> = (0..BYTES_PER_RANK).map(|i| (rank * 37 + i) as u8).collect();
-        io.write(rank * BYTES_PER_RANK, &payload);
+        io.write(rank * BYTES_PER_RANK, &payload).unwrap();
 
         // 3. Read everything back through the two-phase read.
-        let back = io.read_declared();
+        let back = io.read_declared().unwrap();
         assert_eq!(back[0], payload, "rank {rank}: read-back mismatch");
         io.finalize();
     });

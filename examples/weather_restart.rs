@@ -55,16 +55,16 @@ fn main() {
         let file = SharedFile::open_shared(&comm, &path);
         let rank = comm.rank() as u64;
         let decls = field_decls(rank, RANKS as u64, bytes_per_field);
-        let mut io = Tapioca::init(&comm, file, decls.clone(), cfg.clone());
+        let mut io = Tapioca::init(&comm, file, decls.clone(), cfg.clone()).unwrap();
         for (f, d) in decls.iter().enumerate() {
             // a recognisable synthetic field: value = f(field, rank, cell)
             let data: Vec<u8> = (0..d.len)
                 .map(|i| (f as u64 * 101 + rank * 13 + i / 8) as u8)
                 .collect();
-            io.write(d.offset, &data);
+            io.write(d.offset, &data).unwrap();
         }
         // restart: read the checkpoint back and verify
-        let restored = io.read_declared();
+        let restored = io.read_declared().unwrap();
         for (f, (d, r)) in decls.iter().zip(&restored).enumerate() {
             assert_eq!(r.len() as u64, d.len);
             assert!(r.iter().enumerate().all(|(i, &b)| {
@@ -96,11 +96,12 @@ fn main() {
         buffer_size: 16 * MIB,
         ..Default::default()
     };
-    let t = run_tapioca_sim(&profile, &storage, &spec, &sim_cfg);
+    let t = run_tapioca_sim(&profile, &storage, &spec, &sim_cfg).unwrap();
     let b = run_mpiio_sim(&profile, &storage, &spec, &MpiIoConfig {
         cb_aggregators: 192,
         cb_buffer_size: 16 * MIB,
-    });
+    })
+    .unwrap();
     let gib = (1u64 << 30) as f64;
     println!(
         "  checkpoint volume: {:.1} GiB",

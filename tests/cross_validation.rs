@@ -38,9 +38,10 @@ fn tapioca_and_baseline_write_identical_files() {
             num_aggregators: 3,
             buffer_size: 2048,
             ..Default::default()
-        });
+        })
+        .unwrap();
         for (v, d) in decls.iter().enumerate() {
-            io.write(d.offset, &wl.payload(r, v));
+            io.write(d.offset, &wl.payload(r, v)).unwrap();
         }
         io.finalize();
     });
@@ -50,7 +51,7 @@ fn tapioca_and_baseline_write_identical_files() {
         let r = comm.rank() as u64;
         let cfg = MpiIoConfig { cb_aggregators: 3, cb_buffer_size: 2048 };
         for (v, d) in wl.decls_of_rank(r).iter().enumerate() {
-            collective_write(&comm, &file, d.offset, &wl.payload(r, v), &cfg);
+            collective_write(&comm, &file, d.offset, &wl.payload(r, v), &cfg).unwrap();
         }
     });
 
@@ -82,10 +83,11 @@ fn schedules_agree_between_modes() {
             num_aggregators: 4,
             buffer_size: 1024,
             ..Default::default()
-        });
+        })
+        .unwrap();
         let sched = io.schedule().clone();
         for (v, d) in decls.iter().enumerate() {
-            io.write(d.offset, &wl.payload(r, v));
+            io.write(d.offset, &wl.payload(r, v)).unwrap();
         }
         io.finalize();
         sched
@@ -115,8 +117,8 @@ fn simulation_is_deterministic() {
     let storage = StorageConfig::Lustre(LustreTunables::theta_optimized());
     let spec = theta_spec(256, MIB);
     let cfg = TapiocaConfig { num_aggregators: 16, buffer_size: 8 * MIB, ..Default::default() };
-    let a = run_tapioca_sim(&profile, &storage, &spec, &cfg);
-    let b = run_tapioca_sim(&profile, &storage, &spec, &cfg);
+    let a = run_tapioca_sim(&profile, &storage, &spec, &cfg).unwrap();
+    let b = run_tapioca_sim(&profile, &storage, &spec, &cfg).unwrap();
     assert_eq!(a.elapsed, b.elapsed);
     assert_eq!(a.bandwidth, b.bandwidth);
     assert_eq!(a.op_finish, b.op_finish);
@@ -140,7 +142,7 @@ fn simulated_bandwidth_respects_physical_ceilings() {
         mode: AccessMode::Write,
     };
     let cfg = TapiocaConfig { num_aggregators: 16, buffer_size: 16 * MIB, ..Default::default() };
-    let rep = run_tapioca_sim(&profile, &storage, &spec, &cfg);
+    let rep = run_tapioca_sim(&profile, &storage, &spec, &cfg).unwrap();
     let gib = (1u64 << 30) as f64;
     assert!(rep.bandwidth <= 3.6 * gib * 1.001, "exceeds bridge-link physics");
     assert!(rep.bandwidth > 0.1 * gib, "implausibly slow");
@@ -154,8 +156,8 @@ fn more_data_takes_longer() {
     let profile = theta_profile(32, 4);
     let storage = StorageConfig::Lustre(LustreTunables::theta_optimized());
     let cfg = TapiocaConfig { num_aggregators: 8, buffer_size: 8 * MIB, ..Default::default() };
-    let small = run_tapioca_sim(&profile, &storage, &theta_spec(128, MIB), &cfg);
-    let large = run_tapioca_sim(&profile, &storage, &theta_spec(128, 4 * MIB), &cfg);
+    let small = run_tapioca_sim(&profile, &storage, &theta_spec(128, MIB), &cfg).unwrap();
+    let large = run_tapioca_sim(&profile, &storage, &theta_spec(128, 4 * MIB), &cfg).unwrap();
     assert!(large.elapsed > small.elapsed);
     assert_eq!(large.bytes, 4.0 * small.bytes);
 }
@@ -173,11 +175,13 @@ fn baseline_sim_never_beats_tapioca_on_multivar() {
         num_aggregators: 8,
         buffer_size: 16 * MIB,
         ..Default::default()
-    });
+    })
+    .unwrap();
     let b = run_mpiio_sim(&profile, &storage, &spec, &MpiIoConfig {
         cb_aggregators: 8,
         cb_buffer_size: 16 * MIB,
-    });
+    })
+    .unwrap();
     assert!(t.bandwidth >= b.bandwidth);
     // and both moved every byte
     assert_eq!(t.bytes, w.total_bytes() as f64);

@@ -1,0 +1,365 @@
+//! Fault-injection & recovery: seeded matrix over crash round and retry
+//! budget, on both executors.
+//!
+//! The contract under test (see `DESIGN.md`, "Fault model & recovery"):
+//! a within-budget [`FaultPlan`] must leave the written file
+//! byte-identical to the fault-free run, recovery traces must satisfy
+//! every checker invariant, and an exhausted retry budget must degrade
+//! to direct per-rank writes — still byte-identical, never deadlocked —
+//! surfacing as [`WriteOutcome::Degraded`], not a panic.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use tapioca::aggregation::IoStats;
+use tapioca::api::{Tapioca, WriteOutcome};
+use tapioca::config::TapiocaConfig;
+use tapioca::schedule::WriteDecl;
+use tapioca::sim_exec::{run_tapioca_sim, CollectiveSpec, GroupSpec, SimReport, StorageConfig};
+use tapioca::{FaultPlan, FaultSpec, IoPolicy};
+use tapioca_check::{check, ViolationKind};
+use tapioca_mpi::{Runtime, SharedFile};
+use tapioca_pfs::{AccessMode, LustreTunables};
+use tapioca_topology::theta_profile;
+use tapioca_trace::{Trace, TraceOp, Tracer};
+
+/// 8 ranks x 256 B contiguous blocks, 2 aggregators, 256 B buffers:
+/// two 4-member partitions with 4 rounds each — enough structure for
+/// crashes with standbys and multi-round replay on both executors.
+const NRANKS: usize = 8;
+const PER_RANK: u64 = 256;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("tapioca-fault-recovery");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}-{}", std::process::id()))
+}
+
+fn base_cfg() -> TapiocaConfig {
+    TapiocaConfig { num_aggregators: 2, buffer_size: 256, ..Default::default() }
+}
+
+/// A fast retry policy so backoffs do not dominate test wall-clock.
+fn fast_policy(max_retries: u32) -> IoPolicy {
+    IoPolicy {
+        max_retries,
+        base_backoff: Duration::from_micros(1),
+        op_timeout: Duration::from_secs(30),
+    }
+}
+
+fn decls_for(rank: usize) -> Vec<WriteDecl> {
+    vec![WriteDecl { offset: rank as u64 * PER_RANK, len: PER_RANK }]
+}
+
+fn payload_for(rank: usize) -> Vec<u8> {
+    (0..PER_RANK).map(|i| (rank as u64 * 37 + i * 3) as u8).collect()
+}
+
+/// Run the thread executor over the standard workload; return the file
+/// bytes plus every rank's (outcome, stats).
+fn run_thread(name: &str, cfg: &TapiocaConfig) -> (Vec<u8>, Vec<(WriteOutcome, IoStats)>) {
+    let path = tmp(name);
+    let results = Arc::new(Mutex::new(Vec::new()));
+    let cfg = cfg.clone();
+    let path2 = path.clone();
+    let results2 = Arc::clone(&results);
+    Runtime::run(NRANKS, move |comm| {
+        let file = SharedFile::open_shared(&comm, &path2);
+        let r = comm.rank();
+        let mut io = Tapioca::init(&comm, file, decls_for(r), cfg.clone()).unwrap();
+        let outcome = io.write(r as u64 * PER_RANK, &payload_for(r)).unwrap();
+        let stats = *io.stats().expect("pipeline ran");
+        io.finalize();
+        results2.lock().unwrap().push((outcome, stats));
+    });
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    (bytes, Arc::try_unwrap(results).unwrap().into_inner().unwrap())
+}
+
+/// The fault-free reference bytes every faulty run must reproduce.
+fn fault_free_bytes() -> Vec<u8> {
+    let mut expect = vec![0u8; NRANKS * PER_RANK as usize];
+    for r in 0..NRANKS {
+        let o = r * PER_RANK as usize;
+        expect[o..o + PER_RANK as usize].copy_from_slice(&payload_for(r));
+    }
+    expect
+}
+
+/// Run the simulator over the standard workload and return its report.
+fn run_sim(cfg: &TapiocaConfig) -> SimReport {
+    run_sim_sized(cfg, PER_RANK)
+}
+
+/// Like [`run_sim`] but with `per` bytes per rank (link-degrade effects
+/// only show on bandwidth-bound transfers, not 256 B latency-bound
+/// ones).
+fn run_sim_sized(cfg: &TapiocaConfig, per: u64) -> SimReport {
+    let profile = theta_profile(4, 2);
+    let spec = CollectiveSpec {
+        groups: vec![GroupSpec {
+            file: 0,
+            ranks: (0..NRANKS).collect(),
+            decls: (0..NRANKS)
+                .map(|r| vec![WriteDecl { offset: r as u64 * per, len: per }])
+                .collect(),
+        }],
+        mode: AccessMode::Write,
+    };
+    let storage = StorageConfig::Lustre(LustreTunables::theta_optimized());
+    run_tapioca_sim(&profile, &storage, &spec, cfg).unwrap()
+}
+
+/// Thread-mode trace of the standard workload under `cfg`.
+fn thread_trace(name: &str, cfg: &TapiocaConfig) -> Trace {
+    let tracer = Tracer::new(NRANKS);
+    let cfg = TapiocaConfig { tracer: Some(Arc::clone(&tracer)), ..cfg.clone() };
+    let (bytes, _) = run_thread(name, &cfg);
+    assert_eq!(bytes, fault_free_bytes(), "{name}: file corrupted");
+    tracer.drain()
+}
+
+#[test]
+fn crash_recovery_is_byte_identical_across_rounds() {
+    // Matrix axis 1: the crash round. Every within-budget recovery must
+    // reproduce the fault-free file exactly, with one re-election.
+    let expect = fault_free_bytes();
+    for crash_round in 0..3u32 {
+        let cfg = TapiocaConfig {
+            faults: Some(
+                FaultPlan::seeded(11)
+                    .with(FaultSpec::AggregatorCrash { partition: 0, round: crash_round }),
+            ),
+            ..base_cfg()
+        };
+        let (bytes, results) = run_thread(&format!("crash-r{crash_round}"), &cfg);
+        assert_eq!(bytes, expect, "crash at round {crash_round} corrupted the file");
+        let total: IoStats = results.iter().fold(IoStats::default(), |mut acc, (o, s)| {
+            assert_eq!(*o, WriteOutcome::Flushed, "recovery must not degrade");
+            acc.merge(s);
+            acc
+        });
+        assert_eq!(total.reelections, 1, "crash at round {crash_round}");
+        assert_eq!(total.degraded, 0);
+        assert!(total.faults_injected >= 1);
+    }
+}
+
+#[test]
+fn transient_faults_within_budget_retry_to_identical_bytes() {
+    // Matrix axis 2: the retry budget. Flaky flushes that stay within
+    // budget must retry to success with no behavioural difference.
+    let expect = fault_free_bytes();
+    for (probability, budget) in [(0.3, 8u32), (0.6, 24u32)] {
+        let cfg = TapiocaConfig {
+            faults: Some(
+                FaultPlan::seeded(7).with(FaultSpec::TransientFlushError { probability }),
+            ),
+            io_policy: fast_policy(budget),
+            ..base_cfg()
+        };
+        let name = format!("flaky-{budget}");
+        let (bytes, results) = run_thread(&name, &cfg);
+        assert_eq!(bytes, expect, "{name}: flaky flushes corrupted the file");
+        let total: IoStats = results.iter().fold(IoStats::default(), |mut acc, (o, s)| {
+            assert_eq!(*o, WriteOutcome::Flushed);
+            acc.merge(s);
+            acc
+        });
+        assert!(total.retries > 0, "{name}: seeded plan injected no retries");
+        assert_eq!(total.retries, total.faults_injected);
+    }
+}
+
+#[test]
+fn crash_and_flaky_compose() {
+    // Both fault kinds in one plan, crash in each partition.
+    let cfg = TapiocaConfig {
+        faults: Some(
+            FaultPlan::seeded(3)
+                .with(FaultSpec::AggregatorCrash { partition: 0, round: 1 })
+                .with(FaultSpec::AggregatorCrash { partition: 1, round: 2 })
+                .with(FaultSpec::TransientFlushError { probability: 0.4 }),
+        ),
+        io_policy: fast_policy(16),
+        ..base_cfg()
+    };
+    let (bytes, results) = run_thread("compose", &cfg);
+    assert_eq!(bytes, fault_free_bytes());
+    let total: IoStats = results.iter().fold(IoStats::default(), |mut acc, (_, s)| {
+        acc.merge(s);
+        acc
+    });
+    assert_eq!(total.reelections, 2);
+}
+
+#[test]
+fn exhausted_budget_degrades_without_deadlock() {
+    // A stalled round exhausts any budget: the affected partition must
+    // fall back to direct writes (Degraded outcome), the others stay
+    // Flushed, and the file is still byte-identical. Completing at all
+    // is the no-deadlock assertion.
+    let cfg = TapiocaConfig {
+        faults: Some(FaultPlan::seeded(5).with(FaultSpec::FlushStall { partition: 0, round: 1 })),
+        io_policy: fast_policy(2),
+        ..base_cfg()
+    };
+    let (bytes, results) = run_thread("degrade", &cfg);
+    assert_eq!(bytes, fault_free_bytes(), "degraded fallback corrupted the file");
+    let degraded = results.iter().filter(|(o, _)| *o == WriteOutcome::Degraded).count();
+    let flushed = results.iter().filter(|(o, _)| *o == WriteOutcome::Flushed).count();
+    assert_eq!(degraded, 4, "every member of the stalled partition degrades");
+    assert_eq!(flushed, 4, "the healthy partition is unaffected");
+}
+
+#[test]
+fn recovery_thread_trace_passes_the_checker() {
+    // Crash + flaky flushes: the recorded trace must satisfy every
+    // protocol invariant, including the recovery-epoch and
+    // retry-resolution rules the checker learned for this subsystem.
+    let cfg = TapiocaConfig {
+        faults: Some(
+            FaultPlan::seeded(13)
+                .with(FaultSpec::AggregatorCrash { partition: 0, round: 1 })
+                .with(FaultSpec::TransientFlushError { probability: 0.4 }),
+        ),
+        io_policy: fast_policy(16),
+        ..base_cfg()
+    };
+    let trace = thread_trace("trace-clean", &cfg);
+    let ops: Vec<TraceOp> = trace.events().iter().map(|e| e.op).collect();
+    assert!(ops.contains(&TraceOp::Crash), "trace records the crash");
+    assert!(ops.contains(&TraceOp::Reelect), "trace records the re-election");
+    assert!(ops.contains(&TraceOp::Retry), "trace records worker retries");
+    let v = check(&trace);
+    assert!(v.is_empty(), "recovery trace has violations: {v:?}");
+}
+
+#[test]
+fn degraded_thread_trace_passes_the_checker() {
+    let cfg = TapiocaConfig {
+        faults: Some(FaultPlan::seeded(5).with(FaultSpec::FlushStall { partition: 1, round: 0 })),
+        io_policy: fast_policy(2),
+        ..base_cfg()
+    };
+    let trace = thread_trace("trace-degrade", &cfg);
+    assert!(trace.events().iter().any(|e| e.op == TraceOp::Degrade));
+    let v = check(&trace);
+    assert!(v.is_empty(), "degraded trace has violations: {v:?}");
+}
+
+#[test]
+fn tampered_recovery_trace_is_caught() {
+    // Negative control: relabel one replayed put to a later round and
+    // the recovery-epoch rule must object.
+    let cfg = TapiocaConfig {
+        faults: Some(
+            FaultPlan::seeded(13).with(FaultSpec::AggregatorCrash { partition: 0, round: 1 }),
+        ),
+        ..base_cfg()
+    };
+    let trace = thread_trace("trace-tamper", &cfg);
+    let mut events = trace.events().to_vec();
+    let reelect = events
+        .iter()
+        .position(|e| e.op == TraceOp::Reelect)
+        .expect("recovery trace has a re-election");
+    let put = events[reelect..]
+        .iter()
+        .position(|e| e.op == TraceOp::RmaPut && e.rank == events[reelect].rank)
+        .map(|i| i + reelect)
+        .expect("a replayed put follows the re-election");
+    events[put].round += 1;
+    let v = check(&Trace::from_events(events));
+    assert!(
+        v.iter().any(|v| v.kind == ViolationKind::PutOutsideEpoch),
+        "tampered replay went undetected: {v:?}"
+    );
+}
+
+#[test]
+fn sim_crash_recovery_is_counted_and_trace_clean() {
+    let tracer = Tracer::new(NRANKS);
+    let cfg = TapiocaConfig {
+        faults: Some(
+            FaultPlan::seeded(11).with(FaultSpec::AggregatorCrash { partition: 0, round: 1 }),
+        ),
+        tracer: Some(Arc::clone(&tracer)),
+        ..base_cfg()
+    };
+    let report = run_sim(&cfg);
+    assert_eq!(report.reelections, 1);
+    assert!(report.faults_injected >= 1);
+    assert_eq!(report.degraded, 0);
+    let trace = tracer.drain();
+    let ops: Vec<TraceOp> = trace.events().iter().map(|e| e.op).collect();
+    assert!(ops.contains(&TraceOp::Crash) && ops.contains(&TraceOp::Reelect));
+    let v = check(&trace);
+    assert!(v.is_empty(), "sim recovery trace has violations: {v:?}");
+}
+
+#[test]
+fn sim_and_thread_agree_on_injected_retries() {
+    // The fault schedule is a pure function of (seed, partition, round,
+    // segment), so both executors must charge the identical number of
+    // within-budget retries for the same plan and workload.
+    let cfg = TapiocaConfig {
+        faults: Some(FaultPlan::seeded(7).with(FaultSpec::TransientFlushError { probability: 0.5 })),
+        io_policy: fast_policy(16),
+        ..base_cfg()
+    };
+    let (_, results) = run_thread("parity", &cfg);
+    let thread_retries: u64 = results.iter().map(|(_, s)| s.retries).sum();
+    let report = run_sim(&cfg);
+    assert!(thread_retries > 0, "seeded plan injected no retries");
+    assert_eq!(report.retries, thread_retries, "executors disagree on recovery cost");
+}
+
+#[test]
+fn sim_degrade_and_slowdown_are_measurable() {
+    // A stalled round degrades the partition in simulation too, and a
+    // fabric-wide link degrade slows the clean run down.
+    let stall = TapiocaConfig {
+        faults: Some(FaultPlan::seeded(5).with(FaultSpec::FlushStall { partition: 0, round: 1 })),
+        io_policy: fast_policy(2),
+        ..base_cfg()
+    };
+    assert_eq!(run_sim(&stall).degraded, 1);
+
+    let big = TapiocaConfig { buffer_size: 1 << 20, ..base_cfg() };
+    let clean = run_sim_sized(&big, 4 << 20);
+    let degraded_net = TapiocaConfig {
+        faults: Some(FaultPlan::seeded(5).with(FaultSpec::LinkDegrade { factor: 0.25 })),
+        ..big.clone()
+    };
+    let slow = run_sim_sized(&degraded_net, 4 << 20);
+    assert!(
+        slow.elapsed > clean.elapsed,
+        "link degrade must cost time: {} vs {}",
+        slow.elapsed,
+        clean.elapsed
+    );
+}
+
+#[test]
+fn single_member_partitions_ignore_crash_plans() {
+    // A crash without a standby is meaningless; the plan is ignored
+    // rather than deadlocking or panicking (documented in fault.rs).
+    let cfg = TapiocaConfig {
+        num_aggregators: NRANKS, // one member per partition
+        buffer_size: 256,
+        faults: Some(
+            FaultPlan::seeded(1).with(FaultSpec::AggregatorCrash { partition: 0, round: 0 }),
+        ),
+        ..Default::default()
+    };
+    let (bytes, results) = run_thread("solo", &cfg);
+    assert_eq!(bytes, fault_free_bytes());
+    let total: IoStats = results.iter().fold(IoStats::default(), |mut acc, (_, s)| {
+        acc.merge(s);
+        acc
+    });
+    assert_eq!(total.reelections, 0, "no standby, no re-election");
+}

@@ -40,9 +40,10 @@ fn thread_trace(
         let file = SharedFile::open_shared(&comm, &path2);
         let mine = decls[comm.rank()].clone();
         let mut io =
-            Tapioca::init_with_topology(&comm, file, mine.clone(), cfg.clone(), machine.clone());
+            Tapioca::init_with_topology(&comm, file, mine.clone(), cfg.clone(), machine.clone())
+                .unwrap();
         for d in &mine {
-            io.write(d.offset, &vec![0x5Au8; d.len as usize]);
+            io.write(d.offset, &vec![0x5Au8; d.len as usize]).unwrap();
         }
         io.finalize();
     };
@@ -62,7 +63,7 @@ fn sim_trace(profile: &MachineProfile, decls: &[Vec<WriteDecl>], cfg: &TapiocaCo
         mode: AccessMode::Write,
     };
     let storage = StorageConfig::Lustre(LustreTunables::theta_optimized());
-    run_tapioca_sim(profile, &storage, &spec, &cfg);
+    run_tapioca_sim(profile, &storage, &spec, &cfg).unwrap();
     tracer.drain()
 }
 

@@ -31,8 +31,8 @@ fn roundtrip_dense(name: &str, ranks: usize, per: u64, aggr: usize, buf: u64, pi
             strategy: PlacementStrategy::TopologyAware,
             ..Default::default()
         };
-        let mut io = Tapioca::init(&comm, file, decls, cfg);
-        io.write(r * per, &expected_range(seed, r * per, per as usize));
+        let mut io = Tapioca::init(&comm, file, decls, cfg).unwrap();
+        io.write(r * per, &expected_range(seed, r * per, per as usize)).unwrap();
         io.finalize();
     });
     let bytes = std::fs::read(&path).unwrap();
@@ -86,9 +86,10 @@ fn hacc_both_layouts_through_tapioca() {
                 num_aggregators: 3,
                 buffer_size: 4096,
                 ..Default::default()
-            });
+            })
+            .unwrap();
             for (v, d) in decls.iter().enumerate() {
-                io.write(d.offset, &wl.payload(r, v));
+                io.write(d.offset, &wl.payload(r, v)).unwrap();
             }
             io.finalize();
         });
@@ -122,8 +123,9 @@ fn io_stats_match_the_schedule() {
             num_aggregators: 3,
             buffer_size: 512,
             ..Default::default()
-        });
-        io.write(r * per, &expected_range(5, r * per, per as usize));
+        })
+        .unwrap();
+        io.write(r * per, &expected_range(5, r * per, per as usize)).unwrap();
         let s = *io.stats().expect("flushed");
         io.finalize();
         s
@@ -153,10 +155,11 @@ fn write_then_two_phase_read_roundtrip() {
             num_aggregators: 4,
             buffer_size: 333,
             ..Default::default()
-        });
+        })
+        .unwrap();
         let payload = expected_range(7, r * per, per as usize);
-        io.write(r * per, &payload);
-        let back = io.read_declared();
+        io.write(r * per, &payload).unwrap();
+        let back = io.read_declared().unwrap();
         assert_eq!(back[0], payload);
         io.finalize();
     });
@@ -178,8 +181,9 @@ fn repeated_operations_on_one_communicator() {
                 num_aggregators: 2 + epoch,
                 buffer_size: 128,
                 ..Default::default()
-            });
-            io.write(r * per, &expected_range(epoch as u64, r * per, per as usize));
+            })
+            .unwrap();
+            io.write(r * per, &expected_range(epoch as u64, r * per, per as usize)).unwrap();
             io.finalize();
         }
     });
@@ -230,8 +234,10 @@ mod props {
                     buffer_size: buf,
                     pipelining,
                     ..Default::default()
-                });
-                io.write(offsets2[r], &expected_range(99, offsets2[r], sizes2[r] as usize));
+                })
+                .unwrap();
+                io.write(offsets2[r], &expected_range(99, offsets2[r], sizes2[r] as usize))
+                    .unwrap();
                 io.finalize();
             });
             let bytes = std::fs::read(&path).unwrap();

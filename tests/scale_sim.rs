@@ -49,13 +49,15 @@ fn fig8_mechanism_striping_dominates() {
         &StorageConfig::Lustre(LustreTunables::theta_optimized()),
         &spec,
         &cb,
-    );
+    )
+    .unwrap();
     let dflt = run_mpiio_sim(
         &profile,
         &StorageConfig::Lustre(LustreTunables::theta_default()),
         &spec,
         &cb,
-    );
+    )
+    .unwrap();
     assert!(tuned.bandwidth > 5.0 * dflt.bandwidth, "striping gain must be large");
 }
 
@@ -64,8 +66,10 @@ fn fig8_mechanism_reads_beat_writes_when_tuned() {
     let profile = theta_profile(64, 4);
     let storage = StorageConfig::Lustre(LustreTunables::theta_optimized());
     let cb = MpiIoConfig { cb_aggregators: 16, cb_buffer_size: 8 * MIB };
-    let w = run_mpiio_sim(&profile, &storage, &ior_theta_spec(256, MIB, AccessMode::Write), &cb);
-    let r = run_mpiio_sim(&profile, &storage, &ior_theta_spec(256, MIB, AccessMode::Read), &cb);
+    let w = run_mpiio_sim(&profile, &storage, &ior_theta_spec(256, MIB, AccessMode::Write), &cb)
+        .unwrap();
+    let r = run_mpiio_sim(&profile, &storage, &ior_theta_spec(256, MIB, AccessMode::Read), &cb)
+        .unwrap();
     assert!(r.bandwidth > w.bandwidth);
 }
 
@@ -76,10 +80,12 @@ fn fig7_mechanism_lock_mode_hits_writes_not_reads() {
     let mut spec_r = spec_w.clone();
     spec_r.mode = AccessMode::Read;
     let cb = MpiIoConfig { cb_aggregators: 16, cb_buffer_size: 16 * MIB };
-    let w_opt = run_mpiio_sim(&profile, &StorageConfig::Gpfs(GpfsTunables::mira_optimized()), &spec_w, &cb);
-    let w_dft = run_mpiio_sim(&profile, &StorageConfig::Gpfs(GpfsTunables::mira_default()), &spec_w, &cb);
-    let r_opt = run_mpiio_sim(&profile, &StorageConfig::Gpfs(GpfsTunables::mira_optimized()), &spec_r, &cb);
-    let r_dft = run_mpiio_sim(&profile, &StorageConfig::Gpfs(GpfsTunables::mira_default()), &spec_r, &cb);
+    let opt = StorageConfig::Gpfs(GpfsTunables::mira_optimized());
+    let dft = StorageConfig::Gpfs(GpfsTunables::mira_default());
+    let w_opt = run_mpiio_sim(&profile, &opt, &spec_w, &cb).unwrap();
+    let w_dft = run_mpiio_sim(&profile, &dft, &spec_w, &cb).unwrap();
+    let r_opt = run_mpiio_sim(&profile, &opt, &spec_r, &cb).unwrap();
+    let r_dft = run_mpiio_sim(&profile, &dft, &spec_r, &cb).unwrap();
     assert!(w_opt.bandwidth / w_dft.bandwidth > 1.8, "write tuning gain");
     let read_gain = r_opt.bandwidth / r_dft.bandwidth;
     assert!((0.9..1.4).contains(&read_gain), "reads nearly unaffected, got {read_gain}");
@@ -96,6 +102,7 @@ fn table1_mechanism_one_to_one_is_local_peak() {
             buffer_size: buffer,
             ..Default::default()
         })
+        .unwrap()
         .bandwidth
     };
     let half = bw(4 * MIB);
@@ -119,11 +126,13 @@ fn fig11_mechanism_multivar_gap_exceeds_single_var_gap() {
             num_aggregators: 16,
             buffer_size: 4 * MIB,
             ..Default::default()
-        });
+        })
+        .unwrap();
         let b = run_mpiio_sim(&profile, &storage, &spec, &MpiIoConfig {
             cb_aggregators: 16,
             cb_buffer_size: 4 * MIB,
-        });
+        })
+        .unwrap();
         t.bandwidth / b.bandwidth
     };
     let soa = ratio(Layout::StructOfArrays);
@@ -145,6 +154,7 @@ fn placement_strategies_ordering_under_cost_model() {
             strategy,
             ..Default::default()
         })
+        .unwrap()
         .elapsed
     };
     let ta = run(PlacementStrategy::TopologyAware);
@@ -160,8 +170,8 @@ fn subfiling_groups_run_concurrently() {
     let one = mira_pset_spec(128, 4, MIB); // note: 128-node machine spec below
     let profile_one = mira_profile(128, 4);
     let cfg = TapiocaConfig { num_aggregators: 8, buffer_size: 8 * MIB, ..Default::default() };
-    let t1 = run_tapioca_sim(&profile_one, &storage, &one, &cfg).elapsed;
+    let t1 = run_tapioca_sim(&profile_one, &storage, &one, &cfg).unwrap().elapsed;
     let two = mira_pset_spec(256, 4, MIB);
-    let t2 = run_tapioca_sim(&profile, &storage, &two, &cfg).elapsed;
+    let t2 = run_tapioca_sim(&profile, &storage, &two, &cfg).unwrap().elapsed;
     assert!(t2 < 1.5 * t1, "two Psets in parallel ({t2:.3}s) vs one ({t1:.3}s)");
 }

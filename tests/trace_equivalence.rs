@@ -56,7 +56,7 @@ fn sim_structural(
         mode: AccessMode::Write,
     };
     let storage = StorageConfig::Lustre(LustreTunables::theta_optimized());
-    run_tapioca_sim(profile, &storage, &spec, &cfg);
+    run_tapioca_sim(profile, &storage, &spec, &cfg).unwrap();
     tracer.drain().structural()
 }
 
@@ -80,9 +80,10 @@ fn thread_structural(
         let r = comm.rank();
         let mine = decls[r].clone();
         let mut io =
-            Tapioca::init_with_topology(&comm, file, mine.clone(), cfg.clone(), machine.clone());
+            Tapioca::init_with_topology(&comm, file, mine.clone(), cfg.clone(), machine.clone())
+                .unwrap();
         for d in &mine {
-            io.write(d.offset, &vec![0xA5u8; d.len as usize]);
+            io.write(d.offset, &vec![0xA5u8; d.len as usize]).unwrap();
         }
         io.finalize();
     });
@@ -177,9 +178,10 @@ fn thread_trace_has_sync_events_the_structure_ignores() {
         let r = comm.rank();
         let mine = decls[r].clone();
         let mut io =
-            Tapioca::init_with_topology(&comm, file, mine.clone(), tcfg.clone(), machine.clone());
+            Tapioca::init_with_topology(&comm, file, mine.clone(), tcfg.clone(), machine.clone())
+                .unwrap();
         for d in &mine {
-            io.write(d.offset, &vec![0u8; d.len as usize]);
+            io.write(d.offset, &vec![0u8; d.len as usize]).unwrap();
         }
         io.finalize();
     });
