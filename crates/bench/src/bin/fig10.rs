@@ -18,9 +18,14 @@ use tapioca_topology::{theta_profile, MIB};
 use tapioca_workloads::ior::fig9_10_sizes;
 
 fn main() {
-    let nodes = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // `fig10 [NODES] [--autotune]` — with --autotune the TAPIOCA series
+    // uses the cost-model-guided search per message size instead of the
+    // paper's fixed hand-tuning.
+    let autotune = args.iter().any(|a| a == "--autotune");
+    let nodes = args
+        .iter()
+        .find_map(|s| s.parse().ok())
         .unwrap_or(512);
     let profile = theta_profile(nodes, RANKS_PER_NODE);
     let storage = StorageConfig::Lustre(LustreTunables::theta_optimized()); // 48 OSTs, 8 MB stripes
@@ -35,7 +40,20 @@ fn main() {
     for &bytes in &fig9_10_sizes() {
         let x = mib(bytes);
         let spec = ior_theta(nodes, RANKS_PER_NODE, bytes, AccessMode::Write);
-        let t = measure_tapioca(&profile, &storage, &spec, &tapioca_cfg);
+        let cfg = if autotune {
+            let outcome = tapioca::autotune::autotune(&profile, &storage, &spec)
+                .expect("autotune failed");
+            eprintln!(
+                "  [{x:.2} MiB] tuned: {} aggregators, {} MiB buffers ({})",
+                outcome.best.num_aggregators,
+                outcome.best.buffer_size / MIB,
+                outcome.report,
+            );
+            outcome.best
+        } else {
+            tapioca_cfg.clone()
+        };
+        let t = measure_tapioca(&profile, &storage, &spec, &cfg);
         points.push(Point { series: "TAPIOCA".into(), x_mib: x, gib_s: t.bandwidth_gib() });
         let b = measure_mpiio(&profile, &storage, &spec, &mpiio_cfg);
         points.push(Point { series: "MPI I/O".into(), x_mib: x, gib_s: b.bandwidth_gib() });

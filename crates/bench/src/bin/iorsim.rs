@@ -17,6 +17,8 @@
 //!   --stripe-size BYTES      Lustre stripe size        [8388608]
 //!   --placement topo|rank|io|random|worst   election   [topo]
 //!   --no-pipeline            disable double buffering
+//!   --autotune               cost-model-guided config search (tapioca only);
+//!                            overrides --aggregators/--buffer/--placement/--no-pipeline
 //!   --faults PLAN            fault plan, e.g. seed=7,crash=0@1,flaky=0.2
 //!   --trace-out PATH         write the event trace as JSONL (tapioca only)
 //! ```
@@ -45,6 +47,7 @@ struct Args {
     stripe_size: u64,
     placement: String,
     pipeline: bool,
+    autotune: bool,
     faults: Option<tapioca::FaultPlan>,
     trace_out: Option<std::path::PathBuf>,
 }
@@ -64,6 +67,7 @@ fn parse() -> Args {
         stripe_size: 8 * MIB,
         placement: "topo".into(),
         pipeline: true,
+        autotune: false,
         faults: None,
         trace_out: None,
     };
@@ -88,6 +92,7 @@ fn parse() -> Args {
             "--stripe-size" => a.stripe_size = next(&mut i).parse().expect("stripe-size"),
             "--placement" => a.placement = next(&mut i),
             "--no-pipeline" => a.pipeline = false,
+            "--autotune" => a.autotune = true,
             "--faults" => {
                 let spec = next(&mut i);
                 a.faults =
@@ -171,16 +176,33 @@ fn main() {
         (None, _) => None,
     };
 
+    let mut tapioca_cfg = TapiocaConfig {
+        num_aggregators: aggregators,
+        buffer_size: a.buffer,
+        pipelining: a.pipeline,
+        strategy,
+        tracer: tracer.clone(),
+        faults: a.faults.clone(),
+        ..Default::default()
+    };
+    if a.autotune {
+        assert_eq!(a.method, "tapioca", "--autotune only supported with --method tapioca");
+        let outcome = tapioca::autotune::autotune_from(&profile, &storage, &spec, &tapioca_cfg)
+            .expect("autotune failed");
+        println!(
+            "autotune     : {} aggregators, {} MiB buffers, {:?}, pipeline {}, tier {} ({})",
+            outcome.best.num_aggregators,
+            outcome.best.buffer_size / MIB,
+            outcome.best.strategy,
+            outcome.best.pipelining,
+            outcome.tier.name(),
+            outcome.report,
+        );
+        tapioca_cfg = outcome.best;
+    }
+
     let report = match a.method.as_str() {
-        "tapioca" => measure_tapioca(&profile, &storage, &spec, &TapiocaConfig {
-            num_aggregators: aggregators,
-            buffer_size: a.buffer,
-            pipelining: a.pipeline,
-            strategy,
-            tracer: tracer.clone(),
-            faults: a.faults.clone(),
-            ..Default::default()
-        }),
+        "tapioca" => measure_tapioca(&profile, &storage, &spec, &tapioca_cfg),
         "mpiio" => measure_mpiio(&profile, &storage, &spec, &MpiIoConfig {
             cb_aggregators: aggregators,
             cb_buffer_size: a.buffer,
@@ -192,8 +214,13 @@ fn main() {
     println!("machine      : {}", profile.name);
     println!("ranks        : {} ({} nodes x {} ranks)", a.nodes * a.rpn, a.nodes, a.rpn);
     println!("workload     : {} {} of {} bytes/rank", a.layout, a.mode, a.size);
-    println!("method       : {} ({aggregators} aggregators, {} MiB buffers, pipeline {})",
-        a.method, a.buffer / MIB, a.pipeline);
+    let (shown_aggr, shown_buf, shown_pipe) = if a.method == "tapioca" {
+        (tapioca_cfg.num_aggregators, tapioca_cfg.buffer_size, tapioca_cfg.pipelining)
+    } else {
+        (aggregators, a.buffer, a.pipeline)
+    };
+    println!("method       : {} ({shown_aggr} aggregators, {} MiB buffers, pipeline {shown_pipe})",
+        a.method, shown_buf / MIB);
     if a.machine != "mira" {
         println!("lustre       : {} OSTs, {} MiB stripes", a.stripes, a.stripe_size / MIB);
     }

@@ -1,0 +1,116 @@
+//! Memoized simulator evaluations for the tuner.
+//!
+//! The contract: two candidates with equal [`Candidate::sim_key`] hashes
+//! differ only in model-only dimensions (the tier assignment), so
+//! `run_tapioca_sim` produces bit-identical reports for them — the
+//! second evaluation may be served from the cache. Keys cover every
+//! simulator-visible dimension (aggregators, buffer, strategy,
+//! pipelining); the cache must not be reused across different
+//! `(profile, storage, spec)` triples.
+//!
+//! [`Candidate::sim_key`]: crate::autotune::model::Candidate::sim_key
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::error::Result;
+
+/// Thread-safe memo table of `config hash -> simulated bandwidth`.
+#[derive(Debug, Default)]
+pub struct SimCache {
+    map: Mutex<HashMap<u64, f64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SimCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Return the memoized bandwidth for `key`, or run `eval` and store
+    /// its result. `eval` runs outside the lock, so parallel evaluations
+    /// of *distinct* keys never serialize on each other; callers are
+    /// expected to dedup keys before fanning out (the search does), so
+    /// no two threads evaluate the same key.
+    ///
+    /// # Errors
+    /// Propagates `eval`'s error without caching anything.
+    pub fn eval(&self, key: u64, eval: impl FnOnce() -> Result<f64>) -> Result<f64> {
+        if let Some(&bw) = self.map.lock().expect("sim cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(bw);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let bw = eval()?;
+        self.map.lock().expect("sim cache poisoned").insert(key, bw);
+        Ok(bw)
+    }
+
+    /// Evaluations served from memory.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Evaluations that ran the simulator.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct configurations stored.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("sim cache poisoned").len()
+    }
+
+    /// True when nothing has been evaluated yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_eval_of_a_key_is_served_from_memory() {
+        let cache = SimCache::new();
+        let mut calls = 0;
+        for _ in 0..3 {
+            let v = cache
+                .eval(42, || {
+                    calls += 1;
+                    Ok(7.5)
+                })
+                .unwrap();
+            assert_eq!(v, 7.5);
+        }
+        assert_eq!(calls, 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache = SimCache::new();
+        let err = cache.eval(1, || {
+            Err(crate::TapiocaError::InvalidConfig("boom".into()))
+        });
+        assert!(err.is_err());
+        assert!(cache.is_empty());
+        assert_eq!(cache.eval(1, || Ok(1.0)).unwrap(), 1.0);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let cache = SimCache::new();
+        cache.eval(1, || Ok(1.0)).unwrap();
+        cache.eval(2, || Ok(2.0)).unwrap();
+        assert_eq!(cache.eval(1, || unreachable!()).unwrap(), 1.0);
+        assert_eq!(cache.eval(2, || unreachable!()).unwrap(), 2.0);
+    }
+}

@@ -1,12 +1,35 @@
-//! Aggregator-count and buffer-size selection.
+//! Cost-model-guided configuration autotuning.
 //!
 //! The paper notes that "the number of aggregators or the buffer size
 //! needed in collective I/O remains still an open topic" (its ref. 19)
 //! and reports hand-tuned values per experiment (16-32 per Pset on
-//! Mira, 48-384 on Theta, buffer = stripe). This module encodes those
-//! tuning rules as a heuristic, plus an empirical search that sweeps
-//! candidate counts through the simulator — the offline auto-tuning a
-//! production deployment would ship.
+//! Mira, 48-384 on Theta, buffer = stripe). This subsystem turns that
+//! open topic into an offline procedure over the declared workload —
+//! exactly what `TAPIOCA_Init`'s information makes possible:
+//!
+//! * [`rule_based`] — the paper's own hand-tuning, generalized, as the
+//!   seed and the regression anchor;
+//! * [`model`] — an analytic cost model ω(A) reproducing the paper's
+//!   latency/bandwidth aggregation formula over cached topology
+//!   distances, cheap enough to score an entire configuration grid;
+//! * [`search`] — a coarse-to-fine search over aggregator count ×
+//!   buffer size × placement strategy × pipelining × tier assignment
+//!   that prunes with ω and confirms only a short-list in the
+//!   simulator, in parallel, memoized through [`cache`];
+//! * [`report`] — work accounting (the ≥4× fewer-sims acceptance
+//!   metric);
+//! * [`empirical_sweep`] — the original 1-D aggregator sweep, kept as a
+//!   baseline.
+
+pub mod cache;
+pub mod model;
+pub mod report;
+pub mod search;
+
+pub use cache::SimCache;
+pub use model::{Candidate, CostModel, TierAssignment};
+pub use report::TuneReport;
+pub use search::{autotune, autotune_from, SearchSpace, TuneOutcome};
 
 use tapioca_topology::{MachineProfile, StorageProfile};
 
@@ -24,7 +47,9 @@ use crate::sim_exec::{run_tapioca_sim, CollectiveSpec, StorageConfig};
 ///   Pset group.
 ///
 /// `group_ranks` is the number of ranks writing one file (a Pset's worth
-/// under subfiling).
+/// under subfiling). With multiple groups, pass the **smallest** group's
+/// size — every group elects the same number of aggregators, so the
+/// count must be valid for all of them.
 ///
 /// # Errors
 /// [`TapiocaError::InvalidConfig`] when the storage config kind does not
@@ -51,6 +76,14 @@ pub fn rule_based(
     }
 }
 
+/// The aggregator-count cap a spec imposes: the smallest group's rank
+/// count. (Every group elects `num_aggregators` aggregators from its own
+/// members, so a count valid for the first group only is a bug — the
+/// cap must hold for *all* groups.)
+fn min_group_ranks(spec: &CollectiveSpec) -> usize {
+    spec.groups.iter().map(|g| g.ranks.len()).min().unwrap_or(1).max(1)
+}
+
 /// Result of an empirical sweep.
 #[derive(Debug, Clone)]
 pub struct TuneResult {
@@ -63,8 +96,9 @@ pub struct TuneResult {
 /// Empirical tuning: sweep aggregator counts around the rule-based
 /// guess (x1/4 .. x4) through the simulator and keep the fastest.
 ///
-/// This is an *offline* procedure over the declared workload — exactly
-/// what `TAPIOCA_Init`'s information makes possible.
+/// The ladder is capped by the **smallest** file group in the spec, so
+/// every candidate is electable in every group. For the full
+/// multi-dimensional, model-pruned search see [`search::autotune`].
 ///
 /// # Errors
 /// Propagates [`TapiocaError`] from [`rule_based`] and the simulator.
@@ -73,7 +107,7 @@ pub fn empirical_sweep(
     storage: &StorageConfig,
     spec: &CollectiveSpec,
 ) -> Result<TuneResult> {
-    let group_ranks = spec.groups.first().map(|g| g.ranks.len()).unwrap_or(1);
+    let group_ranks = min_group_ranks(spec);
     let seed = rule_based(profile, storage, group_ranks)?;
     let base = seed.num_aggregators.max(4);
     let mut counts: Vec<usize> = [base / 4, base / 2, base, base * 2, base * 4]
@@ -81,6 +115,9 @@ pub fn empirical_sweep(
         .filter(|&a| a >= 1 && a <= group_ranks)
         .collect();
     counts.dedup();
+    if counts.is_empty() {
+        counts.push(group_ranks);
+    }
 
     let mut candidates = Vec::new();
     for a in counts {
@@ -104,6 +141,15 @@ mod tests {
     use crate::sim_exec::GroupSpec;
     use tapioca_pfs::{AccessMode, GpfsTunables, LustreTunables};
     use tapioca_topology::{mira_profile, theta_profile, MIB};
+
+    fn group(file: usize, ranks: std::ops::Range<usize>, per: u64) -> GroupSpec {
+        let n = ranks.len() as u64;
+        GroupSpec {
+            file,
+            ranks: ranks.collect(),
+            decls: (0..n).map(|r| vec![WriteDecl { offset: r * per, len: per }]).collect(),
+        }
+    }
 
     #[test]
     fn rule_based_matches_paper_tuning() {
@@ -140,16 +186,8 @@ mod tests {
     fn empirical_sweep_never_picks_a_loser() {
         let profile = theta_profile(64, 4);
         let storage = StorageConfig::Lustre(LustreTunables::theta_optimized());
-        let n = 256;
-        let per = MIB;
         let spec = CollectiveSpec {
-            groups: vec![GroupSpec {
-                file: 0,
-                ranks: (0..n).collect(),
-                decls: (0..n as u64)
-                    .map(|r| vec![WriteDecl { offset: r * per, len: per }])
-                    .collect(),
-            }],
+            groups: vec![group(0, 0..256, MIB)],
             mode: AccessMode::Write,
         };
         let result = empirical_sweep(&profile, &storage, &spec).unwrap();
@@ -163,6 +201,45 @@ mod tests {
             assert!(best_bw >= *bw, "{:?} beats the chosen config", cfg.num_aggregators);
         }
         assert!(result.candidates.len() >= 3);
+    }
+
+    /// Regression for the first-group-only bug: with two groups of
+    /// unequal size, every swept candidate must be electable in the
+    /// *smaller* group too — under the old `groups.first()` derivation a
+    /// large leading group let the ladder exceed the trailing group's
+    /// rank count and the sweep either failed or tuned garbage.
+    #[test]
+    fn empirical_sweep_caps_at_the_smallest_group() {
+        let profile = theta_profile(64, 4);
+        let storage = StorageConfig::Lustre(LustreTunables::theta_optimized());
+        let spec = CollectiveSpec {
+            groups: vec![group(0, 0..240, MIB), group(1, 240..246, MIB)],
+            mode: AccessMode::Write,
+        };
+        let result = empirical_sweep(&profile, &storage, &spec).unwrap();
+        for (cfg, _) in &result.candidates {
+            assert!(
+                cfg.num_aggregators <= 6,
+                "candidate {} exceeds the 6-rank trailing group",
+                cfg.num_aggregators
+            );
+        }
+        assert!(result.best.num_aggregators <= 6);
+    }
+
+    /// `group_ranks = 1` boundary: the ladder collapses but the sweep
+    /// still returns a (single) valid candidate.
+    #[test]
+    fn empirical_sweep_single_rank_group() {
+        let profile = theta_profile(4, 1);
+        let storage = StorageConfig::Lustre(LustreTunables::theta_optimized());
+        let spec = CollectiveSpec {
+            groups: vec![group(0, 0..1, MIB)],
+            mode: AccessMode::Write,
+        };
+        let result = empirical_sweep(&profile, &storage, &spec).unwrap();
+        assert_eq!(result.best.num_aggregators, 1);
+        assert!(!result.candidates.is_empty());
     }
 
     #[test]

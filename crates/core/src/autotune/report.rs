@@ -1,0 +1,73 @@
+//! Tuning-run accounting: how much work the search did, and how much
+//! the cost model saved over an exhaustive grid.
+
+/// Counters of one [`crate::autotune::autotune`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TuneReport {
+    /// Size of the exhaustive search grid the coarse stage enumerated.
+    pub grid_size: usize,
+    /// ω evaluations in the coarse stage (= `grid_size`).
+    pub model_evals: usize,
+    /// Additional ω evaluations in the refinement stage.
+    pub refine_evals: usize,
+    /// Short-list size handed to the simulator (after sim-key dedup,
+    /// including the rule-based anchor).
+    pub shortlist: usize,
+    /// Full simulations actually run (cache misses).
+    pub sims_run: u64,
+    /// Simulator evaluations served from the memo cache.
+    pub cache_hits: u64,
+}
+
+impl TuneReport {
+    /// How many times fewer simulations the guided search ran than an
+    /// exhaustive sweep of the grid would have (the acceptance metric of
+    /// the tuning subsystem: ≥ 4 on every shipped workload).
+    pub fn sim_savings(&self) -> f64 {
+        self.grid_size as f64 / self.sims_run.max(1) as f64
+    }
+}
+
+impl std::fmt::Display for TuneReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "grid {} | model evals {} (+{} refine) | shortlist {} | sims {} ({} cached) | {:.1}x fewer sims than exhaustive",
+            self.grid_size,
+            self.model_evals,
+            self.refine_evals,
+            self.shortlist,
+            self.sims_run,
+            self.cache_hits,
+            self.sim_savings()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn savings_ratio_is_grid_over_sims() {
+        let r = TuneReport { grid_size: 120, sims_run: 10, ..Default::default() };
+        assert_eq!(r.sim_savings(), 12.0);
+        // No sims at all must not divide by zero.
+        let r0 = TuneReport { grid_size: 8, sims_run: 0, ..Default::default() };
+        assert_eq!(r0.sim_savings(), 8.0);
+    }
+
+    #[test]
+    fn display_mentions_the_headline_numbers() {
+        let r = TuneReport {
+            grid_size: 240,
+            model_evals: 240,
+            refine_evals: 6,
+            shortlist: 9,
+            sims_run: 9,
+            cache_hits: 3,
+        };
+        let s = r.to_string();
+        assert!(s.contains("grid 240") && s.contains("sims 9"));
+    }
+}

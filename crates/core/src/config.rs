@@ -175,6 +175,25 @@ impl ConfigBuilder {
         self
     }
 
+    /// Replace the tunable dimensions (aggregators, buffer, strategy,
+    /// pipelining) with the result of the cost-model-guided search over
+    /// the declared workload, keeping the builder's other fields
+    /// (faults, I/O policy, tracer) intact. See [`crate::autotune`].
+    ///
+    /// # Errors
+    /// Propagates tuner errors (storage/profile mismatch, simulator
+    /// failures).
+    pub fn autotune(
+        mut self,
+        profile: &tapioca_topology::MachineProfile,
+        storage: &crate::sim_exec::StorageConfig,
+        spec: &crate::sim_exec::CollectiveSpec,
+    ) -> Result<Self> {
+        let outcome = crate::autotune::autotune_from(profile, storage, spec, &self.cfg)?;
+        self.cfg = outcome.best;
+        Ok(self)
+    }
+
     /// Validate and produce the config.
     pub fn build(self) -> Result<TapiocaConfig> {
         self.cfg.validate()?;

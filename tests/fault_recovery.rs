@@ -266,9 +266,13 @@ fn tampered_recovery_trace_is_caught() {
         .iter()
         .position(|e| e.op == TraceOp::Reelect)
         .expect("recovery trace has a re-election");
+    // Match by partition, not by rank: whether the *new aggregator
+    // itself* still has a put to replay depends on thread scheduling,
+    // but the crashed round's replayed puts from the partition always
+    // follow the re-election.
     let put = events[reelect..]
         .iter()
-        .position(|e| e.op == TraceOp::RmaPut && e.rank == events[reelect].rank)
+        .position(|e| e.op == TraceOp::RmaPut && e.partition == events[reelect].partition)
         .map(|i| i + reelect)
         .expect("a replayed put follows the re-election");
     events[put].round += 1;
@@ -341,6 +345,56 @@ fn sim_degrade_and_slowdown_are_measurable() {
         slow.elapsed,
         clean.elapsed
     );
+}
+
+#[test]
+fn autotuned_config_composes_with_fault_injection() {
+    // Autotune over the declared workload with a seeded fault plan in
+    // the base config: the tuner must strip the plan while measuring
+    // (clean sims), re-attach it to the winner, and the tuned config
+    // must then ride out the faults like any hand-written one —
+    // byte-identical file, Degraded-or-better outcomes, checker-clean
+    // trace.
+    let profile = theta_profile(4, 2);
+    let storage = StorageConfig::Lustre(LustreTunables::theta_optimized());
+    let spec = CollectiveSpec {
+        groups: vec![GroupSpec {
+            file: 0,
+            ranks: (0..NRANKS).collect(),
+            decls: (0..NRANKS)
+                .map(|r| vec![WriteDecl { offset: r as u64 * PER_RANK, len: PER_RANK }])
+                .collect(),
+        }],
+        mode: AccessMode::Write,
+    };
+    let base = TapiocaConfig {
+        faults: Some(
+            FaultPlan::seeded(13)
+                .with(FaultSpec::AggregatorCrash { partition: 0, round: 0 })
+                .with(FaultSpec::TransientFlushError { probability: 0.4 }),
+        ),
+        io_policy: fast_policy(16),
+        ..Default::default()
+    };
+    let out = tapioca::autotune::autotune_from(&profile, &storage, &spec, &base).unwrap();
+    assert!(out.tuned_bandwidth >= out.rule_bandwidth);
+    assert!(out.best.faults.is_some(), "tuned config must carry the fault plan");
+
+    // Small buffers so the 8x256B workload still has multiple rounds of
+    // structure under the tuned aggregator count.
+    let cfg = TapiocaConfig { buffer_size: 256, ..out.best };
+    let trace = thread_trace("autotune-faults", &cfg);
+    let v = check(&trace);
+    assert!(v.is_empty(), "tuned-config recovery trace has violations: {v:?}");
+
+    let (bytes, results) = run_thread("autotune-faults-outcomes", &cfg);
+    assert_eq!(bytes, fault_free_bytes(), "tuned config corrupted the file under faults");
+    for (outcome, _) in &results {
+        assert!(
+            matches!(outcome, WriteOutcome::Flushed | WriteOutcome::Degraded),
+            "worse than Degraded under a within-budget plan: {outcome:?}"
+        );
+    }
 }
 
 #[test]
