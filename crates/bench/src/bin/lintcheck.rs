@@ -1,0 +1,325 @@
+//! `lintcheck` — custom source lint for the workspace, run in CI.
+//!
+//! Scans library sources under `crates/*/src` (binaries, benches, and
+//! test code are exempt) for:
+//!
+//! * `unwrap` — `.unwrap()` in non-test library code;
+//! * `expect` — `.expect(...)` in non-test library code;
+//! * `panic` — `panic!(...)` in non-test library code;
+//! * `lock-in-loop` — acquiring a `Mutex` inside a loop while another
+//!   lock guard bound outside the loop is still live (lock-ordering /
+//!   contention smell).
+//!
+//! Findings must either be fixed or justified in `lint-allow.txt` at
+//! the workspace root, one entry per line:
+//!
+//! ```text
+//! <rule> <path> -- <justification>
+//! ```
+//!
+//! Exit status is non-zero on any unjustified finding, and on any
+//! stale allowlist entry (so justifications cannot outlive the code
+//! they excuse).
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Finding {
+    rule: &'static str,
+    path: String,
+    line: usize,
+    excerpt: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}:{}  {}", self.rule, self.path, self.line, self.excerpt)
+    }
+}
+
+/// Collect `crates/*/src/**/*.rs`, skipping binary/bench/test sources.
+fn library_sources(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let crates = root.join("crates");
+    let mut stack = vec![crates];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else { continue };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if matches!(name.as_ref(), "bin" | "benches" | "tests" | "examples" | "target")
+                {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs")
+                && name.as_ref() != "tests.rs"
+                && path.to_string_lossy().contains("/src/")
+            {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Strip line comments and string literals so the patterns cannot
+/// match inside either. Heuristic (no raw-string handling), which is
+/// fine for a lint whose misses land in the allowlist with a reason.
+fn sanitize(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_str = false;
+    while let Some(c) = chars.next() {
+        if in_str {
+            match c {
+                '\\' => {
+                    chars.next();
+                }
+                '"' => {
+                    in_str = false;
+                    out.push('"');
+                }
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                out.push('"');
+            }
+            '/' if chars.peek() == Some(&'/') => break,
+            '\'' => {
+                // char literal (or lifetime — a lifetime has no closing
+                // quote within a couple of chars, so probe ahead).
+                let probe: Vec<char> = chars.clone().take(3).collect();
+                if probe.get(1) == Some(&'\'') || (probe.first() == Some(&'\\')) {
+                    chars.next();
+                    if probe.first() == Some(&'\\') {
+                        chars.next();
+                    }
+                    chars.next();
+                    out.push('\'');
+                } else {
+                    out.push('\'');
+                }
+            }
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// A `let`-bound guard acquisition: `let g = x.lock()...`.
+fn binds_guard(s: &str) -> bool {
+    s.contains("let ") && s.contains(".lock(")
+}
+
+fn opens_loop(s: &str) -> bool {
+    let t = s.trim_start();
+    (t.starts_with("for ") || t.starts_with("while ") || t.starts_with("loop")
+        || t.contains(" for ")
+        || t.contains(" while ")
+        || t.contains(" loop "))
+        && s.contains('{')
+}
+
+fn scan_file(root: &Path, path: &Path, findings: &mut Vec<Finding>) {
+    let Ok(src) = std::fs::read_to_string(path) else { return };
+    let rel = path.strip_prefix(root).unwrap_or(path).to_string_lossy().to_string();
+    scan_source(&rel, &src, findings);
+}
+
+fn scan_source(rel: &str, src: &str, findings: &mut Vec<Finding>) {
+    // Guards held at (brace depth) and loops entered at (brace depth),
+    // for the lock-in-loop rule.
+    let mut depth: i64 = 0;
+    let mut guards: Vec<i64> = Vec::new();
+    let mut loops: Vec<i64> = Vec::new();
+    for (i, raw) in src.lines().enumerate() {
+        if raw.trim_start().starts_with("#[cfg(test)]") {
+            break; // repo convention: the test module ends the file
+        }
+        let line = sanitize(raw);
+        let lineno = i + 1;
+        let excerpt = raw.trim().chars().take(90).collect::<String>();
+        for (rule, pat) in
+            [("unwrap", ".unwrap()"), ("expect", ".expect("), ("panic", "panic!(")]
+        {
+            if line.contains(pat) {
+                findings.push(Finding { rule, path: rel.to_string(), line: lineno, excerpt: excerpt.clone() });
+            }
+        }
+        // Lock-ordering smell: a lock acquired inside a loop while a
+        // guard bound outside that loop is still live.
+        let opens = opens_loop(&line);
+        if line.contains(".lock(")
+            && !binds_guard(&line)
+            && !loops.is_empty()
+            && guards.iter().any(|&g| loops.iter().any(|&l| g <= l))
+        {
+            findings.push(Finding {
+                rule: "lock-in-loop",
+                path: rel.to_string(),
+                line: lineno,
+                excerpt: excerpt.clone(),
+            });
+        }
+        if opens {
+            loops.push(depth);
+        }
+        for c in line.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    guards.retain(|&g| g < depth);
+                    loops.retain(|&l| l < depth);
+                }
+                _ => {}
+            }
+        }
+        if binds_guard(&line) {
+            // A `let`-bound acquisition inside a loop while a guard
+            // from outside the loop is live is the same smell.
+            if guards.iter().any(|&g| loops.iter().any(|&l| g <= l)) {
+                findings.push(Finding {
+                    rule: "lock-in-loop",
+                    path: rel.to_string(),
+                    line: lineno,
+                    excerpt,
+                });
+            }
+            guards.push(depth);
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Allow {
+    rule: String,
+    path: String,
+    used: bool,
+}
+
+fn load_allowlist(root: &Path) -> Vec<Allow> {
+    let Ok(text) = std::fs::read_to_string(root.join("lint-allow.txt")) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+        .filter_map(|l| {
+            let body = l.split(" -- ").next().unwrap_or(l);
+            let mut it = body.split_whitespace();
+            let rule = it.next()?.to_string();
+            let path = it.next()?.to_string();
+            Some(Allow { rule, path, used: false })
+        })
+        .collect()
+}
+
+fn main() {
+    let root = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let root = if root.join("crates").is_dir() {
+        root
+    } else {
+        // Allow running from a crate directory.
+        root.ancestors()
+            .find(|a| a.join("crates").is_dir())
+            .map(Path::to_path_buf)
+            .unwrap_or(root)
+    };
+    let mut findings = Vec::new();
+    let sources = library_sources(&root);
+    for path in &sources {
+        scan_file(&root, path, &mut findings);
+    }
+    let mut allows = load_allowlist(&root);
+    let mut bad = 0usize;
+    for f in &findings {
+        let allowed = allows
+            .iter_mut()
+            .find(|a| a.rule == f.rule && f.path == a.path);
+        match allowed {
+            Some(a) => a.used = true,
+            None => {
+                println!("DENY  {f}");
+                bad += 1;
+            }
+        }
+    }
+    for a in &allows {
+        if !a.used {
+            println!("STALE allowlist entry: {} {}", a.rule, a.path);
+            bad += 1;
+        }
+    }
+    println!(
+        "lintcheck: {} files, {} finding(s), {} allowlisted, {} problem(s)",
+        sources.len(),
+        findings.len(),
+        findings.len() - bad.min(findings.len()),
+        bad
+    );
+    if bad > 0 {
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(src: &str) -> Vec<(&'static str, usize)> {
+        let mut findings = Vec::new();
+        scan_source("x.rs", src, &mut findings);
+        findings.into_iter().map(|f| (f.rule, f.line)).collect()
+    }
+
+    #[test]
+    fn flags_unwrap_expect_panic() {
+        let src = "fn f() {\n    x.unwrap();\n    y.expect(\"why\");\n    panic!(\"no\");\n}\n";
+        assert_eq!(rules(src), vec![("unwrap", 2), ("expect", 3), ("panic", 4)]);
+    }
+
+    #[test]
+    fn ignores_comments_and_strings() {
+        let src = "fn f() {\n    // x.unwrap()\n    let s = \"panic!(oops)\";\n}\n";
+        assert!(rules(src).is_empty());
+    }
+
+    #[test]
+    fn stops_at_test_module() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { x.unwrap(); }\n}\n";
+        assert!(rules(src).is_empty());
+    }
+
+    #[test]
+    fn flags_lock_inside_loop_holding_guard() {
+        let src = "fn f() {\n    let a = m.lock();\n    for x in xs {\n        n.lock();\n    }\n}\n";
+        assert_eq!(rules(src), vec![("lock-in-loop", 4)]);
+    }
+
+    #[test]
+    fn flags_bound_lock_inside_loop_holding_guard() {
+        let src = "fn f() {\n    let a = m.lock();\n    for x in xs {\n        let b = n.lock();\n    }\n}\n";
+        assert_eq!(rules(src), vec![("lock-in-loop", 4)]);
+    }
+
+    #[test]
+    fn lock_in_loop_without_outer_guard_is_fine() {
+        let src = "fn f() {\n    for x in xs {\n        let b = n.lock();\n    }\n}\n";
+        assert!(rules(src).is_empty());
+    }
+
+    #[test]
+    fn guard_dropped_before_loop_is_fine() {
+        let src = "fn f() {\n    {\n        let a = m.lock();\n    }\n    for x in xs {\n        n.lock();\n    }\n}\n";
+        assert!(rules(src).is_empty());
+    }
+}

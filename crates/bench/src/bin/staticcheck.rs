@@ -1,0 +1,269 @@
+//! `staticcheck` — prove aggregation schedules safe before running
+//! them, and cross-validate executor traces against the static model.
+//!
+//! ```text
+//! Usage:
+//!   staticcheck --suite           analyze the mira/theta x ior/hacc grid
+//!                                 (plus fault-laden configs) and check
+//!                                 that simulator traces linearize each
+//!                                 static schedule
+//!   staticcheck [OPTS]            analyze one workload
+//!     --machine theta|mira        machine model            [theta]
+//!     --nodes N                   nodes                    [8]
+//!     --rpn R                     ranks per node           [2]
+//!     --workload ior|hacc         decomposition            [ior]
+//!     --ranks N                   writing ranks            [16]
+//!     --bytes B                   bytes per rank (ior)     [4096]
+//!     --aggregators A             aggregator count         [4]
+//!     --buffer B                  buffer bytes             [1024]
+//!     --faults SPEC               fault plan (iorsim syntax)
+//! ```
+//!
+//! Exit status is non-zero if any schedule carries a static violation
+//! or any trace diverges from its static schedule, so the binary
+//! doubles as a CI gate.
+
+use std::sync::Arc;
+
+use tapioca::analyze::{analyze, derive_symbolic, StaticViolation};
+use tapioca::config::TapiocaConfig;
+use tapioca::schedule::WriteDecl;
+use tapioca::sim_exec::{run_tapioca_sim, CollectiveSpec, GroupSpec, StorageConfig};
+use tapioca_check::static_::{conformance_as, Executor};
+use tapioca_mpi::{FaultPlan, FaultSpec};
+use tapioca_pfs::{AccessMode, GpfsTunables, LustreTunables};
+use tapioca_topology::{mira_profile, theta_profile, MachineProfile, TopologyProvider};
+use tapioca_trace::Tracer;
+use tapioca_workloads::hacc::{HaccIo, Layout};
+use tapioca_workloads::ior::IorSpec;
+
+struct Workload {
+    name: String,
+    profile: MachineProfile,
+    storage: StorageConfig,
+    decls: Vec<Vec<WriteDecl>>,
+    cfg: TapiocaConfig,
+}
+
+fn storage_for(profile: &MachineProfile) -> StorageConfig {
+    match profile.storage {
+        tapioca_topology::StorageProfile::Gpfs { .. } => {
+            StorageConfig::Gpfs(GpfsTunables::mira_optimized())
+        }
+        tapioca_topology::StorageProfile::Lustre { .. } => {
+            StorageConfig::Lustre(LustreTunables::theta_optimized())
+        }
+    }
+}
+
+/// The mira/theta x ior/hacc grid, plus fault-laden configs: every
+/// combination the dynamic check suite exercises, proved statically.
+fn suite() -> Vec<Workload> {
+    let mut out = Vec::new();
+    let machines: Vec<(&str, MachineProfile)> =
+        vec![("theta", theta_profile(8, 2)), ("mira", mira_profile(128, 1))];
+    for (mname, profile) in machines {
+        let storage = storage_for(&profile);
+        for (wname, decls) in [
+            ("ior", IorSpec { num_ranks: 16, bytes_per_rank: 4096 }.decls()),
+            (
+                "hacc",
+                HaccIo { num_ranks: 16, particles_per_rank: 100, layout: Layout::StructOfArrays }
+                    .decls(),
+            ),
+        ] {
+            for (aggr, buf) in [(2usize, 512u64), (4, 1024), (4, 2048)] {
+                out.push(Workload {
+                    name: format!("{mname}/{wname}/A{aggr}/B{buf}"),
+                    profile: profile.clone(),
+                    storage,
+                    decls: decls.clone(),
+                    cfg: TapiocaConfig {
+                        num_aggregators: aggr,
+                        buffer_size: buf,
+                        ..Default::default()
+                    },
+                });
+            }
+        }
+    }
+    // Fault-laden configs: the static model must predict the crash,
+    // the retries, and the degrade point.
+    let theta = theta_profile(8, 2);
+    let storage = storage_for(&theta);
+    let ior = IorSpec { num_ranks: 16, bytes_per_rank: 4096 }.decls();
+    for (name, faults) in [
+        (
+            "theta/ior-crash",
+            FaultPlan::seeded(11).with(FaultSpec::AggregatorCrash { partition: 1, round: 1 }),
+        ),
+        (
+            "theta/ior-flaky",
+            FaultPlan::seeded(7).with(FaultSpec::TransientFlushError { probability: 0.4 }),
+        ),
+        (
+            "theta/ior-stall",
+            FaultPlan::seeded(3).with(FaultSpec::FlushStall { partition: 0, round: 1 }),
+        ),
+    ] {
+        out.push(Workload {
+            name: name.into(),
+            profile: theta.clone(),
+            storage,
+            decls: ior.clone(),
+            cfg: TapiocaConfig {
+                num_aggregators: 4,
+                buffer_size: 1024,
+                faults: Some(faults),
+                ..Default::default()
+            },
+        });
+    }
+    out
+}
+
+/// Analyze one workload and (when `conform` is set) run the simulator
+/// and check its trace against the static schedule. Returns the number
+/// of violations found.
+fn run_one(w: &Workload, conform: bool) -> usize {
+    let spec = CollectiveSpec {
+        groups: vec![GroupSpec {
+            file: 0,
+            ranks: (0..w.decls.len()).collect(),
+            decls: w.decls.clone(),
+        }],
+        mode: AccessMode::Write,
+    };
+    let sym = match derive_symbolic(&w.profile, &spec, &w.cfg) {
+        Ok(sym) => sym,
+        Err(e) => {
+            println!("{:<28} DERIVE FAILED: {e}", w.name);
+            return 1;
+        }
+    };
+    let mut violations: Vec<StaticViolation> = analyze(&sym, &w.cfg);
+    let npart: usize = sym.groups.iter().map(|g| g.partitions.len()).sum();
+    let nrounds: usize =
+        sym.groups.iter().flat_map(|g| &g.partitions).map(|p| p.rounds.len()).sum();
+
+    let mut conf_label = String::new();
+    if conform && violations.is_empty() {
+        let tracer = Tracer::new(w.profile.machine.num_ranks());
+        let cfg = TapiocaConfig { tracer: Some(Arc::clone(&tracer)), ..w.cfg.clone() };
+        match run_tapioca_sim(&w.profile, &w.storage, &spec, &cfg) {
+            Ok(_) => {
+                let trace = tracer.drain();
+                let diverging = conformance_as(&sym, &trace, Executor::Sim);
+                conf_label = format!(
+                    " | sim trace {} events {}",
+                    trace.events().len(),
+                    if diverging.is_empty() { "conforms" } else { "DIVERGES" }
+                );
+                violations.extend(diverging);
+            }
+            Err(e) => {
+                println!("{:<28} SIM FAILED: {e}", w.name);
+                return 1;
+            }
+        }
+    }
+    if violations.is_empty() {
+        println!(
+            "{:<28} OK   | {npart} partitions, {nrounds} rounds, {} bytes{conf_label}",
+            w.name,
+            sym.total_bytes()
+        );
+    } else {
+        println!("{:<28} FAIL | {} violation(s){conf_label}", w.name, violations.len());
+        for v in &violations {
+            println!("    {v}");
+        }
+    }
+    violations.len()
+}
+
+fn parse_args(args: &[String]) -> Result<Workload, String> {
+    let mut machine = "theta".to_string();
+    let mut nodes = 8usize;
+    let mut rpn = 2usize;
+    let mut workload = "ior".to_string();
+    let mut ranks = 16usize;
+    let mut bytes = 4096u64;
+    let mut aggregators = 4usize;
+    let mut buffer = 1024u64;
+    let mut faults: Option<FaultPlan> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut val = |name: &str| {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--machine" => machine = val("--machine")?,
+            "--nodes" => nodes = val("--nodes")?.parse().map_err(|e| format!("--nodes: {e}"))?,
+            "--rpn" => rpn = val("--rpn")?.parse().map_err(|e| format!("--rpn: {e}"))?,
+            "--workload" => workload = val("--workload")?,
+            "--ranks" => ranks = val("--ranks")?.parse().map_err(|e| format!("--ranks: {e}"))?,
+            "--bytes" => bytes = val("--bytes")?.parse().map_err(|e| format!("--bytes: {e}"))?,
+            "--aggregators" => {
+                aggregators =
+                    val("--aggregators")?.parse().map_err(|e| format!("--aggregators: {e}"))?;
+            }
+            "--buffer" => {
+                buffer = val("--buffer")?.parse().map_err(|e| format!("--buffer: {e}"))?;
+            }
+            "--faults" => faults = Some(FaultPlan::parse(&val("--faults")?)?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    let profile = match machine.as_str() {
+        "theta" => theta_profile(nodes, rpn),
+        "mira" => mira_profile(nodes, rpn),
+        other => return Err(format!("unknown machine {other}")),
+    };
+    let decls = match workload.as_str() {
+        "ior" => IorSpec { num_ranks: ranks, bytes_per_rank: bytes }.decls(),
+        "hacc" => HaccIo {
+            num_ranks: ranks,
+            particles_per_rank: (bytes / 36).max(1),
+            layout: Layout::StructOfArrays,
+        }
+        .decls(),
+        other => return Err(format!("unknown workload {other}")),
+    };
+    let storage = storage_for(&profile);
+    Ok(Workload {
+        name: format!("{machine}/{workload}/A{aggregators}/B{buffer}"),
+        profile,
+        storage,
+        decls,
+        cfg: TapiocaConfig {
+            num_aggregators: aggregators,
+            buffer_size: buffer,
+            faults,
+            ..Default::default()
+        },
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut total = 0usize;
+    if args.iter().any(|a| a == "--suite") {
+        for w in suite() {
+            total += run_one(&w, true);
+        }
+    } else {
+        match parse_args(&args) {
+            Ok(w) => total += run_one(&w, true),
+            Err(e) => {
+                eprintln!("staticcheck: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if total > 0 {
+        eprintln!("staticcheck: {total} violation(s)");
+        std::process::exit(1);
+    }
+    println!("staticcheck: all schedules prove out");
+}

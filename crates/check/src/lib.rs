@@ -52,6 +52,7 @@
 
 pub mod hb;
 pub mod jsonl;
+pub mod static_;
 
 use std::fmt;
 

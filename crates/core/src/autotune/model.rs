@@ -68,8 +68,8 @@ impl TierAssignment {
         }
     }
 
-    /// MCDRAM capacity bound for the double buffer, bytes.
-    fn buffer_capacity(self) -> u64 {
+    /// Memory capacity bound for the double buffer, bytes.
+    pub fn buffer_capacity(self) -> u64 {
         match self {
             TierAssignment::DramDirect => 192 * GIB,
             TierAssignment::McdramDirect | TierAssignment::McdramBurstBuffer => 16 * GIB,

@@ -6,7 +6,12 @@
 pub struct TuneReport {
     /// Size of the exhaustive search grid the coarse stage enumerated.
     pub grid_size: usize,
-    /// ω evaluations in the coarse stage (= `grid_size`).
+    /// Grid points the static analyzer proved illegal and discarded
+    /// before any model or simulator work (see
+    /// `crate::analyze::screen_candidate`).
+    pub static_pruned: usize,
+    /// ω evaluations in the coarse stage (= `grid_size` minus the
+    /// statically pruned points).
     pub model_evals: usize,
     /// Additional ω evaluations in the refinement stage.
     pub refine_evals: usize,
@@ -32,8 +37,9 @@ impl std::fmt::Display for TuneReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "grid {} | model evals {} (+{} refine) | shortlist {} | sims {} ({} cached) | {:.1}x fewer sims than exhaustive",
+            "grid {} | static pruned {} | model evals {} (+{} refine) | shortlist {} | sims {} ({} cached) | {:.1}x fewer sims than exhaustive",
             self.grid_size,
+            self.static_pruned,
             self.model_evals,
             self.refine_evals,
             self.shortlist,
@@ -61,7 +67,8 @@ mod tests {
     fn display_mentions_the_headline_numbers() {
         let r = TuneReport {
             grid_size: 240,
-            model_evals: 240,
+            static_pruned: 12,
+            model_evals: 228,
             refine_evals: 6,
             shortlist: 9,
             sims_run: 9,

@@ -191,10 +191,19 @@ pub fn autotune_from(
     let model = CostModel::new(profile, storage, spec)?;
     let min_group = spec.groups.iter().map(|g| g.ranks.len()).min().unwrap_or(1).max(1);
 
-    // Stage 1 — coarse: score the whole grid with ω.
+    // Stage 0 — static screen: discard grid points the static analyzer
+    // proves illegal (double buffer over tier capacity) before spending
+    // any model or simulator work on them.
     let grid = space.candidates();
+    let (pruned, legal): (Vec<Candidate>, Vec<Candidate>) = grid
+        .iter()
+        .copied()
+        .partition(|c| crate::analyze::screen_candidate(c).is_some());
+    let static_pruned = pruned.len();
+
+    // Stage 1 — coarse: score the surviving grid with ω.
     let mut scored: Vec<(f64, Candidate)> =
-        grid.iter().map(|c| (model.score(c), *c)).collect();
+        legal.iter().map(|c| (model.score(c), *c)).collect();
     let model_evals = scored.len();
 
     // Stage 2 — refine: densify the aggregator ladder around the coarse
@@ -274,6 +283,7 @@ pub fn autotune_from(
     let best_cand = shortlist[best_i];
     let report = TuneReport {
         grid_size: space.grid_size(),
+        static_pruned,
         model_evals,
         refine_evals,
         shortlist: shortlist.len(),

@@ -95,6 +95,27 @@ impl TapiocaConfig {
         }
         if let Some(plan) = &self.faults {
             plan.validate().map_err(TapiocaError::InvalidConfig)?;
+            // Cross-field bound: a schedule never produces more
+            // partitions than aggregators, so a fault targeting
+            // partition >= num_aggregators can never fire on any
+            // workload run with this config.
+            for spec in &plan.specs {
+                let target = match *spec {
+                    tapioca_mpi::FaultSpec::AggregatorCrash { partition, .. }
+                    | tapioca_mpi::FaultSpec::FlushStall { partition, .. } => Some(partition),
+                    tapioca_mpi::FaultSpec::FlushSlowdown { partition, .. } => partition,
+                    _ => None,
+                };
+                if let Some(p) = target {
+                    if p as usize >= self.num_aggregators {
+                        return Err(TapiocaError::InvalidConfig(format!(
+                            "fault targets partition {p} but only {} aggregators \
+                             (= max partitions) are configured",
+                            self.num_aggregators
+                        )));
+                    }
+                }
+            }
         }
         Ok(())
     }
@@ -191,6 +212,28 @@ impl ConfigBuilder {
     ) -> Result<Self> {
         let outcome = crate::autotune::autotune_from(profile, storage, spec, &self.cfg)?;
         self.cfg = outcome.best;
+        Ok(self)
+    }
+
+    /// Statically analyze the config against a concrete workload:
+    /// derive the symbolic schedule (see [`crate::analyze`]) and run
+    /// the full pass catalogue, erroring on the first violation. This
+    /// rejects unsafe configs (window overflows, unreachable faults,
+    /// tier overflow, fence cycles) before any executor runs.
+    ///
+    /// # Errors
+    /// [`TapiocaError::InvalidConfig`] carrying the rendered
+    /// [`crate::analyze::StaticViolation`] witness.
+    pub fn validate_static(
+        self,
+        profile: &tapioca_topology::MachineProfile,
+        spec: &crate::sim_exec::CollectiveSpec,
+    ) -> Result<Self> {
+        let sym = crate::analyze::derive_symbolic(profile, spec, &self.cfg)?;
+        let violations = crate::analyze::analyze(&sym, &self.cfg);
+        if let Some(v) = violations.first() {
+            return Err(TapiocaError::InvalidConfig(format!("static analysis: {v}")));
+        }
         Ok(self)
     }
 

@@ -53,6 +53,7 @@
 //! ```
 
 pub mod aggregation;
+pub mod analyze;
 pub mod api;
 pub mod autotune;
 pub mod config;

@@ -12,13 +12,13 @@ use tapioca_pfs::{
     AccessMode, FileId, FlushReq, GpfsModel, GpfsTunables, LustreModel, LustreTunables,
     PlannedFlow,
 };
-use tapioca_topology::{MachineProfile, NodeId, Rank, StorageProfile, TopologyProvider};
+use tapioca_topology::{Machine, MachineProfile, NodeId, Rank, StorageProfile, TopologyProvider};
 
 use crate::config::TapiocaConfig;
 use crate::error::{Result, TapiocaError};
 use crate::placement::{elect_partitions, election_cost, PartitionElection};
 use crate::plan::{append_tapioca_plan, ExecutionPlan, OpKind, PlanCrash, TapiocaPlanInput};
-use crate::schedule::{compute_schedule, ScheduleParams, WriteDecl};
+use crate::schedule::{compute_schedule, Schedule, ScheduleParams, WriteDecl};
 
 /// Filesystem tunables for a simulation (must match the profile's
 /// storage kind).
@@ -469,6 +469,154 @@ fn emit_sim_trace(
     }
 }
 
+/// Everything both executors (and the static analyzer) agree on about
+/// one file group *before* anything runs: the round schedule, the
+/// election outcome, the compiled crashes, and each partition's degrade
+/// round. [`run_tapioca_sim`] compiles this into a plan DAG; the
+/// symbolic deriver in [`crate::analyze`] expands it into the predicted
+/// event structure. Sharing the derivation is what keeps the static
+/// schedule from drifting out from under the executors.
+#[derive(Debug)]
+pub(crate) struct GroupPlan {
+    /// The round schedule over group-local rank ids.
+    pub sched: Schedule,
+    /// Per partition: members as global ranks (parallel to
+    /// `sched.partitions`).
+    pub members_global: Vec<Vec<Rank>>,
+    /// Elected aggregator per partition (index into the partition's
+    /// members).
+    pub choices: Vec<usize>,
+    /// Compiled aggregator crashes (write mode only; unreachable or
+    /// degrade-shadowed specs are dropped, matching the thread runtime).
+    pub crashes: Vec<PlanCrash>,
+    /// First round whose injected fault exhausts the retry budget, per
+    /// partition (write mode only): the thread runtime falls back to
+    /// direct writes from that round on.
+    pub degrade_round: Vec<Option<u32>>,
+}
+
+/// Shared planning of one file group: schedule, election, crash
+/// compilation, degrade derivation. Pure — no simulator, no threads.
+pub(crate) fn plan_group(
+    machine: &Machine,
+    group: &GroupSpec,
+    cfg: &TapiocaConfig,
+    mode: AccessMode,
+) -> Result<GroupPlan> {
+    if group.ranks.len() != group.decls.len() {
+        return Err(TapiocaError::InvalidConfig(format!(
+            "group has {} ranks but {} declaration lists",
+            group.ranks.len(),
+            group.decls.len()
+        )));
+    }
+    if let Some(&max_rank) = group.ranks.iter().max() {
+        if max_rank >= machine.num_ranks() {
+            return Err(TapiocaError::InvalidConfig(format!(
+                "spec rank {max_rank} exceeds the machine's {} ranks",
+                machine.num_ranks()
+            )));
+        }
+    }
+    let sched = compute_schedule(&group.decls, ScheduleParams {
+        num_aggregators: cfg.num_aggregators,
+        buffer_size: cfg.buffer_size,
+        align_to_buffer: true,
+    });
+    let io_nodes = machine.io_nodes_for(&group.ranks);
+    let io = io_nodes.first().copied().unwrap_or(0);
+
+    // Elect one aggregator per partition via the node-folded fast
+    // path (parallel across partitions for large batches); each
+    // election is exactly the distributed MINLOC of thread mode.
+    let members_global: Vec<Vec<Rank>> = sched
+        .partitions
+        .iter()
+        .map(|part| part.members.iter().map(|&m| group.ranks[m]).collect())
+        .collect();
+    let elections: Vec<PartitionElection<'_>> = sched
+        .partitions
+        .iter()
+        .zip(&members_global)
+        .map(|(part, members)| PartitionElection {
+            members,
+            weights: &part.member_bytes,
+            io,
+            partition_index: part.index,
+        })
+        .collect();
+    let choices: Vec<usize> = elect_partitions(machine, &elections, cfg.strategy);
+
+    // Per-partition degrade round: the first round one of whose flush
+    // segments carries a fault that exhausts the retry budget — the
+    // same pure derivation every thread-mode member performs.
+    let degrade_round: Vec<Option<u32>> = match (&cfg.faults, mode) {
+        (Some(fp), AccessMode::Write) => sched
+            .partitions
+            .iter()
+            .map(|part| {
+                part.rounds.iter().enumerate().find_map(|(r, round)| {
+                    round
+                        .segments
+                        .iter()
+                        .enumerate()
+                        .any(|(s, _)| {
+                            fp.flush_fault(part.index as u32, r as u32, s as u32)
+                                .is_some_and(|h| h.exceeds(&cfg.io_policy))
+                        })
+                        .then_some(r as u32)
+                })
+            })
+            .collect(),
+        _ => vec![None; sched.partitions.len()],
+    };
+
+    // Compile the fault plan's aggregator crashes (write mode only,
+    // partition indices are schedule-local like thread mode's). The
+    // standby is the argmin of the same election cost with the dead
+    // candidate excluded, ties to the lowest index — bit-identical
+    // to the thread runtime's MINLOC with an infinite cost entry.
+    // A partition that degrades at or before the crash round never
+    // reaches the crash (thread mode breaks out of the round loop
+    // first), so the crash is dropped there too.
+    let crashes: Vec<PlanCrash> = match (&cfg.faults, mode) {
+        (Some(fp), AccessMode::Write) => sched
+            .partitions
+            .iter()
+            .filter_map(|part| {
+                let cr = fp.crash_at(part.index as u32)?;
+                if part.members.len() < 2 || cr as usize >= part.rounds.len() {
+                    return None;
+                }
+                if degrade_round[part.index].is_some_and(|dr| dr <= cr) {
+                    return None;
+                }
+                let chosen = choices[part.index];
+                let standby = (0..part.members.len())
+                    .filter(|&idx| idx != chosen)
+                    .min_by(|&a, &b| {
+                        let cost = |idx: usize| {
+                            election_cost(
+                                machine,
+                                &members_global[part.index],
+                                &part.member_bytes,
+                                io,
+                                part.index,
+                                cfg.strategy,
+                                idx,
+                            )
+                        };
+                        cost(a).total_cmp(&cost(b))
+                    })?;
+                Some(PlanCrash { partition: part.index, round: cr, standby })
+            })
+            .collect(),
+        _ => Vec::new(),
+    };
+
+    Ok(GroupPlan { sched, members_global, choices, crashes, degrade_round })
+}
+
 /// End-to-end TAPIOCA simulation: schedule, elect, compile, execute.
 ///
 /// `cfg.num_aggregators` is interpreted *per file group*, matching the
@@ -493,99 +641,8 @@ pub fn run_tapioca_sim(
     let mut partition_base = 0u32;
 
     for group in &spec.groups {
-        if group.ranks.len() != group.decls.len() {
-            return Err(TapiocaError::InvalidConfig(format!(
-                "group has {} ranks but {} declaration lists",
-                group.ranks.len(),
-                group.decls.len()
-            )));
-        }
-        if let Some(&max_rank) = group.ranks.iter().max() {
-            if max_rank >= machine.num_ranks() {
-                return Err(TapiocaError::InvalidConfig(format!(
-                    "spec rank {max_rank} exceeds the machine's {} ranks",
-                    machine.num_ranks()
-                )));
-            }
-        }
-        let sched = compute_schedule(&group.decls, ScheduleParams {
-            num_aggregators: cfg.num_aggregators,
-            buffer_size: cfg.buffer_size,
-            align_to_buffer: true,
-        });
-        let io_nodes = machine.io_nodes_for(&group.ranks);
-        let io = io_nodes.first().copied().unwrap_or(0);
-
-        // Elect one aggregator per partition via the node-folded fast
-        // path (parallel across partitions for large batches); each
-        // election is exactly the distributed MINLOC of thread mode.
-        let members_global: Vec<Vec<Rank>> = sched
-            .partitions
-            .iter()
-            .map(|part| part.members.iter().map(|&m| group.ranks[m]).collect())
-            .collect();
-        let elections: Vec<PartitionElection<'_>> = sched
-            .partitions
-            .iter()
-            .zip(&members_global)
-            .map(|(part, members)| PartitionElection {
-                members,
-                weights: &part.member_bytes,
-                io,
-                partition_index: part.index,
-            })
-            .collect();
-        let choices: Vec<usize> = elect_partitions(machine, &elections, cfg.strategy);
-
-        // Compile the fault plan's aggregator crashes (write mode only,
-        // partition indices are schedule-local like thread mode's). The
-        // standby is the argmin of the same election cost with the dead
-        // candidate excluded, ties to the lowest index — bit-identical
-        // to the thread runtime's MINLOC with an infinite cost entry.
-        // A partition that degrades at or before the crash round never
-        // reaches the crash (thread mode breaks out of the round loop
-        // first), so the crash is dropped there too.
-        let crashes: Vec<PlanCrash> = match (&cfg.faults, spec.mode) {
-            (Some(fp), AccessMode::Write) => sched
-                .partitions
-                .iter()
-                .filter_map(|part| {
-                    let cr = fp.crash_at(part.index as u32)?;
-                    if part.members.len() < 2 || cr as usize >= part.rounds.len() {
-                        return None;
-                    }
-                    let degrades_first = part.rounds.iter().enumerate().any(|(r, round)| {
-                        r as u32 <= cr
-                            && round.segments.iter().enumerate().any(|(s, _)| {
-                                fp.flush_fault(part.index as u32, r as u32, s as u32)
-                                    .is_some_and(|h| h.exceeds(&cfg.io_policy))
-                            })
-                    });
-                    if degrades_first {
-                        return None;
-                    }
-                    let chosen = choices[part.index];
-                    let standby = (0..part.members.len())
-                        .filter(|&idx| idx != chosen)
-                        .min_by(|&a, &b| {
-                            let cost = |idx: usize| {
-                                election_cost(
-                                    machine,
-                                    &members_global[part.index],
-                                    &part.member_bytes,
-                                    io,
-                                    part.index,
-                                    cfg.strategy,
-                                    idx,
-                                )
-                            };
-                            cost(a).total_cmp(&cost(b))
-                        })?;
-                    Some(PlanCrash { partition: part.index, round: cr, standby })
-                })
-                .collect(),
-            _ => Vec::new(),
-        };
+        let GroupPlan { sched, choices, crashes, .. } =
+            plan_group(machine, group, cfg, spec.mode)?;
         ncrashes += crashes.len() as u64;
 
         let ranks = &group.ranks;

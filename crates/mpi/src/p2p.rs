@@ -123,7 +123,7 @@ impl Mailboxes {
                         "watchdog: {} stuck in recv(src={src}, dst={dst}, tag={tag}) \
                          for {:?} with no matching message",
                         who.name().unwrap_or("<unnamed thread>"),
-                        self.timeout.unwrap(),
+                        self.timeout.expect("timeout elapsed implies a configured timeout"),
                     );
                 }
                 Err(RecvTimeoutError::Disconnected) => {

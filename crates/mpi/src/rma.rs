@@ -90,7 +90,7 @@ impl Window {
             p.point();
         }
         {
-            let mut region = self.shared.regions[target].write().unwrap();
+            let mut region = self.shared.regions[target].write().expect("RMA region lock poisoned");
             let end = offset + data.len();
             assert!(
                 end <= region.len(),
@@ -111,7 +111,7 @@ impl Window {
     ///
     /// Aggregators use this to flush their buffer after a fence.
     pub fn read_local(&self, me: Rank, offset: usize, len: usize) -> Vec<u8> {
-        let region = self.shared.regions[me].read().unwrap();
+        let region = self.shared.regions[me].read().expect("RMA region lock poisoned");
         region[offset..offset + len].to_vec()
     }
 
@@ -119,18 +119,18 @@ impl Window {
     /// allocation-free variant for drain loops that recycle flush
     /// buffers. Reads `out.len()` bytes starting at `offset`.
     pub fn read_local_into(&self, me: Rank, offset: usize, out: &mut [u8]) {
-        let region = self.shared.regions[me].read().unwrap();
+        let region = self.shared.regions[me].read().expect("RMA region lock poisoned");
         out.copy_from_slice(&region[offset..offset + out.len()]);
     }
 
     /// Size of a member's region.
     pub fn region_len(&self, rank: Rank) -> usize {
-        self.shared.regions[rank].read().unwrap().len()
+        self.shared.regions[rank].read().expect("RMA region lock poisoned").len()
     }
 
     /// Run `f` with read access to this member's own region.
     pub fn with_local<R>(&self, me: Rank, f: impl FnOnce(&[u8]) -> R) -> R {
-        let region = self.shared.regions[me].read().unwrap();
+        let region = self.shared.regions[me].read().expect("RMA region lock poisoned");
         f(&region)
     }
 
@@ -146,7 +146,7 @@ impl Window {
         if let Some(p) = &self.perturb {
             p.point();
         }
-        let region = self.shared.regions[target].read().unwrap();
+        let region = self.shared.regions[target].read().expect("RMA region lock poisoned");
         assert!(
             offset + len <= region.len(),
             "get of {}..{} exceeds window region of {} bytes",
@@ -164,7 +164,7 @@ impl Window {
         if let Some(p) = &self.perturb {
             p.point();
         }
-        let region = self.shared.regions[target].read().unwrap();
+        let region = self.shared.regions[target].read().expect("RMA region lock poisoned");
         let end = offset + out.len();
         assert!(
             end <= region.len(),

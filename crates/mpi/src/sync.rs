@@ -87,7 +87,7 @@ impl Barrier {
                                 "watchdog: {} stuck in barrier for {:?} \
                                  ({}/{} parties arrived, generation {})",
                                 who.name().unwrap_or("<unnamed thread>"),
-                                self.timeout.unwrap(),
+                                self.timeout.expect("deadline implies a configured timeout"),
                                 st.arrived,
                                 self.n,
                                 gen,

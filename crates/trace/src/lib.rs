@@ -133,7 +133,7 @@ impl Tracer {
     /// Record a fully-formed event (caller supplies the timestamp; used
     /// by the simulator, whose clock is virtual).
     pub fn record(&self, ev: TraceEvent) {
-        self.lanes[ev.rank].lock().unwrap().push(ev);
+        self.lanes[ev.rank].lock().expect("trace lane lock poisoned").push(ev);
     }
 
     /// Record an event stamped with the current wall-clock time (used by
@@ -169,7 +169,7 @@ impl Tracer {
     pub fn drain(&self) -> Trace {
         let mut events = Vec::new();
         for lane in &self.lanes {
-            events.append(&mut lane.lock().unwrap());
+            events.append(&mut lane.lock().expect("trace lane lock poisoned"));
         }
         // Stable sort: same-timestamp events keep per-rank order.
         events.sort_by_key(|e| (e.t_ns, e.rank));
