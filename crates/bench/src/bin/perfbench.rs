@@ -13,28 +13,41 @@
 //! minutes) while keeping the output schema identical, so the CI job
 //! can validate the file without caring which mode produced it.
 //!
-//! Schema (`tapioca-perfbench/v1`):
+//! Schema (`tapioca-perfbench/v2`):
 //!
 //! ```json
 //! {
-//!   "schema": "tapioca-perfbench/v1",
+//!   "schema": "tapioca-perfbench/v2",
 //!   "smoke": false,
 //!   "suites": {
 //!     "election": [ { "machine", "strategy", "members", "ranks",
 //!                     "ranks_per_node", "reps", "naive_ns", "fast_ns",
 //!                     "speedup", "same_winner" } ],
-//!     "netsim":   [ { "links", "flows", "reps", "scan_ns", "heap_ns",
-//!                     "speedup", "identical" } ]
+//!     "netsim":   [ { "workload", "links", "flows", "reps", "scan_ns",
+//!                     "heap_ns", "auto_ns", "speedup", "auto_speedup",
+//!                     "identical" } ],
+//!     "netsim_incremental":
+//!                 [ { "workload", "links", "flows", "parts", "reps",
+//!                     "scan_ns", "full_ns", "incr_ns", "speedup",
+//!                     "identical" } ]
 //!   }
 //! }
 //! ```
+//!
+//! `netsim_incremental` times the component-sharded engine on
+//! multi-partition round workloads (the shape `sim_exec` submits):
+//! `scan_ns` is the pre-sharding engine (bottleneck scan, full recompute
+//! on every event), `full_ns` re-waterfills every component per event
+//! with the `Auto` algorithm, and `incr_ns` re-waterfills only dirty
+//! components. `speedup` is `full_ns / incr_ns`; `identical` asserts all
+//! three produce bitwise-equal schedules.
 
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
 use tapioca::placement::{elect_aggregator, elect_aggregator_fast, PlacementStrategy};
-use tapioca_netsim::{RateAlgo, Simulator};
+use tapioca_netsim::{RateAlgo, Recompute, Simulator};
 use tapioca_topology::{mira_profile, theta_profile, MachineProfile, TopologyProvider};
 
 /// SplitMix64 — the workspace has no external RNG dependency.
@@ -243,6 +256,7 @@ fn netsim_suite(smoke: bool, json: &mut String) {
             };
             let scan_total = time_algo(RateAlgo::Scan);
             let heap_total = time_algo(RateAlgo::Heap);
+            let auto_total = time_algo(RateAlgo::Auto);
             let build_only = median_ns(reps, || {
                 let mut s = Simulator::with_capacities(Vec::new());
                 build_netsim(&mut s, links, flows, kind);
@@ -250,12 +264,16 @@ fn netsim_suite(smoke: bool, json: &mut String) {
             });
             let scan_ns = scan_total.saturating_sub(build_only).max(1);
             let heap_ns = heap_total.saturating_sub(build_only).max(1);
-            let identical = finishes(RateAlgo::Scan, links, flows, kind)
-                == finishes(RateAlgo::Heap, links, flows, kind);
+            let auto_ns = auto_total.saturating_sub(build_only).max(1);
+            let reference = finishes(RateAlgo::Scan, links, flows, kind);
+            let identical = finishes(RateAlgo::Heap, links, flows, kind) == reference
+                && finishes(RateAlgo::Auto, links, flows, kind) == reference;
             let speedup = scan_ns as f64 / heap_ns as f64;
+            let auto_speedup = scan_ns as f64 / auto_ns as f64;
             eprintln!(
                 "netsim {kind_name} links={links} flows={flows}: scan {scan_ns} ns, \
-                 heap {heap_ns} ns ({speedup:.1}x, identical={identical})"
+                 heap {heap_ns} ns ({speedup:.1}x), auto {auto_ns} ns \
+                 ({auto_speedup:.1}x, identical={identical})"
             );
             if !first {
                 json.push(',');
@@ -266,7 +284,166 @@ fn netsim_suite(smoke: bool, json: &mut String) {
                 "\n    {{\"workload\": \"{kind_name}\", \"links\": {links}, \
                  \"flows\": {flows}, \"reps\": {reps}, \
                  \"scan_ns\": {scan_ns}, \"heap_ns\": {heap_ns}, \
-                 \"speedup\": {speedup:.3}, \"identical\": {identical}}}"
+                 \"auto_ns\": {auto_ns}, \"speedup\": {speedup:.3}, \
+                 \"auto_speedup\": {auto_speedup:.3}, \"identical\": {identical}}}"
+            );
+        }
+    }
+}
+
+/// Multi-partition fence-ordered rounds — the flow shape `sim_exec`
+/// submits for TAPIOCA's Algorithm-3 schedule. Each partition's ranks
+/// feed an aggregator over partition-private links, round `r` gated on
+/// round `r-1`; cross-partition interference is either zero (Mira
+/// subfiling: every Pset writes its own file through its own bridge) or
+/// confined to a few shared gateway links (Theta: Aries groups sharing
+/// LNET routers). This is where component sharding pays — an event in
+/// one partition dirties only that partition's component.
+#[derive(Clone, Copy, PartialEq)]
+enum RoundWorkload {
+    /// Fully link-disjoint partitions (mira/ior subfiling shape).
+    Disjoint,
+    /// Partitions share a small pool of gateway links (theta/hacc shape).
+    SharedGateways,
+}
+
+/// Shape of one incremental-suite case.
+struct RoundShape {
+    parts: usize,
+    links_per_part: usize,
+    shared: usize,
+    rounds: usize,
+    flows_per_round: usize,
+}
+
+impl RoundShape {
+    fn links(&self) -> usize {
+        self.parts * self.links_per_part + self.shared
+    }
+
+    fn flows(&self) -> usize {
+        self.parts * self.rounds * self.flows_per_round
+    }
+}
+
+/// Build one multi-partition round workload.
+fn build_rounds(s: &mut Simulator, shape: &RoundShape, kind: RoundWorkload) {
+    let mut rng = Rng(0x0a99_0000 ^ (shape.links() * 131 + shape.flows()) as u64);
+    for _ in 0..shape.links() {
+        s.add_virtual_link(1.0 + rng.below(64) as f64);
+    }
+    let gateway_base = shape.parts * shape.links_per_part;
+    for p in 0..shape.parts {
+        let base = p * shape.links_per_part;
+        let mut prev_round: Vec<usize> = Vec::new();
+        for _ in 0..shape.rounds {
+            let mut this_round = Vec::with_capacity(shape.flows_per_round);
+            for _ in 0..shape.flows_per_round {
+                let len = 1 + rng.below(3) as usize;
+                let mut route = Vec::with_capacity(len + 1);
+                while route.len() < len {
+                    let l = base + rng.below(shape.links_per_part as u64) as usize;
+                    if !route.contains(&l) {
+                        route.push(l);
+                    }
+                }
+                if kind == RoundWorkload::SharedGateways && rng.below(4) == 0 {
+                    route.push(gateway_base + rng.below(shape.shared as u64) as usize);
+                }
+                let bytes = (1 + rng.below(5000)) as f64 / 7.0;
+                let start = rng.below(10) as f64 / 10.0;
+                this_round.push(s.submit_with_deps(start, 0.0, &route, bytes, &prev_round));
+            }
+            prev_round = this_round;
+        }
+    }
+}
+
+/// Finish-time bit patterns of one incremental-suite configuration.
+fn round_finishes(
+    algo: RateAlgo,
+    mode: Recompute,
+    shape: &RoundShape,
+    kind: RoundWorkload,
+) -> Vec<u64> {
+    let mut s = Simulator::with_capacities(Vec::new());
+    s.set_rate_algo(algo);
+    s.set_recompute(mode);
+    build_rounds(&mut s, shape, kind);
+    s.run_to_idle();
+    (0..s.num_flows()).map(|f| s.finish_time(f).map(f64::to_bits).unwrap_or(0)).collect()
+}
+
+fn netsim_incremental_suite(smoke: bool, json: &mut String) {
+    let shapes: &[RoundShape] = if smoke {
+        &[
+            RoundShape { parts: 4, links_per_part: 8, shared: 4, rounds: 4, flows_per_round: 4 },
+            RoundShape { parts: 8, links_per_part: 8, shared: 8, rounds: 4, flows_per_round: 4 },
+        ]
+    } else {
+        &[
+            RoundShape { parts: 8, links_per_part: 8, shared: 8, rounds: 8, flows_per_round: 8 },
+            RoundShape { parts: 16, links_per_part: 16, shared: 8, rounds: 8, flows_per_round: 8 },
+            RoundShape { parts: 32, links_per_part: 32, shared: 8, rounds: 8, flows_per_round: 8 },
+        ]
+    };
+    let mut first = true;
+    for shape in shapes {
+        for kind in [RoundWorkload::Disjoint, RoundWorkload::SharedGateways] {
+            let kind_name = match kind {
+                RoundWorkload::Disjoint => "disjoint_rounds",
+                RoundWorkload::SharedGateways => "shared_gateways",
+            };
+            // Disjoint cases carry no gateway links at all.
+            let shared = if kind == RoundWorkload::Disjoint { 0 } else { shape.shared };
+            let shape = RoundShape { shared, ..*shape };
+            let reps = if shape.flows() >= 2048 { 3 } else { 7 };
+            let time_cfg = |algo: RateAlgo, mode: Recompute| {
+                median_ns(reps, || {
+                    let mut s = Simulator::with_capacities(Vec::new());
+                    s.set_rate_algo(algo);
+                    s.set_recompute(mode);
+                    build_rounds(&mut s, &shape, kind);
+                    black_box(s.run_to_idle());
+                })
+            };
+            let scan_total = time_cfg(RateAlgo::Scan, Recompute::Full);
+            let full_total = time_cfg(RateAlgo::Auto, Recompute::Full);
+            let incr_total = time_cfg(RateAlgo::Auto, Recompute::Incremental);
+            let build_only = median_ns(reps, || {
+                let mut s = Simulator::with_capacities(Vec::new());
+                build_rounds(&mut s, &shape, kind);
+                black_box(&s);
+            });
+            let scan_ns = scan_total.saturating_sub(build_only).max(1);
+            let full_ns = full_total.saturating_sub(build_only).max(1);
+            let incr_ns = incr_total.saturating_sub(build_only).max(1);
+            let reference = round_finishes(RateAlgo::Scan, Recompute::Full, &shape, kind);
+            let identical =
+                round_finishes(RateAlgo::Auto, Recompute::Full, &shape, kind) == reference
+                    && round_finishes(RateAlgo::Auto, Recompute::Incremental, &shape, kind)
+                        == reference;
+            let speedup = full_ns as f64 / incr_ns as f64;
+            let links = shape.links();
+            let flows = shape.flows();
+            eprintln!(
+                "netsim_incremental {kind_name} links={links} flows={flows} \
+                 parts={}: scan {scan_ns} ns, full {full_ns} ns, incr {incr_ns} ns \
+                 ({speedup:.1}x, identical={identical})",
+                shape.parts,
+            );
+            if !first {
+                json.push(',');
+            }
+            first = false;
+            let _ = write!(
+                json,
+                "\n    {{\"workload\": \"{kind_name}\", \"links\": {links}, \
+                 \"flows\": {flows}, \"parts\": {}, \"reps\": {reps}, \
+                 \"scan_ns\": {scan_ns}, \"full_ns\": {full_ns}, \
+                 \"incr_ns\": {incr_ns}, \"speedup\": {speedup:.3}, \
+                 \"identical\": {identical}}}",
+                shape.parts,
             );
         }
     }
@@ -287,11 +464,14 @@ fn main() {
     election_suite(smoke, &mut election);
     let mut netsim = String::new();
     netsim_suite(smoke, &mut netsim);
+    let mut incremental = String::new();
+    netsim_incremental_suite(smoke, &mut incremental);
 
     let json = format!(
-        "{{\n  \"schema\": \"tapioca-perfbench/v1\",\n  \"smoke\": {smoke},\n  \
+        "{{\n  \"schema\": \"tapioca-perfbench/v2\",\n  \"smoke\": {smoke},\n  \
          \"suites\": {{\n   \"election\": [{election}\n   ],\n   \
-         \"netsim\": [{netsim}\n   ]\n  }}\n}}\n"
+         \"netsim\": [{netsim}\n   ],\n   \
+         \"netsim_incremental\": [{incremental}\n   ]\n  }}\n}}\n"
     );
     std::fs::write(&out, json).expect("write BENCH_perf.json");
     eprintln!("wrote {out}");

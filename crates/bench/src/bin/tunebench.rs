@@ -13,20 +13,25 @@
 //! `--smoke` shrinks the workloads to CI-sized shapes while keeping the
 //! output schema identical.
 //!
-//! Schema (`tapioca-tunebench/v1`):
+//! Schema (`tapioca-tunebench/v2`):
 //!
 //! ```json
 //! {
-//!   "schema": "tapioca-tunebench/v1",
+//!   "schema": "tapioca-tunebench/v2",
 //!   "smoke": false,
 //!   "rows": [ { "machine", "workload", "mode", "ranks",
 //!               "rule_aggregators", "rule_buffer", "rule_bw",
 //!               "tuned_aggregators", "tuned_buffer", "tuned_strategy",
 //!               "tuned_pipelining", "tuned_tier", "tuned_bw",
 //!               "grid_size", "model_evals", "sims_run", "cache_hits",
-//!               "sim_savings" } ]
+//!               "sim_savings", "sim_wall_ms" } ]
 //! }
 //! ```
+//!
+//! `sim_wall_ms` is the wall time of the confirmation stage (the
+//! short-list simulations) — the number the incremental rate engine is
+//! expected to shrink. It is the one machine-dependent column; everything
+//! else is deterministic.
 //!
 //! Every row satisfies `tuned_bw >= rule_bw` by construction (the
 //! rule-based config is always in the confirmed short-list) — the CI
@@ -169,7 +174,7 @@ fn main() {
              \"tuned_strategy\": \"{}\", \"tuned_pipelining\": {}, \
              \"tuned_tier\": \"{}\", \"tuned_bw\": {:.1}, \
              \"grid_size\": {}, \"model_evals\": {}, \"sims_run\": {}, \
-             \"cache_hits\": {}, \"sim_savings\": {:.3}}}",
+             \"cache_hits\": {}, \"sim_savings\": {:.3}, \"sim_wall_ms\": {:.3}}}",
             case.machine,
             case.workload,
             mode_name(case.spec.mode),
@@ -187,11 +192,12 @@ fn main() {
             r.sims_run,
             r.cache_hits,
             r.sim_savings(),
+            r.sim_wall_ns as f64 / 1e6,
         );
     }
 
     let json = format!(
-        "{{\n  \"schema\": \"tapioca-tunebench/v1\",\n  \"smoke\": {smoke},\n  \
+        "{{\n  \"schema\": \"tapioca-tunebench/v2\",\n  \"smoke\": {smoke},\n  \
          \"rows\": [{rows}\n  ]\n}}\n"
     );
     std::fs::write(&out_path, json).expect("write BENCH_tune.json");

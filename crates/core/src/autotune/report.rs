@@ -22,6 +22,10 @@ pub struct TuneReport {
     pub sims_run: u64,
     /// Simulator evaluations served from the memo cache.
     pub cache_hits: u64,
+    /// Wall time of the confirmation stage (the short-list simulations),
+    /// in nanoseconds. The one non-deterministic field: compare the
+    /// counters, report the wall time.
+    pub sim_wall_ns: u64,
 }
 
 impl TuneReport {
@@ -37,7 +41,7 @@ impl std::fmt::Display for TuneReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "grid {} | static pruned {} | model evals {} (+{} refine) | shortlist {} | sims {} ({} cached) | {:.1}x fewer sims than exhaustive",
+            "grid {} | static pruned {} | model evals {} (+{} refine) | shortlist {} | sims {} ({} cached, {:.1} ms) | {:.1}x fewer sims than exhaustive",
             self.grid_size,
             self.static_pruned,
             self.model_evals,
@@ -45,6 +49,7 @@ impl std::fmt::Display for TuneReport {
             self.shortlist,
             self.sims_run,
             self.cache_hits,
+            self.sim_wall_ns as f64 / 1e6,
             self.sim_savings()
         )
     }
@@ -73,6 +78,7 @@ mod tests {
             shortlist: 9,
             sims_run: 9,
             cache_hits: 3,
+            sim_wall_ns: 1_500_000,
         };
         let s = r.to_string();
         assert!(s.contains("grid 240") && s.contains("sims 9"));

@@ -19,6 +19,8 @@
 //! candidate, and the thread fan-out writes results into pre-assigned
 //! slots.
 
+use std::time::Instant;
+
 use tapioca_topology::{MachineProfile, StorageProfile};
 
 use crate::autotune::cache::SimCache;
@@ -264,7 +266,9 @@ pub fn autotune_from(
         ..TapiocaConfig::default()
     };
     let cache = SimCache::new();
+    let confirm_start = Instant::now();
     let bandwidths = confirm_parallel(profile, storage, spec, &clean, &cache, &shortlist)?;
+    let sim_wall_ns = confirm_start.elapsed().as_nanos() as u64;
 
     let rule_bandwidth = *bandwidths.last().expect("anchor always confirmed");
     let rule_bw_of = |c: &Candidate| {
@@ -289,6 +293,7 @@ pub fn autotune_from(
         shortlist: shortlist.len(),
         sims_run: cache.misses(),
         cache_hits: cache.hits(),
+        sim_wall_ns,
     };
     Ok(TuneOutcome {
         best: best_cand.to_config(base),

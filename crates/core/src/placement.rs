@@ -209,6 +209,21 @@ pub fn elect_aggregator_cached(
         // per-node value *is* the oracle's cost and the ascending scan
         // with strict `<` reproduces MINLOC ties directly.
         PlacementStrategy::ShortestPathToIo => {
+            // Machines that expose no I/O node placement (Theta) answer
+            // `None` for every member, making every oracle cost 0.0 —
+            // member 0's cost is then a global minimum (distances are
+            // nonnegative) and MINLOC ties resolve to the lowest index,
+            // so the winner is index 0 even on mixed topologies. One
+            // probe replaces the per-member cache walk the oracle's
+            // trivial loop was beating.
+            if topo.distance_to_io_node(members[0], io).is_none() {
+                return 0;
+            }
+            // Below the fold threshold the pairwise oracle is already
+            // cheap and per-member cache lookups would dominate.
+            if members.len() < FOLD_MIN_MEMBERS {
+                return elect_aggregator(topo, members, weights, io, partition_index, strategy);
+            }
             let mut best = (f64::INFINITY, usize::MAX);
             for (i, &m) in members.iter().enumerate() {
                 let node = topo.node_of_rank(m);

@@ -12,7 +12,9 @@ use tapioca_pfs::{
     AccessMode, FileId, FlushReq, GpfsModel, GpfsTunables, LustreModel, LustreTunables,
     PlannedFlow,
 };
-use tapioca_topology::{Machine, MachineProfile, NodeId, Rank, StorageProfile, TopologyProvider};
+use tapioca_topology::{
+    LinkIx, Machine, MachineProfile, NodeId, Rank, StorageProfile, TopologyProvider,
+};
 
 use crate::config::TapiocaConfig;
 use crate::error::{Result, TapiocaError};
@@ -239,8 +241,10 @@ pub fn simulate_faulty(
         }
     }
 
-    // Submit the DAG.
+    // Submit the DAG. Routes are built in one scratch buffer — the
+    // simulator interns them, so nothing here needs an owned Vec.
     let latency = net.hop_latency();
+    let mut route_buf: Vec<LinkIx> = Vec::new();
     let mut flows_of_op: Vec<Vec<FlowId>> = Vec::with_capacity(plan.ops.len());
     for (id, op) in plan.ops.iter().enumerate() {
         let dep_flows: Vec<FlowId> = op
@@ -250,9 +254,12 @@ pub fn simulate_faulty(
             .collect();
         let submitted = match &op.kind {
             OpKind::Transfer { src, dst, bytes } => {
-                let route = if src == dst { Vec::new() } else { net.route(*src, *dst).links };
-                let delay = latency * route.len() as f64;
-                vec![sim.submit_with_deps(0.0, delay, route, *bytes, &dep_flows)]
+                route_buf.clear();
+                if src != dst {
+                    net.route_into(*src, *dst, &mut route_buf);
+                }
+                let delay = latency * route_buf.len() as f64;
+                vec![sim.submit_with_deps(0.0, delay, &route_buf, *bytes, &dep_flows)]
             }
             OpKind::Flush { .. } => {
                 // Recovery cost of an injected transient fault: the
@@ -282,24 +289,23 @@ pub fn simulate_faulty(
                 planned
                     .into_iter()
                     .map(|pf| {
-                        let mut route = match (&model, pf.attach_node) {
+                        route_buf.clear();
+                        match (&model, pf.attach_node) {
                             (StorageModel::Gpfs(_), _) => {
                                 let torus = machine.fabric().as_torus().expect("torus");
-                                torus.io_route(pf.src_node).links
+                                torus.io_route_into(pf.src_node, &mut route_buf);
                             }
                             (StorageModel::Lustre(_), Some(attach)) => {
-                                if pf.src_node == attach {
-                                    Vec::new()
-                                } else {
-                                    net.route(pf.src_node, attach).links
+                                if pf.src_node != attach {
+                                    net.route_into(pf.src_node, attach, &mut route_buf);
                                 }
                             }
-                            (StorageModel::Lustre(_), None) => Vec::new(),
-                        };
-                        let fabric_hops = route.len();
-                        route.extend_from_slice(&pf.storage_route);
+                            (StorageModel::Lustre(_), None) => {}
+                        }
+                        let fabric_hops = route_buf.len();
+                        route_buf.extend_from_slice(&pf.storage_route);
                         let delay = pf.delay + latency * fabric_hops as f64 + fault_delay;
-                        sim.submit_with_deps(0.0, delay, route, pf.bytes, &dep_flows)
+                        sim.submit_with_deps(0.0, delay, &route_buf, pf.bytes, &dep_flows)
                     })
                     .collect()
             }

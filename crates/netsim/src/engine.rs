@@ -11,12 +11,35 @@
 //! the start time of the next batch, repeat. This is how fence-ordered
 //! aggregation rounds overlap with asynchronous flushes exactly as in
 //! Algorithm 3 of the paper.
+//!
+//! # Component-sharded incremental rates
+//!
+//! Max-min fairness factors along interference components (flows that
+//! transitively share links — see the `components` module): the fair rates
+//! inside one component are a pure function of its member routes and the
+//! link capacities, untouched by flows elsewhere. The engine therefore
+//! re-waterfills only components *dirtied* by an arrival, completion,
+//! release, or capacity change; untouched components keep their frozen
+//! rates and their cached per-component next-completion time, merged
+//! through a global event index so [`Simulator::step`] never scans the
+//! active set.
+//!
+//! Flow progress is anchored rather than settled eagerly: each active
+//! flow carries `(anchor, remaining, rate)` and its byte count is only
+//! re-settled when a re-waterfill changes its rate *bitwise*. Because
+//! re-waterfilling an untouched component reproduces its rates exactly
+//! (same members, same order, same capacities), the incremental engine
+//! and the full-recompute reference ([`Recompute::Full`]) perform
+//! identical floating-point operations on every flow and produce
+//! **bit-identical** schedules — asserted by the equivalence sweeps here
+//! and in `tests/netsim_incremental.rs`.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 
 use tapioca_topology::{Interconnect, LinkIx};
 
+use crate::components::Components;
 use crate::{SimTime, BYTE_EPS, TIME_EPS};
 
 /// Identifier of a submitted flow.
@@ -37,9 +60,16 @@ pub enum FlowStatus {
 
 #[derive(Debug)]
 struct Flow {
-    route: Vec<LinkIx>,
+    /// Route as a `(start, len)` span into the interned link arena.
+    span: (u32, u32),
     remaining: f64,
     status: FlowStatus,
+    /// Fair rate frozen at the last re-waterfill of this flow's
+    /// component (0 until first waterfilled).
+    rate: f64,
+    /// Time `remaining` was last settled; progress since then is implied
+    /// as `rate * (now - anchor)`.
+    anchor: SimTime,
     /// Unsatisfied dependencies (count) for dependency-gated flows.
     deps_left: usize,
     /// Earliest allowed start (fixed part).
@@ -52,9 +82,9 @@ struct Flow {
     dependents: Vec<FlowId>,
 }
 
-/// Total-ordered f64 key for the arrival heap.
+/// Total-ordered f64 key for the event heaps.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct TimeKey(f64);
+pub(crate) struct TimeKey(pub(crate) f64);
 
 impl Eq for TimeKey {}
 impl PartialOrd for TimeKey {
@@ -70,7 +100,7 @@ impl Ord for TimeKey {
 
 /// How the waterfilling loop locates the bottleneck link each round.
 ///
-/// Both algorithms freeze the same flows at the same rates in the same
+/// All variants freeze the same flows at the same rates in the same
 /// order, so they produce **bit-identical** schedules (asserted by the
 /// `algo_equivalence` tests); they differ only in how the per-round
 /// minimum of `cap_rem / unfixed` is found.
@@ -83,8 +113,27 @@ pub enum RateAlgo {
     /// each link mutation bumps a version counter and pushes a fresh
     /// entry; stale entries are skipped on pop. O(log L) per mutation,
     /// and rounds that freeze few flows no longer pay for every link.
-    #[default]
     Heap,
+    /// Pick Scan or Heap per component from its shape: wide fan-in
+    /// components (short routes, many links) use the heap; mesh-shaped
+    /// components (long routes touching most links every freeze batch)
+    /// and small components use the scan, whose rescan is cheaper than
+    /// the heap's re-push traffic there.
+    #[default]
+    Auto,
+}
+
+/// Which components a membership event re-waterfills.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Recompute {
+    /// Re-waterfill every live component at every membership-changing
+    /// event — the reference engine, kept for equivalence sweeps and
+    /// benchmarking the sharded path against.
+    Full,
+    /// Re-waterfill only dirtied components (the default). Bit-identical
+    /// to [`Recompute::Full`] by construction (see the module docs).
+    #[default]
+    Incremental,
 }
 
 /// Flow-level network simulator over a fixed link-capacity table.
@@ -93,16 +142,15 @@ pub struct Simulator {
     caps: Vec<f64>,
     time: SimTime,
     flows: Vec<Flow>,
-    active: Vec<FlowId>,
+    /// Count of currently transferring flows (the membership lists live
+    /// in the component slots).
+    n_active: usize,
     pending: BinaryHeap<Reverse<(TimeKey, FlowId)>>,
-    /// Cached rates parallel to `active`; rebuilt when `dirty`.
-    rates: Vec<f64>,
-    dirty: bool,
     /// Completion batching window, seconds: flows whose completion falls
     /// within this much of the chosen event time complete together.
     slack: f64,
-    /// Reusable waterfilling scratch (see `recompute_rates`): dense
-    /// per-link state plus the list of links touched by active flows.
+    /// Reusable waterfilling scratch (see `refill_component`): dense
+    /// per-link state plus the list of links touched by member flows.
     scratch: Scratch,
     /// Recorded events, when tracing is enabled.
     trace: Option<Vec<TraceEvent>>,
@@ -110,6 +158,18 @@ pub struct Simulator {
     carried: Vec<f64>,
     /// Bottleneck search algorithm (see [`RateAlgo`]).
     rate_algo: RateAlgo,
+    /// Incremental vs full re-waterfilling (see [`Recompute`]).
+    recompute: Recompute,
+    /// Interference components over active flows.
+    comps: Components,
+    /// Interned routes: flows hold `(start, len)` spans into this arena
+    /// and identical routes share one span, so per-round resubmission of
+    /// the same routes allocates nothing.
+    route_arena: Vec<LinkIx>,
+    /// Route-content hash → spans already present in the arena.
+    route_dedup: HashMap<u64, Vec<(u32, u32)>>,
+    /// Reusable buffer of roots drained from the dirty queue.
+    refill_roots: Vec<u32>,
 }
 
 /// One recorded simulation event (when tracing is enabled).
@@ -132,13 +192,14 @@ pub enum TraceKind {
     Finished,
 }
 
-/// Dense per-link scratch reused across rate recomputations so the hot
-/// path performs no allocation and touches only links active flows use.
+/// Dense per-link scratch reused across component re-waterfills so the
+/// hot path performs no allocation and touches only links the member
+/// flows use.
 #[derive(Debug, Default)]
 struct Scratch {
     cap_rem: Vec<f64>,
     unfixed: Vec<u32>,
-    /// Active-flow indices per link (only `touched` entries are valid).
+    /// Member-flow indices per link (only `touched` entries are valid).
     flows_on: Vec<Vec<usize>>,
     touched: Vec<LinkIx>,
     /// Position of each touched link inside `touched` — the heap's
@@ -146,7 +207,7 @@ struct Scratch {
     /// strictly smaller share wins" selection exactly.
     pos: Vec<u32>,
     /// Per-link entry version for lazy heap invalidation; reset to 0 for
-    /// touched links at the start of each recomputation.
+    /// touched links at the start of each re-waterfill.
     version: Vec<u32>,
     /// Links whose state changed while freezing the current bottleneck's
     /// flows (deduplicated via `mark`).
@@ -158,6 +219,29 @@ struct Scratch {
     /// Min-heap of `(share, touched-position, link, version)` entries;
     /// entries whose version lags `version[link]` are stale.
     heap: BinaryHeap<Reverse<(TimeKey, u32, LinkIx, u32)>>,
+    /// Per-member solved rates for the component being refilled.
+    rates: Vec<f64>,
+    /// Per-member frozen flags for the component being refilled.
+    fixed: Vec<bool>,
+}
+
+/// SplitMix64 finalizer, used to hash route contents for interning.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Component-shape heuristic behind [`RateAlgo::Auto`]; returns whether
+/// to use the heap. Mesh-shaped components — average route length above
+/// 1.5 links — mutate most touched links in every freeze batch, so the
+/// heap's per-mutation re-push traffic costs more than the scan's
+/// linear rescan (the 0.37x mesh regression the heap showed in
+/// `BENCH_perf.json`). Small components never amortize heap setup.
+fn auto_pick(links: usize, flows: usize, entries: usize) -> bool {
+    links >= 64 && 2 * entries <= 3 * flows
 }
 
 impl Simulator {
@@ -173,23 +257,33 @@ impl Simulator {
             caps,
             time: 0.0,
             flows: Vec::new(),
-            active: Vec::new(),
+            n_active: 0,
             pending: BinaryHeap::new(),
-            rates: Vec::new(),
-            dirty: false,
             slack: 0.0,
             scratch: Scratch::default(),
             trace: None,
             carried: Vec::new(),
             rate_algo: RateAlgo::default(),
+            recompute: Recompute::default(),
+            comps: Components::default(),
+            route_arena: Vec::new(),
+            route_dedup: HashMap::new(),
+            refill_roots: Vec::new(),
         }
     }
 
-    /// Select the bottleneck-search algorithm. Both produce bit-identical
-    /// schedules; [`RateAlgo::Scan`] is the reference, [`RateAlgo::Heap`]
-    /// (the default) is the fast path.
+    /// Select the bottleneck-search algorithm. All variants produce
+    /// bit-identical schedules; [`RateAlgo::Scan`] is the reference and
+    /// [`RateAlgo::Auto`] (the default) picks per component.
     pub fn set_rate_algo(&mut self, algo: RateAlgo) {
         self.rate_algo = algo;
+    }
+
+    /// Select incremental (default) or full re-waterfilling. Both are
+    /// bit-identical; [`Recompute::Full`] exists as the reference for
+    /// equivalence sweeps and benchmarks.
+    pub fn set_recompute(&mut self, mode: Recompute) {
+        self.recompute = mode;
     }
 
     /// Start recording start/finish events for every flow. Intended for
@@ -243,9 +337,11 @@ impl Simulator {
 
     /// Append a virtual link (e.g. a storage service station) and return
     /// its index. Virtual links can appear in flow routes like any other.
+    /// Component state is grown lazily, so this is safe mid-flight.
     pub fn add_virtual_link(&mut self, capacity: f64) -> LinkIx {
         assert!(capacity > 0.0 && capacity.is_finite());
         self.caps.push(capacity);
+        self.comps.ensure_links(self.caps.len());
         self.caps.len() - 1
     }
 
@@ -254,6 +350,11 @@ impl Simulator {
     /// `LinkDegrade` spec). Call before installing storage models so
     /// their virtual service stations keep their nominal rates.
     ///
+    /// Safe mid-flight: every live component is marked dirty, so frozen
+    /// rates and cached completion times are re-derived at the current
+    /// time before the next event — in-flight flows are charged their
+    /// old rate exactly up to the scale point.
+    ///
     /// # Panics
     /// Panics unless `0 < factor <= 1`.
     pub fn scale_capacities(&mut self, factor: f64) {
@@ -261,6 +362,7 @@ impl Simulator {
         for c in &mut self.caps {
             *c *= factor;
         }
+        self.comps.mark_all_dirty();
     }
 
     /// Current simulated time.
@@ -293,7 +395,7 @@ impl Simulator {
     ///
     /// # Panics
     /// Panics if a route link is out of range.
-    pub fn submit(&mut self, start: SimTime, route: Vec<LinkIx>, bytes: f64) -> FlowId {
+    pub fn submit(&mut self, start: SimTime, route: impl AsRef<[LinkIx]>, bytes: f64) -> FlowId {
         self.submit_with_deps(start, 0.0, route, bytes, &[])
     }
 
@@ -305,6 +407,9 @@ impl Simulator {
     /// flushes are expressed: the whole execution DAG can be submitted
     /// upfront and simulated in one pass with true overlap.
     ///
+    /// The route is borrowed and interned (callers can reuse one scratch
+    /// buffer across submissions); identical routes share arena storage.
+    ///
     /// # Panics
     /// Panics if a route link is out of range, `bytes < 0`, or a
     /// dependency id has not been submitted yet.
@@ -312,26 +417,30 @@ impl Simulator {
         &mut self,
         start_min: SimTime,
         extra_delay: f64,
-        route: Vec<LinkIx>,
+        route: impl AsRef<[LinkIx]>,
         bytes: f64,
         deps: &[FlowId],
     ) -> FlowId {
+        let route = route.as_ref();
         assert!(bytes >= 0.0);
         assert!(extra_delay >= 0.0);
-        for &l in &route {
+        for &l in route {
             assert!(l < self.caps.len(), "route link {l} out of range");
         }
         let id = self.flows.len();
         if self.carried.len() < self.caps.len() {
             self.carried.resize(self.caps.len(), 0.0);
         }
-        for &l in &route {
+        for &l in route {
             self.carried[l] += bytes;
         }
+        let span = self.intern(route);
         self.flows.push(Flow {
-            route,
+            span,
             remaining: bytes,
             status: FlowStatus::Waiting,
+            rate: 0.0,
+            anchor: 0.0,
             deps_left: 0,
             start_min,
             extra_delay,
@@ -359,6 +468,33 @@ impl Simulator {
         id
     }
 
+    /// Intern a route into the link arena, deduplicating identical
+    /// contents, and return its `(start, len)` span.
+    fn intern(&mut self, route: &[LinkIx]) -> (u32, u32) {
+        if route.is_empty() {
+            return (0, 0);
+        }
+        let mut h: u64 = 0x9E37_79B9_7F4A_7C15;
+        for &l in route {
+            h = mix64(h ^ l as u64);
+        }
+        if let Some(spans) = self.route_dedup.get(&h) {
+            for &(s, len) in spans {
+                if len as usize == route.len()
+                    && &self.route_arena[s as usize..s as usize + len as usize] == route
+                {
+                    return (s, len);
+                }
+            }
+        }
+        let start = self.route_arena.len();
+        assert!(start + route.len() <= u32::MAX as usize, "route arena overflow");
+        self.route_arena.extend_from_slice(route);
+        let span = (start as u32, route.len() as u32);
+        self.route_dedup.entry(h).or_default().push(span);
+        span
+    }
+
     /// Move a dependency-satisfied flow into the pending heap.
     fn release(&mut self, id: FlowId) {
         let f = &mut self.flows[id];
@@ -384,11 +520,48 @@ impl Simulator {
         }
     }
 
-    /// Max-min waterfilling over the active flows, allocation-free: the
-    /// per-link scratch persists across calls and only touched links are
-    /// reset. Semantics identical to [`max_min_rates`] (tested against
-    /// it).
-    fn recompute_rates(&mut self) {
+    /// Re-waterfill whatever the current [`Recompute`] mode says needs
+    /// it: the dirtied components, or every live one.
+    fn refill_dirty(&mut self) {
+        if !self.comps.has_dirty() {
+            return;
+        }
+        let mut roots = std::mem::take(&mut self.refill_roots);
+        match self.recompute {
+            Recompute::Incremental => self.comps.take_dirty(&mut roots),
+            Recompute::Full => self.comps.take_all_live(&mut roots),
+        }
+        for &r in &roots {
+            self.refill_component(r);
+        }
+        self.refill_roots = roots;
+    }
+
+    /// Max-min waterfilling over one component's member flows,
+    /// allocation-free: the per-link scratch persists across calls and
+    /// only touched links are reset. Semantics identical to
+    /// [`crate::fairshare::max_min_rates`] restricted to the component
+    /// (tested against it). Flows whose rate changed bitwise are settled
+    /// and re-anchored at the current time; the component's completion
+    /// heap is rebuilt and a fresh event-index entry published.
+    fn refill_component(&mut self, root: u32) {
+        let now = self.time;
+        let rix = root as usize;
+        {
+            // Compact completed members. `retain` preserves the relative
+            // order of live members, so the link touch order — and with
+            // it the freeze order and the produced bits — is the same
+            // whether or not a completed flow was already compacted out.
+            let flows = &self.flows;
+            let slot = &mut self.comps.slots[rix];
+            slot.flows.retain(|&id| matches!(flows[id].status, FlowStatus::Active));
+            slot.version = slot.version.wrapping_add(1);
+            slot.completions.clear();
+            if slot.flows.is_empty() {
+                return;
+            }
+        }
+
         let scr = &mut self.scratch;
         if scr.cap_rem.len() < self.caps.len() {
             scr.cap_rem.resize(self.caps.len(), 0.0);
@@ -398,23 +571,24 @@ impl Simulator {
             scr.version.resize(self.caps.len(), 0);
             scr.mark.resize(self.caps.len(), 0);
         }
-        // Reset only what the previous round touched.
+        // Reset only what the previous refill touched.
         for &l in &scr.touched {
             scr.unfixed[l] = 0;
             scr.flows_on[l].clear();
         }
         scr.touched.clear();
 
-        let n = self.active.len();
-        self.rates.clear();
-        self.rates.resize(n, f64::INFINITY);
-        let mut n_unfixed = 0usize;
-        for (k, &id) in self.active.iter().enumerate() {
-            let route = &self.flows[id].route;
-            if route.is_empty() {
-                continue;
-            }
-            n_unfixed += 1;
+        let members = &self.comps.slots[rix].flows;
+        let n = members.len();
+        scr.rates.clear();
+        scr.rates.resize(n, f64::INFINITY);
+        scr.fixed.clear();
+        scr.fixed.resize(n, false);
+        let mut entries = 0usize;
+        for (k, &id) in members.iter().enumerate() {
+            let (s, len) = self.flows[id].span;
+            let route = &self.route_arena[s as usize..s as usize + len as usize];
+            entries += route.len();
             for &l in route {
                 if scr.unfixed[l] == 0 && scr.flows_on[l].is_empty() {
                     scr.touched.push(l);
@@ -424,119 +598,144 @@ impl Simulator {
                 scr.flows_on[l].push(k);
             }
         }
+        let mut n_unfixed = n;
 
-        let mut fixed = vec![false; n];
-        match self.rate_algo {
-            RateAlgo::Scan => {
-                while n_unfixed > 0 {
-                    // bottleneck link among touched ones
-                    let mut bott = usize::MAX;
-                    let mut fair = f64::INFINITY;
-                    for &l in &scr.touched {
-                        if scr.unfixed[l] > 0 {
-                            let f = scr.cap_rem[l] / scr.unfixed[l] as f64;
-                            if f < fair {
-                                fair = f;
-                                bott = l;
-                            }
-                        }
-                    }
-                    debug_assert_ne!(bott, usize::MAX);
-                    let fair = fair.max(0.0);
-                    // freeze flows on the bottleneck; iterate over an
-                    // index range to avoid aliasing the scratch borrow
-                    for fi in 0..scr.flows_on[bott].len() {
-                        let k = scr.flows_on[bott][fi];
-                        if fixed[k] {
-                            continue;
-                        }
-                        fixed[k] = true;
-                        n_unfixed -= 1;
-                        self.rates[k] = fair;
-                        for &l in &self.flows[self.active[k]].route {
-                            scr.unfixed[l] -= 1;
-                            scr.cap_rem[l] = (scr.cap_rem[l] - fair).max(0.0);
-                        }
-                    }
-                }
-            }
-            RateAlgo::Heap => {
-                scr.heap.clear();
-                for (i, &l) in scr.touched.iter().enumerate() {
-                    scr.pos[l] = i as u32;
-                    scr.version[l] = 0;
+        let use_heap = match self.rate_algo {
+            RateAlgo::Scan => false,
+            RateAlgo::Heap => true,
+            RateAlgo::Auto => auto_pick(scr.touched.len(), n, entries),
+        };
+        if !use_heap {
+            while n_unfixed > 0 {
+                // bottleneck link among touched ones
+                let mut bott = usize::MAX;
+                let mut fair = f64::INFINITY;
+                for &l in &scr.touched {
                     if scr.unfixed[l] > 0 {
-                        let share = scr.cap_rem[l] / scr.unfixed[l] as f64;
-                        scr.heap.push(Reverse((TimeKey(share), i as u32, l, 0)));
+                        let f = scr.cap_rem[l] / scr.unfixed[l] as f64;
+                        if f < fair {
+                            fair = f;
+                            bott = l;
+                        }
                     }
                 }
-                while n_unfixed > 0 {
-                    let Reverse((TimeKey(share), _, bott, ver)) =
-                        scr.heap.pop().expect("unfixed flows imply a live heap entry");
-                    // Lazy invalidation: entries outdated by later link
-                    // mutations (or fully frozen links) are skipped; the
-                    // survivor carries the link's *current* share, so the
-                    // selected bottleneck and rate equal the scan's.
-                    if scr.version[bott] != ver || scr.unfixed[bott] == 0 {
+                debug_assert_ne!(bott, usize::MAX);
+                let fair = fair.max(0.0);
+                // freeze flows on the bottleneck; iterate over an
+                // index range to avoid aliasing the scratch borrow
+                for fi in 0..scr.flows_on[bott].len() {
+                    let k = scr.flows_on[bott][fi];
+                    if scr.fixed[k] {
                         continue;
                     }
-                    let fair = share.max(0.0);
-                    scr.batch += 1;
-                    for fi in 0..scr.flows_on[bott].len() {
-                        let k = scr.flows_on[bott][fi];
-                        if fixed[k] {
-                            continue;
-                        }
-                        fixed[k] = true;
-                        n_unfixed -= 1;
-                        self.rates[k] = fair;
-                        for &l in &self.flows[self.active[k]].route {
-                            scr.unfixed[l] -= 1;
-                            scr.cap_rem[l] = (scr.cap_rem[l] - fair).max(0.0);
-                            if scr.mark[l] != scr.batch {
-                                scr.mark[l] = scr.batch;
-                                scr.changed.push(l);
-                            }
-                        }
+                    scr.fixed[k] = true;
+                    n_unfixed -= 1;
+                    scr.rates[k] = fair;
+                    let (s, len) = self.flows[members[k]].span;
+                    for &l in &self.route_arena[s as usize..s as usize + len as usize] {
+                        scr.unfixed[l] -= 1;
+                        scr.cap_rem[l] = (scr.cap_rem[l] - fair).max(0.0);
                     }
-                    // Re-key every link the batch mutated: bump its
-                    // version (invalidating old entries) and push one
-                    // fresh entry while it still has unfixed flows.
-                    for ci in 0..scr.changed.len() {
-                        let l = scr.changed[ci];
-                        scr.version[l] = scr.version[l].wrapping_add(1);
-                        if scr.unfixed[l] > 0 {
-                            let share = scr.cap_rem[l] / scr.unfixed[l] as f64;
-                            scr.heap.push(Reverse((
-                                TimeKey(share),
-                                scr.pos[l],
-                                l,
-                                scr.version[l],
-                            )));
-                        }
-                    }
-                    scr.changed.clear();
                 }
             }
-        }
-        self.dirty = false;
-    }
-
-    /// Advance simulated progress of active flows by `dt` at the cached
-    /// rates.
-    fn progress(&mut self, dt: f64) {
-        if dt <= 0.0 {
-            return;
-        }
-        for (k, &id) in self.active.iter().enumerate() {
-            let r = self.rates[k];
-            if r.is_finite() {
-                let f = &mut self.flows[id];
-                f.remaining = (f.remaining - r * dt).max(0.0);
-            } else {
-                self.flows[id].remaining = 0.0;
+        } else {
+            scr.heap.clear();
+            for (i, &l) in scr.touched.iter().enumerate() {
+                scr.pos[l] = i as u32;
+                scr.version[l] = 0;
+                if scr.unfixed[l] > 0 {
+                    let share = scr.cap_rem[l] / scr.unfixed[l] as f64;
+                    scr.heap.push(Reverse((TimeKey(share), i as u32, l, 0)));
+                }
+            }
+            while n_unfixed > 0 {
+                let Reverse((TimeKey(share), _, bott, ver)) =
+                    scr.heap.pop().expect("unfixed flows imply a live heap entry");
+                // Lazy invalidation: entries outdated by later link
+                // mutations (or fully frozen links) are skipped; the
+                // survivor carries the link's *current* share, so the
+                // selected bottleneck and rate equal the scan's.
+                if scr.version[bott] != ver || scr.unfixed[bott] == 0 {
+                    continue;
+                }
+                let fair = share.max(0.0);
+                scr.batch += 1;
+                for fi in 0..scr.flows_on[bott].len() {
+                    let k = scr.flows_on[bott][fi];
+                    if scr.fixed[k] {
+                        continue;
+                    }
+                    scr.fixed[k] = true;
+                    n_unfixed -= 1;
+                    scr.rates[k] = fair;
+                    let (s, len) = self.flows[members[k]].span;
+                    for &l in &self.route_arena[s as usize..s as usize + len as usize] {
+                        scr.unfixed[l] -= 1;
+                        scr.cap_rem[l] = (scr.cap_rem[l] - fair).max(0.0);
+                        if scr.mark[l] != scr.batch {
+                            scr.mark[l] = scr.batch;
+                            scr.changed.push(l);
+                        }
+                    }
+                }
+                // Re-key every link the batch mutated: bump its
+                // version (invalidating old entries) and push one
+                // fresh entry while it still has unfixed flows.
+                for ci in 0..scr.changed.len() {
+                    let l = scr.changed[ci];
+                    scr.version[l] = scr.version[l].wrapping_add(1);
+                    if scr.unfixed[l] > 0 {
+                        let share = scr.cap_rem[l] / scr.unfixed[l] as f64;
+                        scr.heap.push(Reverse((
+                            TimeKey(share),
+                            scr.pos[l],
+                            l,
+                            scr.version[l],
+                        )));
+                    }
+                }
+                scr.changed.clear();
             }
         }
+
+        // Apply: settle flows whose rate changed bitwise, rebuild the
+        // component's completion heap, publish one event-index entry.
+        let mut min_ct = f64::INFINITY;
+        for k in 0..n {
+            let id = self.comps.slots[rix].flows[k];
+            let r = self.scratch.rates[k];
+            let f = &mut self.flows[id];
+            if r.to_bits() != f.rate.to_bits() {
+                if now > f.anchor {
+                    f.remaining = (f.remaining - f.rate * (now - f.anchor)).max(0.0);
+                }
+                f.anchor = now;
+                f.rate = r;
+            }
+            let ct = if f.remaining <= BYTE_EPS {
+                f.anchor
+            } else {
+                f.anchor + f.remaining / f.rate
+            };
+            self.comps.slots[rix].completions.push(Reverse((TimeKey(ct), id)));
+            if TimeKey(ct) < TimeKey(min_ct) {
+                min_ct = ct;
+            }
+        }
+        let version = self.comps.slots[rix].version;
+        self.comps.index.push(Reverse((TimeKey(min_ct), root, version)));
+    }
+
+    /// Earliest cached completion across components, skipping index
+    /// entries stranded by merges and re-waterfills.
+    fn next_completion(&mut self) -> SimTime {
+        while let Some(&Reverse((TimeKey(t), root, version))) = self.comps.index.peek() {
+            if self.comps.entry_live(root, version) {
+                return t;
+            }
+            self.comps.index.pop();
+        }
+        f64::INFINITY
     }
 
     /// Process one event (a batch of arrivals or a batch of completions).
@@ -545,7 +744,7 @@ impl Simulator {
         // Activate any arrivals due "now" first.
         self.activate_due();
 
-        if self.active.is_empty() {
+        if self.n_active == 0 {
             // Jump to the next arrival, if any.
             match self.pending.peek() {
                 Some(&Reverse((TimeKey(t), _))) => {
@@ -557,24 +756,11 @@ impl Simulator {
             }
         }
 
-        if self.dirty {
-            self.recompute_rates();
-        }
+        // Re-waterfill dirtied components at the current time, before
+        // it advances past the membership change that dirtied them.
+        self.refill_dirty();
 
-        // Earliest completion among active flows.
-        let mut dt_complete = f64::INFINITY;
-        for (k, &id) in self.active.iter().enumerate() {
-            let f = &self.flows[id];
-            let dt = if self.rates[k].is_infinite() || f.remaining <= BYTE_EPS {
-                0.0
-            } else {
-                f.remaining / self.rates[k]
-            };
-            dt_complete = dt_complete.min(dt);
-        }
-        let t_complete = self.time + dt_complete;
-
-        // Earliest strictly-future arrival.
+        let t_complete = self.next_completion();
         let t_arrival = self
             .pending
             .peek()
@@ -582,72 +768,86 @@ impl Simulator {
             .unwrap_or(f64::INFINITY);
 
         if t_arrival < t_complete - TIME_EPS {
-            self.progress(t_arrival - self.time);
             self.time = t_arrival;
             self.activate_due();
         } else {
-            self.progress(dt_complete);
-            self.time = t_complete;
-            self.retire_done();
+            self.finish_due(t_complete);
         }
         true
     }
 
     /// Move pending flows whose start time has come into the active set.
     ///
-    /// Only arrivals that actually join the active set dirty the cached
-    /// rates: zero-byte and empty-route flows complete instantly without
+    /// Only arrivals that actually join a component dirty any rates:
+    /// zero-byte and empty-route flows complete instantly without
     /// changing any link's membership, so an event consisting solely of
     /// them (fences, barrier ops) triggers no rate recomputation.
     fn activate_due(&mut self) {
         while let Some(&Reverse((TimeKey(t), id))) = self.pending.peek() {
-            if t <= self.time + TIME_EPS {
-                self.pending.pop();
-                let f = &mut self.flows[id];
-                if f.remaining <= BYTE_EPS || f.route.is_empty() {
-                    self.record(id, TraceKind::Started);
-                    self.complete(id, self.time);
-                } else {
-                    f.status = FlowStatus::Active;
-                    self.active.push(id);
-                    self.record(id, TraceKind::Started);
-                    self.dirty = true;
-                }
-            } else {
+            if t > self.time + TIME_EPS {
                 break;
+            }
+            self.pending.pop();
+            let (start, len) = self.flows[id].span;
+            if self.flows[id].remaining <= BYTE_EPS || len == 0 {
+                self.record(id, TraceKind::Started);
+                self.complete(id, self.time);
+            } else {
+                let f = &mut self.flows[id];
+                f.status = FlowStatus::Active;
+                f.anchor = self.time;
+                f.rate = 0.0;
+                self.n_active += 1;
+                self.record(id, TraceKind::Started);
+                self.comps.ensure_links(self.caps.len());
+                let route = &self.route_arena[start as usize..start as usize + len as usize];
+                self.comps.attach(id, route);
             }
         }
     }
 
-    /// Retire active flows whose remaining bytes reached zero — or would
-    /// within the completion-slack window at their current rate.
-    fn retire_done(&mut self) {
-        let time = self.time;
-        let mut finished = Vec::new();
-        let mut keep = Vec::with_capacity(self.active.len());
-        let mut keep_rates = Vec::with_capacity(self.rates.len());
-        for (k, &id) in self.active.iter().enumerate() {
-            let rate = self.rates.get(k).copied().unwrap_or(0.0);
-            let threshold = if rate.is_finite() {
-                BYTE_EPS.max(rate * self.slack)
-            } else {
-                f64::INFINITY
-            };
-            if self.flows[id].remaining <= threshold {
-                finished.push(id);
-            } else {
-                keep.push(id);
-                keep_rates.push(rate);
+    /// Complete every flow due at `t_evt` — or within the completion-
+    /// slack window of it — across all components, and mark their
+    /// components dirty. Cross-component batching matches the classic
+    /// full-scan retirement: any component whose cached next completion
+    /// falls inside the window is drained at the event time.
+    fn finish_due(&mut self, t_evt: SimTime) {
+        self.time = t_evt;
+        let limit = TimeKey(t_evt + self.slack);
+        while let Some(&Reverse((t, root, version))) = self.comps.index.peek() {
+            if !self.comps.entry_live(root, version) {
+                self.comps.index.pop();
+                continue;
             }
-        }
-        if !finished.is_empty() {
-            self.active = keep;
-            self.rates = keep_rates;
-            self.dirty = true;
-            for id in finished {
-                self.complete(id, time);
+            if t > limit {
+                break;
             }
+            self.comps.index.pop();
+            self.drain_component(root, limit);
         }
+    }
+
+    /// Pop and complete this component's members whose cached completion
+    /// time is within `limit`, at the current time.
+    fn drain_component(&mut self, root: u32, limit: TimeKey) {
+        let t_evt = self.time;
+        let rix = root as usize;
+        while let Some(&Reverse((t, id))) = self.comps.slots[rix].completions.peek() {
+            if t > limit {
+                break;
+            }
+            self.comps.slots[rix].completions.pop();
+            debug_assert!(matches!(self.flows[id].status, FlowStatus::Active));
+            let (start, len) = self.flows[id].span;
+            let slot = &mut self.comps.slots[rix];
+            slot.live -= 1;
+            slot.route_entries -= len;
+            self.comps
+                .release_links(&self.route_arena[start as usize..start as usize + len as usize]);
+            self.n_active -= 1;
+            self.complete(id, t_evt);
+        }
+        self.comps.mark_dirty(root);
     }
 
     /// Run until every flow in `ids` has completed; returns the latest of
@@ -735,7 +935,7 @@ mod tests {
     #[test]
     fn empty_route_completes_at_start() {
         let mut s = sim(&[]);
-        let f = s.submit(2.0, vec![], 1e9);
+        let f = s.submit(2.0, Vec::<LinkIx>::new(), 1e9);
         s.run_to_idle();
         assert_eq!(s.finish_time(f), Some(2.0));
     }
@@ -902,22 +1102,101 @@ mod tests {
         assert!(s.trace().is_empty());
     }
 
+    #[test]
+    fn route_interning_dedups_identical_routes() {
+        let mut s = sim(&[10.0, 10.0, 10.0]);
+        for _ in 0..100 {
+            s.submit(0.0, vec![0, 1, 2], 1.0);
+        }
+        // 100 identical routes share one 3-entry span.
+        assert_eq!(s.route_arena.len(), 3);
+        s.submit(0.0, vec![2, 1, 0], 1.0); // different content, new span
+        assert_eq!(s.route_arena.len(), 6);
+        s.run_to_idle();
+        assert!((0..s.num_flows()).all(|f| s.finish_time(f).is_some()));
+    }
+
+    #[test]
+    fn scale_capacities_mid_flight_recomputes_rates() {
+        // A (200 B, link 0 @ 10 B/s) runs alone; B (10 B, link 1) is a
+        // disjoint component finishing at t=1. Degrading to 50% after
+        // B's completion must charge A its old rate up to t=1 (190 B
+        // left) and the degraded rate (5 B/s) after: 1 + 190/5 = 39.
+        let mut s = sim(&[10.0, 10.0]);
+        let a = s.submit(0.0, vec![0], 200.0);
+        let b = s.submit(0.0, vec![1], 10.0);
+        s.run_until_done(&[b]);
+        assert!((s.now() - 1.0).abs() < 1e-12);
+        s.scale_capacities(0.5);
+        s.run_to_idle();
+        assert!(
+            (s.finish_time(a).unwrap() - 39.0).abs() < 1e-9,
+            "degrade mid-flight not applied: finished at {:?}",
+            s.finish_time(a)
+        );
+    }
+
+    #[test]
+    fn degrade_between_rounds_matches_fresh_sim() {
+        // Round 1 at full capacity, degrade, round 2 — round 2's finish
+        // times must equal (bitwise) a fresh simulator built with the
+        // degraded capacities running only round 2.
+        let mut s1 = sim(&[40.0, 30.0, 20.0]);
+        let r1: Vec<_> = (0..6)
+            .map(|i| s1.submit(0.0, vec![i % 3], 10.0 + i as f64))
+            .collect();
+        let t_round = s1.run_until_done(&r1);
+        s1.scale_capacities(0.25);
+        let r2: Vec<_> = (0..6)
+            .map(|i| s1.submit(t_round + 1.0, vec![(i + 1) % 3, i % 3], 7.0 * (i + 1) as f64))
+            .collect();
+        s1.run_to_idle();
+
+        let mut s2 = sim(&[10.0, 7.5, 5.0]);
+        let f2: Vec<_> = (0..6)
+            .map(|i| s2.submit(t_round + 1.0, vec![(i + 1) % 3, i % 3], 7.0 * (i + 1) as f64))
+            .collect();
+        s2.run_to_idle();
+        for (a, b) in r2.iter().zip(&f2) {
+            assert_eq!(
+                s1.finish_time(*a).map(f64::to_bits),
+                s2.finish_time(*b).map(f64::to_bits),
+                "round-2 flow diverged after mid-run degrade"
+            );
+        }
+    }
+
+    #[test]
+    fn add_virtual_link_mid_flight_joins_components() {
+        let mut s = sim(&[10.0]);
+        let a = s.submit(0.0, vec![0], 100.0); // 10 s alone
+        s.run_until_done(&[]); // no-op, still at t=0
+        let v = s.add_virtual_link(2.0);
+        let b = s.submit(0.0, vec![0, v], 20.0);
+        s.run_to_idle();
+        // b bottlenecks on v at 2 B/s -> 10 s; a gets the remaining 8.
+        assert!((s.finish_time(b).unwrap() - 10.0).abs() < 1e-9);
+        assert!(s.finish_time(a).unwrap() > 10.0);
+    }
+
     mod algo_equivalence {
         use super::*;
 
-        fn mix(mut x: u64) -> u64 {
-            x ^= x >> 30;
-            x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            x ^= x >> 27;
-            x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
-            x ^ (x >> 31)
+        fn mix(x: u64) -> u64 {
+            super::super::mix64(x)
         }
 
         /// Bit patterns of every flow's finish time after running the
-        /// scenario built by `build` under the given algorithm.
-        fn finishes(algo: RateAlgo, build: impl Fn(&mut Simulator)) -> Vec<u64> {
+        /// scenario built by `build` under the given algorithm and
+        /// recompute mode.
+        fn finishes(
+            algo: RateAlgo,
+            mode: Recompute,
+            build: impl Fn(&mut Simulator),
+        ) -> Vec<u64> {
             let mut s = Simulator::with_capacities(Vec::new());
             s.set_rate_algo(algo);
+            s.set_recompute(mode);
             build(&mut s);
             s.run_to_idle();
             (0..s.num_flows())
@@ -925,12 +1204,26 @@ mod tests {
                 .collect()
         }
 
+        fn assert_identical_labeled(label: &str, build: impl Fn(&mut Simulator)) {
+            let reference = finishes(RateAlgo::Scan, Recompute::Full, &build);
+            for algo in [RateAlgo::Scan, RateAlgo::Heap, RateAlgo::Auto] {
+                for mode in [Recompute::Full, Recompute::Incremental] {
+                    assert_eq!(
+                        reference,
+                        finishes(algo, mode, &build),
+                        "{label}: {algo:?}/{mode:?} diverged from Scan/Full"
+                    );
+                }
+            }
+        }
+
         fn assert_identical(build: impl Fn(&mut Simulator)) {
-            assert_eq!(finishes(RateAlgo::Scan, &build), finishes(RateAlgo::Heap, &build));
+            assert_identical_labeled("scenario", build);
         }
 
         /// The analytic scenarios from the tests above, replayed under
-        /// both algorithms: finish times must match to the last bit.
+        /// every algorithm x recompute mode: finish times must match the
+        /// Scan/Full reference to the last bit.
         #[test]
         fn analytic_scenarios_bit_identical() {
             assert_identical(|s| {
@@ -970,7 +1263,8 @@ mod tests {
 
         /// Seeded sweep over irregular scenarios — staggered arrivals,
         /// shared links, dependency gating, zero-byte fences, completion
-        /// slack — asserting bit-identical schedules throughout.
+        /// slack, mid-run capacity degrades — asserting bit-identical
+        /// schedules throughout.
         #[test]
         fn seeded_sweep_bit_identical() {
             for case in 0u64..60 {
@@ -1001,12 +1295,15 @@ mod tests {
                         let bytes = if i % 7 == 6 { 0.0 } else { bytes };
                         s.submit_with_deps(start, 0.0, route, bytes, &deps);
                     }
+                    if case % 4 == 1 {
+                        // degrade mid-flight: run partway, scale, finish
+                        for _ in 0..3 {
+                            s.step();
+                        }
+                        s.scale_capacities(0.5);
+                    }
                 };
-                assert_eq!(
-                    finishes(RateAlgo::Scan, build),
-                    finishes(RateAlgo::Heap, build),
-                    "case {case}"
-                );
+                assert_identical_labeled(&format!("case {case}"), build);
             }
         }
     }
@@ -1015,12 +1312,8 @@ mod tests {
         use super::*;
         use crate::fairshare::{max_min_rates, FlowDemand};
 
-        fn mix(mut x: u64) -> u64 {
-            x ^= x >> 30;
-            x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            x ^= x >> 27;
-            x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
-            x ^ (x >> 31)
+        fn mix(x: u64) -> u64 {
+            super::super::mix64(x)
         }
 
         /// The engine's allocation-free waterfilling agrees with the
@@ -1044,7 +1337,7 @@ mod tests {
 
                 let mut s = Simulator::with_capacities(caps.to_vec());
                 for (route, bytes) in &specs {
-                    s.submit(0.0, route.clone(), *bytes);
+                    s.submit(0.0, route, *bytes);
                 }
                 let demands: Vec<FlowDemand> = specs
                     .iter()
@@ -1092,7 +1385,7 @@ mod tests {
                 let mut s = Simulator::with_capacities(caps.to_vec());
                 let ids: Vec<_> = specs
                     .iter()
-                    .map(|(t, route, bytes)| s.submit(*t, route.clone(), *bytes))
+                    .map(|(t, route, bytes)| s.submit(*t, route, *bytes))
                     .collect();
                 s.run_to_idle();
                 for (id, (t, route, bytes)) in ids.iter().zip(&specs) {

@@ -23,10 +23,11 @@
 //! (aggregator -> storage) with start times derived from TAPIOCA's fence
 //! semantics, and reads back completion times.
 
+mod components;
 pub mod engine;
 pub mod fairshare;
 
-pub use engine::{FlowId, FlowStatus, RateAlgo, Simulator, TraceEvent, TraceKind};
+pub use engine::{FlowId, FlowStatus, RateAlgo, Recompute, Simulator, TraceEvent, TraceKind};
 pub use fairshare::{max_min_rates, FlowDemand};
 
 /// Simulated time, in seconds since simulation start.

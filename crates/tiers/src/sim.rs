@@ -23,7 +23,7 @@ use tapioca::schedule::{compute_schedule, ScheduleParams};
 use tapioca::sim_exec::CollectiveSpec;
 use tapioca_netsim::{FlowId, SimTime, Simulator};
 use tapioca_pfs::{AccessMode, FlushReq, LustreModel, LustreTunables};
-use tapioca_topology::{MachineProfile, NodeId, Rank, StorageProfile, TopologyProvider};
+use tapioca_topology::{LinkIx, MachineProfile, NodeId, Rank, StorageProfile, TopologyProvider};
 
 use crate::tier::{Destination, Tier, TierSpec, TieredConfig};
 
@@ -198,8 +198,10 @@ pub fn run_tiered_sim(
         }
     }
 
-    // Submit flows.
+    // Submit flows. One scratch route buffer serves every submission —
+    // the simulator interns routes, so owned Vecs buy nothing.
     let latency = net.hop_latency();
+    let mut route_buf: Vec<LinkIx> = Vec::new();
     let mut safe_flows: Vec<FlowId> = Vec::new();
     let mut pfs_flows: Vec<FlowId> = Vec::new();
     for (pi, part) in parts.iter().enumerate() {
@@ -223,11 +225,13 @@ pub fn run_tiered_sim(
             let transfers: Vec<FlowId> = row
                 .iter()
                 .map(|&(node, bytes)| {
-                    let mut route =
-                        if node == agg { Vec::new() } else { net.route(node, agg).links };
-                    let hops = route.len();
-                    route.push(buf_link); // tier ingestion
-                    sim.submit_with_deps(0.0, latency * hops as f64, route, bytes, &gate)
+                    route_buf.clear();
+                    if node != agg {
+                        net.route_into(node, agg, &mut route_buf);
+                    }
+                    let hops = route_buf.len();
+                    route_buf.push(buf_link); // tier ingestion
+                    sim.submit_with_deps(0.0, latency * hops as f64, &route_buf, bytes, &gate)
                 })
                 .collect();
 
@@ -243,16 +247,18 @@ pub fn run_tiered_sim(
                         .unwrap_or_default()
                         .into_iter()
                         .map(|pf| {
-                            let mut route = match pf.attach_node {
-                                Some(a) if a != agg => net.route(agg, a).links,
-                                _ => Vec::new(),
-                            };
-                            let hops = route.len();
-                            route.extend_from_slice(&pf.storage_route);
+                            route_buf.clear();
+                            if let Some(a) = pf.attach_node {
+                                if a != agg {
+                                    net.route_into(agg, a, &mut route_buf);
+                                }
+                            }
+                            let hops = route_buf.len();
+                            route_buf.extend_from_slice(&pf.storage_route);
                             sim.submit_with_deps(
                                 0.0,
                                 pf.delay + latency * hops as f64,
-                                route,
+                                &route_buf,
                                 pf.bytes,
                                 &deps,
                             )
@@ -275,7 +281,7 @@ pub fn run_tiered_sim(
                     if let Some(prev) = stage_hist.last() {
                         deps.extend_from_slice(prev);
                     }
-                    let stage = sim.submit_with_deps(0.0, 0.0, vec![ssd_w], bytes, &deps);
+                    let stage = sim.submit_with_deps(0.0, 0.0, [ssd_w], bytes, &deps);
                     safe_flows.push(stage);
                     // drain: flash -> fabric -> Lustre, serialized per node
                     let mut ddeps = vec![stage];
@@ -287,18 +293,19 @@ pub fn run_tiered_sim(
                         .unwrap_or_default()
                         .into_iter()
                         .map(|pf| {
-                            let mut route = vec![ssd_r];
-                            let fabric = match pf.attach_node {
-                                Some(a) if a != agg => net.route(agg, a).links,
-                                _ => Vec::new(),
-                            };
-                            let hops = fabric.len();
-                            route.extend_from_slice(&fabric);
-                            route.extend_from_slice(&pf.storage_route);
+                            route_buf.clear();
+                            route_buf.push(ssd_r);
+                            if let Some(a) = pf.attach_node {
+                                if a != agg {
+                                    net.route_into(agg, a, &mut route_buf);
+                                }
+                            }
+                            let hops = route_buf.len() - 1;
+                            route_buf.extend_from_slice(&pf.storage_route);
                             sim.submit_with_deps(
                                 0.0,
                                 pf.delay + latency * hops as f64,
-                                route,
+                                &route_buf,
                                 pf.bytes,
                                 &ddeps,
                             )

@@ -186,6 +186,30 @@ impl Dragonfly {
         }
     }
 
+    /// Append the minimal route `src -> dst` to `links`.
+    fn route_links(&self, src: NodeId, dst: NodeId, links: &mut Vec<LinkIx>) {
+        if src == dst {
+            return;
+        }
+        let rs = self.router_of(src);
+        let rt = self.router_of(dst);
+        links.push(self.injection_ix(src, 0));
+        if rs != rt {
+            let gs = self.group_of(src);
+            let gt = self.group_of(dst);
+            if gs == gt {
+                self.push_intra_route(rs, rt, links);
+            } else {
+                let gw_s = self.gateway(gs, gt);
+                let gw_t = self.gateway(gt, gs);
+                self.push_intra_route(rs, gw_s, links);
+                links.push(self.optical_ix(gs, gt));
+                self.push_intra_route(gw_t, rt, links);
+            }
+        }
+        links.push(self.injection_ix(dst, 1));
+    }
+
     /// Router-level hop count of the minimal intra-group route.
     fn intra_hops(&self, a: usize, b: usize) -> u32 {
         if a == b {
@@ -224,28 +248,13 @@ impl Interconnect for Dragonfly {
     }
 
     fn route(&self, src: NodeId, dst: NodeId) -> Route {
-        if src == dst {
-            return Route::default();
-        }
         let mut links = Vec::with_capacity(7);
-        let rs = self.router_of(src);
-        let rt = self.router_of(dst);
-        links.push(self.injection_ix(src, 0));
-        if rs != rt {
-            let gs = self.group_of(src);
-            let gt = self.group_of(dst);
-            if gs == gt {
-                self.push_intra_route(rs, rt, &mut links);
-            } else {
-                let gw_s = self.gateway(gs, gt);
-                let gw_t = self.gateway(gt, gs);
-                self.push_intra_route(rs, gw_s, &mut links);
-                links.push(self.optical_ix(gs, gt));
-                self.push_intra_route(gw_t, rt, &mut links);
-            }
-        }
-        links.push(self.injection_ix(dst, 1));
+        self.route_links(src, dst, &mut links);
         Route { links }
+    }
+
+    fn route_into(&self, src: NodeId, dst: NodeId, out: &mut Vec<LinkIx>) {
+        self.route_links(src, dst, out);
     }
 
     fn hop_distance(&self, src: NodeId, dst: NodeId) -> u32 {

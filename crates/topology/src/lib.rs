@@ -116,6 +116,15 @@ pub trait Interconnect: Send + Sync {
     /// Deterministic route from `src` to `dst` (empty when `src == dst`).
     fn route(&self, src: NodeId, dst: NodeId) -> Route;
 
+    /// Append the links of `route(src, dst)` to `out`.
+    ///
+    /// Submission loops that build one route per flow call this with a
+    /// reused scratch buffer; implementations override it to write links
+    /// directly instead of allocating a fresh [`Route`] per call.
+    fn route_into(&self, src: NodeId, dst: NodeId, out: &mut Vec<LinkIx>) {
+        out.extend_from_slice(&self.route(src, dst).links);
+    }
+
     /// Hop distance, i.e. `route(src, dst).hops()` but cheaper to compute.
     fn hop_distance(&self, src: NodeId, dst: NodeId) -> u32;
 

@@ -148,11 +148,43 @@ impl Torus {
     /// Route from `node` to the I/O node of its Pset: torus hops to the
     /// nearest bridge node, then the bridge's I/O forward link.
     pub fn io_route(&self, node: NodeId) -> Route {
+        let mut r = Route::default();
+        self.io_route_into(node, &mut r.links);
+        r
+    }
+
+    /// Append the links of [`Self::io_route`] to `out`.
+    pub fn io_route_into(&self, node: NodeId, out: &mut Vec<LinkIx>) {
         let p = self.pset_of(node);
         let (bridge, k) = self.nearest_bridge(node);
-        let mut r = self.route(node, bridge);
-        r.links.push(self.io_link_ix(p, k));
-        r
+        self.route_links(node, bridge, out);
+        out.push(self.io_link_ix(p, k));
+    }
+
+    /// Append the dimension-ordered route `src -> dst` to `links`.
+    fn route_links(&self, src: NodeId, dst: NodeId, links: &mut Vec<LinkIx>) {
+        let nd = self.space.ndims();
+        let mut cur = self.space.coords_of(src);
+        let dstc = self.space.coords_of(dst);
+        for d in 0..nd {
+            let delta = self.space.ring_delta(d, cur[d], dstc[d]);
+            let (steps, dir) = if delta >= 0 {
+                (delta as usize, 0)
+            } else {
+                ((-delta) as usize, 1)
+            };
+            let extent = self.space.dims()[d];
+            for _ in 0..steps {
+                let node = self.space.coords_to_id(&cur);
+                links.push(self.torus_link_ix(node, d, dir));
+                cur[d] = if dir == 0 {
+                    (cur[d] + 1) % extent
+                } else {
+                    (cur[d] + extent - 1) % extent
+                };
+            }
+        }
+        debug_assert_eq!(cur, dstc);
     }
 
     /// Hop distance from a node to its Pset's I/O node
@@ -188,30 +220,13 @@ impl Interconnect for Torus {
     }
 
     fn route(&self, src: NodeId, dst: NodeId) -> Route {
-        let nd = self.space.ndims();
-        let mut cur = self.space.coords_of(src);
-        let dstc = self.space.coords_of(dst);
         let mut links = Vec::new();
-        for d in 0..nd {
-            let delta = self.space.ring_delta(d, cur[d], dstc[d]);
-            let (steps, dir) = if delta >= 0 {
-                (delta as usize, 0)
-            } else {
-                ((-delta) as usize, 1)
-            };
-            let extent = self.space.dims()[d];
-            for _ in 0..steps {
-                let node = self.space.coords_to_id(&cur);
-                links.push(self.torus_link_ix(node, d, dir));
-                cur[d] = if dir == 0 {
-                    (cur[d] + 1) % extent
-                } else {
-                    (cur[d] + extent - 1) % extent
-                };
-            }
-        }
-        debug_assert_eq!(cur, dstc);
+        self.route_links(src, dst, &mut links);
         Route { links }
+    }
+
+    fn route_into(&self, src: NodeId, dst: NodeId, out: &mut Vec<LinkIx>) {
+        self.route_links(src, dst, out);
     }
 
     fn hop_distance(&self, src: NodeId, dst: NodeId) -> u32 {
