@@ -5,9 +5,7 @@
 
 use std::hint::black_box;
 use std::time::Instant;
-use tapioca::api::Tapioca;
-use tapioca::config::TapiocaConfig;
-use tapioca::schedule::WriteDecl;
+use tapioca::prelude::*;
 use tapioca::sim_exec::{run_tapioca_sim, CollectiveSpec, GroupSpec, StorageConfig};
 use tapioca_mpi::{Runtime, SharedFile};
 use tapioca_pfs::{AccessMode, LustreTunables};
@@ -58,12 +56,15 @@ fn bench_thread_pipeline() {
             let r = comm.rank() as u64;
             let per = 64 * 1024u64;
             let decls = vec![WriteDecl { offset: r * per, len: per }];
-            let mut io = Tapioca::init(&comm, file, decls, TapiocaConfig {
-                num_aggregators: 2,
-                buffer_size: 16 * 1024,
-                ..Default::default()
-            })
-            .expect("init failed");
+            let mut io = Session::builder(&comm, file)
+                .declarations(decls)
+                .config(TapiocaConfig {
+                    num_aggregators: 2,
+                    buffer_size: 16 * 1024,
+                    ..Default::default()
+                })
+                .build()
+                .expect("init failed");
             io.write(r * per, &vec![r as u8; per as usize]).expect("write failed");
             io.finalize();
         });

@@ -22,9 +22,7 @@
 
 use std::sync::Arc;
 
-use tapioca::api::Tapioca;
-use tapioca::config::TapiocaConfig;
-use tapioca::schedule::WriteDecl;
+use tapioca::prelude::*;
 use tapioca::sim_exec::{run_tapioca_sim, CollectiveSpec, GroupSpec, StorageConfig};
 use tapioca_check::{check, parse_jsonl, Violation};
 use tapioca_mpi::{FaultPlan, FaultSpec, Runtime, SharedFile};
@@ -151,9 +149,12 @@ fn thread_trace(w: &Workload, label: &str, seed: Option<u64>) -> Trace {
     let body = move |comm: tapioca_mpi::Comm| {
         let file = SharedFile::open_shared(&comm, &path2);
         let mine = decls[comm.rank()].clone();
-        let mut io =
-            Tapioca::init_with_topology(&comm, file, mine.clone(), cfg.clone(), machine.clone())
-                .expect("init failed");
+        let mut io = Session::builder(&comm, file)
+            .declarations(mine.clone())
+            .config(cfg.clone())
+            .topology(machine.clone())
+            .build()
+            .expect("init failed");
         for d in &mine {
             io.write(d.offset, &vec![0xC3u8; d.len as usize]).expect("write failed");
         }

@@ -18,6 +18,27 @@
 //! The net effect is the paper's overlap: the flush of round `r` runs
 //! concurrently with the puts of round `r + 1`.
 //!
+//! ## Execution drivers
+//!
+//! The pipeline state of one partition lives in `PartitionRun`:
+//! election results, the RMA window, the in-flight flush slots, and the
+//! fault schedule. Rounds are executed one at a time through
+//! `PartitionRun::run_round`, pulling payload bytes from a
+//! `ChunkSource`. Two drivers share this machinery:
+//!
+//! * [`run_write_pipeline`] — the *batch* driver: all payloads are at
+//!   hand (a `StagedSource`), so it simply runs every round of every
+//!   partition back to back. The baseline and equivalence tests use it
+//!   as the reference executor.
+//! * the *streaming* session in [`crate::api`] — rounds run as soon as
+//!   their contributions arrive at `write()` call sites, and partition
+//!   state is cached across epochs (`CachedPart`) so repeated
+//!   checkpoints skip subgroup formation, election, and window
+//!   allocation.
+//!
+//! Both drivers issue the identical collective sequence, so file bytes,
+//! traces, and stats cannot diverge between them.
+//!
 //! ## Fault handling
 //!
 //! When the config carries a [`tapioca_mpi::FaultPlan`], the pipeline
@@ -41,9 +62,11 @@
 //!   (or a declared stall) is detected *before* the round runs — every
 //!   member writes its own remaining chunks directly to the file and the
 //!   partition exits through one barrier. Slower, but deadlock-free and
-//!   byte-identical.
+//!   byte-identical. `run_round` reports the degrade to its driver,
+//!   which performs the direct writes (the batch driver immediately;
+//!   the streaming session as the remaining bytes arrive).
 
-use tapioca_mpi::{Comm, IoHandle, SharedFile, Window};
+use tapioca_mpi::{Comm, IoError, IoHandle, SharedFile, Window};
 use tapioca_topology::TopologyProvider;
 
 #[cfg(feature = "trace")]
@@ -54,7 +77,7 @@ use tapioca_trace::TraceScope;
 use crate::config::TapiocaConfig;
 use crate::error::{io_err, Result};
 use crate::placement::election_cost;
-use crate::schedule::{FlushSegment, Schedule};
+use crate::schedule::{Chunk, FlushSegment, PartitionInfo, Schedule};
 
 /// Key namespace so several `Tapioca` instances on one communicator
 /// never collide in the subgroup registry.
@@ -95,6 +118,12 @@ pub struct IoStats {
     /// per-rank writes (every member counts its own participation, so
     /// each rank can report a degraded outcome).
     pub degraded: u64,
+    /// Bytes copied into pending staging buffers by the streaming
+    /// session because they arrived before (or after) the round that
+    /// consumes them could run. Zero for in-order call sequences — the
+    /// streamed payload then flows straight from the caller's slice
+    /// into the RMA window.
+    pub staging_copy_bytes: u64,
 }
 
 impl IoStats {
@@ -111,6 +140,27 @@ impl IoStats {
         self.retries += other.retries;
         self.reelections += other.reelections;
         self.degraded += other.degraded;
+        self.staging_copy_bytes += other.staging_copy_bytes;
+    }
+}
+
+/// Where `run_round` reads the payload of a chunk from. `idx` is the
+/// chunk's position in the partition chunk slice handed to `run_round`,
+/// letting the streaming session address its per-chunk state without
+/// searching.
+pub(crate) trait ChunkSource {
+    /// The bytes of chunk `c` (this rank's `idx`-th chunk of the
+    /// partition being run).
+    fn chunk_data(&self, idx: usize, c: &Chunk) -> &[u8];
+}
+
+/// Batch source: every declared variable fully materialized, indexed by
+/// `Chunk::var` / `Chunk::var_offset`.
+pub(crate) struct StagedSource<'a>(pub &'a [Vec<u8>]);
+
+impl ChunkSource for StagedSource<'_> {
+    fn chunk_data(&self, _idx: usize, c: &Chunk) -> &[u8] {
+        &self.0[c.var][c.var_offset as usize..(c.var_offset + c.len) as usize]
     }
 }
 
@@ -123,21 +173,22 @@ struct Flight {
     slot: usize,
 }
 
-/// Wait for one in-flight flush; on failure or timeout, fall back to a
-/// synchronous direct write of the same bytes (from the reclaimed buffer
-/// when the worker handed it back, else re-read from the window slot).
+/// Settle the completed (or failed) parts of one flush: recycle the
+/// reclaimed buffer on success, fall back to a synchronous direct write
+/// of the same bytes on failure (from the reclaimed buffer when the
+/// worker handed it back, else re-read from the window slot).
 #[allow(clippy::too_many_arguments)]
-fn settle_flight(
-    f: Flight,
+fn settle_parts(
+    buf: Option<Vec<u8>>,
+    err: Option<IoError>,
+    seg: FlushSegment,
+    slot: usize,
     win: &Window,
     my_idx: usize,
     b: usize,
     file: &SharedFile,
-    timeout: std::time::Duration,
     free_bufs: &mut Vec<Vec<u8>>,
 ) -> Result<()> {
-    let Flight { handle, seg, slot } = f;
-    let (buf, err) = handle.wait_parts_timeout(Some(timeout));
     match err {
         None => {
             free_bufs.extend(buf);
@@ -160,42 +211,116 @@ fn settle_flight(
     }
 }
 
-/// Run the write pipeline for this rank. `staged[var]` holds the data of
-/// the rank's declared write `var`; lengths must match the declarations
-/// used to compute `schedule`.
-pub fn run_write_pipeline(
-    comm: &Comm,
-    schedule: &Schedule,
-    staged: &[Vec<u8>],
+/// Wait for one in-flight flush, then settle it (see [`settle_parts`]).
+fn settle_flight(
+    f: Flight,
+    win: &Window,
+    my_idx: usize,
+    b: usize,
     file: &SharedFile,
-    cfg: &TapiocaConfig,
-    topo: &dyn TopologyProvider,
-    epoch: u64,
-) -> Result<IoStats> {
-    let me = comm.rank();
-    let b = cfg.buffer_size as usize;
-    let policy = cfg.io_policy;
-    let mut stats = IoStats::default();
+    timeout: std::time::Duration,
+    free_bufs: &mut Vec<Vec<u8>>,
+) -> Result<()> {
+    let Flight { handle, seg, slot } = f;
+    let (buf, err) = handle.wait_parts_timeout(Some(timeout));
+    settle_parts(buf, err, seg, slot, win, my_idx, b, file, free_bufs)
+}
 
-    for part in &schedule.partitions {
-        if part.members.binary_search(&me).is_err() {
-            continue;
-        }
-        let pcomm = comm.subgroup(&part.members, subgroup_key(epoch, part.index));
+/// What [`PartitionRun::run_round`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RoundOutcome {
+    /// The round's puts, fences, and flush executed; the run advanced.
+    Ran,
+    /// The partition degraded *at* this round: the fault schedule
+    /// exhausts the retry budget here, so no collective work ran. The
+    /// driver must write every remaining chunk (round `>=` the current
+    /// [`PartitionRun::next_round`]) directly to the file, then call
+    /// [`PartitionRun::finish`].
+    Degraded,
+}
+
+/// Partition state worth keeping across epochs when the declarations —
+/// and therefore the schedule and the election inputs — are unchanged:
+/// the sub-communicator, the MINLOC winner and this rank's cost, the
+/// RMA window (with both pipeline buffers), and the recycled flush
+/// buffers. Only cacheable for fault-free configs (a crash replaces the
+/// window mid-run).
+pub(crate) struct CachedPart {
+    pcomm: Comm,
+    agg_idx: usize,
+    my_cost: f64,
+    win: Window,
+    free_bufs: Vec<Vec<u8>>,
+}
+
+/// The live pipeline state of one partition on this rank, between
+/// [`PartitionRun::enter`] and [`PartitionRun::finish`]. Drivers feed
+/// it rounds in ascending order; it performs the collective sequence of
+/// Algorithm 3 exactly as the historical batch loop did.
+pub(crate) struct PartitionRun {
+    pcomm: Comm,
+    #[cfg(feature = "trace")]
+    me: usize,
+    my_idx: usize,
+    agg_idx: usize,
+    my_cost: f64,
+    win: Window,
+    inflight: [Vec<Flight>; 2],
+    free_bufs: Vec<Vec<u8>>,
+    /// First round replayed through a re-elected standby; window slot
+    /// of round r is (r - base) % 2 so the fresh window starts at 0.
+    base: usize,
+    crash_round: Option<usize>,
+    degrade_at: Option<usize>,
+    /// Next round to execute; on a degrade outcome this stays at the
+    /// degrade round.
+    pub(crate) next_round: usize,
+    degraded: bool,
+}
+
+impl PartitionRun {
+    /// Join partition `part`: form (or restore) the sub-communicator,
+    /// elect (or restore) the aggregator, allocate (or reuse) the RMA
+    /// window, and derive the fault schedule. With a [`CachedPart`] the
+    /// collective prologue — subgroup formation, `allreduce(MINLOC)`,
+    /// window allocation — is skipped entirely; the trace scope and the
+    /// election event are still re-recorded so every epoch's trace is
+    /// self-contained.
+    pub(crate) fn enter(
+        comm: &Comm,
+        part: &PartitionInfo,
+        cfg: &TapiocaConfig,
+        topo: &dyn TopologyProvider,
+        epoch: u64,
+        cache: Option<CachedPart>,
+        stats: &mut IoStats,
+    ) -> PartitionRun {
+        let b = cfg.buffer_size as usize;
+        #[allow(unused_mut)]
+        let (pcomm, agg_idx, my_cost, mut win, free_bufs) = match cache {
+            Some(c) => (c.pcomm, c.agg_idx, c.my_cost, c.win, c.free_bufs),
+            None => {
+                let pcomm = comm.subgroup(&part.members, subgroup_key(epoch, part.index));
+                let my_idx = pcomm.rank();
+
+                // Aggregator election: my cost, MINLOC across the
+                // partition.
+                let io = topo.io_nodes_for(&part.members).first().copied().unwrap_or(0);
+                let my_cost = election_cost(
+                    topo,
+                    &part.members,
+                    &part.member_bytes,
+                    io,
+                    part.index,
+                    cfg.strategy,
+                    my_idx,
+                );
+                let (_, agg_idx) = pcomm.allreduce_min_loc(my_cost);
+                let win = Window::allocate(&pcomm, if my_idx == agg_idx { 2 * b } else { 0 });
+                (pcomm, agg_idx, my_cost, win, Vec::new())
+            }
+        };
         let my_idx = pcomm.rank();
-
-        // Aggregator election: my cost, MINLOC across the partition.
-        let io = topo.io_nodes_for(&part.members).first().copied().unwrap_or(0);
-        let my_cost = election_cost(
-            topo,
-            &part.members,
-            &part.member_bytes,
-            io,
-            part.index,
-            cfg.strategy,
-            my_idx,
-        );
-        let (_, mut agg_idx) = pcomm.allreduce_min_loc(my_cost);
         stats.partitions += 1;
         if my_idx == agg_idx {
             stats.elected += 1;
@@ -206,6 +331,7 @@ pub fn run_write_pipeline(
         // meaningful with a standby available) and the first round whose
         // injected fault exhausts the retry budget.
         let plan = cfg.faults.as_ref();
+        let policy = cfg.io_policy;
         let nrounds = part.rounds.len();
         let crash_round: Option<usize> = plan
             .and_then(|p| p.crash_at(part.index as u32))
@@ -220,237 +346,360 @@ pub fn run_write_pipeline(
             })
         });
 
-        let mut win = Window::allocate(&pcomm, if my_idx == agg_idx { 2 * b } else { 0 });
         // Attach this rank's trace scope to the window so puts and
         // fences are recorded at their call sites. The election result
         // is recorded once per partition, by the lowest member.
         #[cfg(feature = "trace")]
         if let Some(tracer) = &cfg.tracer {
-            let scope =
-                TraceScope::new(Arc::clone(tracer), me, part.index as u32, part.members.clone());
+            let scope = TraceScope::new(
+                Arc::clone(tracer),
+                comm.rank(),
+                part.index as u32,
+                part.members.clone(),
+            );
             if my_idx == 0 {
                 scope.elect(part.members[agg_idx], part.total_bytes());
             }
             win.set_trace_scope(scope);
         }
-        let mut inflight: [Vec<Flight>; 2] = [Vec::new(), Vec::new()];
-        // Flush buffers reclaimed from completed writes, refilled with
-        // `read_local_into`: after warm-up the drain loop allocates
-        // nothing per round.
-        let mut free_bufs: Vec<Vec<u8>> = Vec::new();
-        // First round replayed through a re-elected standby; window slot
-        // of round r is (r - base) % 2 so the fresh window starts at 0.
-        let mut base = 0usize;
 
-        let my_chunks: Vec<_> = schedule.chunks_by_rank[me]
-            .iter()
-            .filter(|c| c.partition == part.index)
-            .collect();
-
-        for (r, round) in part.rounds.iter().enumerate() {
+        PartitionRun {
+            pcomm,
             #[cfg(feature = "trace")]
-            if let Some(scope) = win.trace_scope() {
+            me: comm.rank(),
+            my_idx,
+            agg_idx,
+            my_cost,
+            win,
+            inflight: [Vec::new(), Vec::new()],
+            free_bufs,
+            base: 0,
+            crash_round,
+            degrade_at,
+            next_round: 0,
+            degraded: false,
+        }
+    }
+
+    /// Blocking drain of one in-flight slot, in launch order.
+    fn drain_slot(&mut self, slot: usize, file: &SharedFile, cfg: &TapiocaConfig) -> Result<()> {
+        let b = cfg.buffer_size as usize;
+        for f in std::mem::take(&mut self.inflight[slot]) {
+            settle_flight(
+                f,
+                &self.win,
+                self.my_idx,
+                b,
+                file,
+                cfg.io_policy.op_timeout,
+                &mut self.free_bufs,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Opportunistic, non-blocking drain: settle whichever flights of
+    /// `slot` already completed (reclaiming their buffers into
+    /// `free_bufs`) and keep the rest in flight, order preserved. The
+    /// streaming path uses this so a round never blocks on a flush that
+    /// the double-buffer discipline does not require to be finished yet.
+    fn harvest_completed(
+        &mut self,
+        slot: usize,
+        file: &SharedFile,
+        cfg: &TapiocaConfig,
+    ) -> Result<()> {
+        let b = cfg.buffer_size as usize;
+        let flights = std::mem::take(&mut self.inflight[slot]);
+        for f in flights {
+            match f.handle.try_parts() {
+                Ok((buf, err)) => settle_parts(
+                    buf,
+                    err,
+                    f.seg,
+                    f.slot,
+                    &self.win,
+                    self.my_idx,
+                    b,
+                    file,
+                    &mut self.free_bufs,
+                )?,
+                Err(handle) => {
+                    self.inflight[slot].push(Flight { handle, seg: f.seg, slot: f.slot })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute round `self.next_round` of `part`. `chunks` is this
+    /// rank's full chunk slice of the partition (sorted by
+    /// `(round, file_offset)`); `src` supplies each chunk's bytes.
+    ///
+    /// On [`RoundOutcome::Ran`] the run advanced to the next round. On
+    /// [`RoundOutcome::Degraded`] the in-flight flushes were drained and
+    /// the barrier obligations recorded, but the remaining chunks are
+    /// the *driver's* to write directly (their offsets are disjoint from
+    /// everything the pipeline flushed, so ordering cannot change file
+    /// bytes).
+    pub(crate) fn run_round(
+        &mut self,
+        part: &PartitionInfo,
+        chunks: &[Chunk],
+        file: &SharedFile,
+        cfg: &TapiocaConfig,
+        src: &dyn ChunkSource,
+        stats: &mut IoStats,
+    ) -> Result<RoundOutcome> {
+        let r = self.next_round;
+        let round = &part.rounds[r];
+        let b = cfg.buffer_size as usize;
+        let policy = cfg.io_policy;
+        let plan = cfg.faults.as_ref();
+
+        #[cfg(feature = "trace")]
+        if let Some(scope) = self.win.trace_scope() {
+            scope.set_round(r as u32);
+        }
+
+        // Graceful degradation: a fault at this round exhausts the
+        // retry budget. Every member knows (the plan is shared), so
+        // instead of collectively feeding an aggregator that cannot
+        // flush, each member writes its own remaining chunks directly.
+        // Slower, but byte-identical and deadlock-free.
+        if self.degrade_at == Some(r) {
+            #[cfg(feature = "trace")]
+            if self.my_idx == 0 {
+                if let Some(scope) = self.win.trace_scope() {
+                    let remaining: u64 = part.rounds[r..].iter().map(|rd| rd.bytes).sum();
+                    scope.degrade(remaining);
+                }
+            }
+            if self.my_idx == self.agg_idx {
+                self.drain_slot(0, file, cfg)?;
+                self.drain_slot(1, file, cfg)?;
+            }
+            stats.degraded += 1;
+            if self.my_idx == 0 {
+                stats.faults_injected += 1;
+            }
+            self.degraded = true;
+            return Ok(RoundOutcome::Degraded);
+        }
+
+        let mut buf = (r - self.base) % 2;
+        for (i, c) in chunks.iter().enumerate() {
+            if c.round as usize != r {
+                continue;
+            }
+            let data = src.chunk_data(i, c);
+            self.win.put(self.agg_idx, buf * b + c.buf_offset as usize, data);
+            stats.puts += 1;
+            stats.put_bytes += c.len;
+        }
+        // Close the access epoch of round r.
+        self.win.fence(&self.pcomm);
+        stats.fences += 1;
+
+        // Aggregator crash: the fill of round r is lost with the
+        // crashed window. Drain the old aggregator's in-flight
+        // flushes (rounds < r stay durable), re-elect a standby with
+        // the dead candidate excluded, open a fresh window (a new
+        // fence epoch for the checker), and replay round r into it.
+        if self.crash_round == Some(r) {
+            let old_agg = self.agg_idx;
+            if self.my_idx == old_agg {
+                self.drain_slot(0, file, cfg)?;
+                self.drain_slot(1, file, cfg)?;
+            }
+            #[cfg(feature = "trace")]
+            if self.my_idx == 0 {
+                if let Some(scope) = self.win.trace_scope() {
+                    scope.crash(part.members[old_agg]);
+                }
+            }
+            let standby_cost = if self.my_idx == old_agg { f64::INFINITY } else { self.my_cost };
+            let (_, new_agg) = self.pcomm.allreduce_min_loc(standby_cost);
+            self.agg_idx = new_agg;
+            if self.my_idx == 0 {
+                stats.reelections += 1;
+                stats.faults_injected += 1;
+            }
+            if self.my_idx == self.agg_idx {
+                stats.elected += 1;
+            }
+            self.win =
+                Window::allocate(&self.pcomm, if self.my_idx == self.agg_idx { 2 * b } else { 0 });
+            #[cfg(feature = "trace")]
+            if let Some(tracer) = &cfg.tracer {
+                let scope = TraceScope::new(
+                    Arc::clone(tracer),
+                    self.me,
+                    part.index as u32,
+                    part.members.clone(),
+                );
                 scope.set_round(r as u32);
+                // Every member marks the epoch reset on its own lane
+                // before any replayed put.
+                scope.reelect(part.members[self.agg_idx]);
+                self.win.set_trace_scope(scope);
             }
-
-            // Graceful degradation: a fault at this round exhausts the
-            // retry budget. Every member knows (the plan is shared), so
-            // instead of collectively feeding an aggregator that cannot
-            // flush, each member writes its own remaining chunks
-            // directly. Slower, but byte-identical and deadlock-free.
-            if degrade_at == Some(r) {
-                #[cfg(feature = "trace")]
-                if my_idx == 0 {
-                    if let Some(scope) = win.trace_scope() {
-                        let remaining: u64 =
-                            part.rounds[r..].iter().map(|rd| rd.bytes).sum();
-                        scope.degrade(remaining);
-                    }
+            self.base = r;
+            buf = 0;
+            for (i, c) in chunks.iter().enumerate() {
+                if c.round as usize != r {
+                    continue;
                 }
-                for c in my_chunks.iter().filter(|c| c.round as usize >= r) {
-                    let data = &staged[c.var]
-                        [c.var_offset as usize..(c.var_offset + c.len) as usize];
-                    file.write_at(c.file_offset, data).map_err(|e| io_err("write_at", e))?;
-                }
-                if my_idx == agg_idx {
-                    for fs in &mut inflight {
-                        for f in fs.drain(..) {
-                            settle_flight(
-                                f,
-                                &win,
-                                my_idx,
-                                b,
-                                file,
-                                policy.op_timeout,
-                                &mut free_bufs,
-                            )?;
-                        }
-                    }
-                }
-                stats.degraded += 1;
-                if my_idx == 0 {
-                    stats.faults_injected += 1;
-                }
-                break;
-            }
-
-            let mut buf = (r - base) % 2;
-            for c in my_chunks.iter().filter(|c| c.round as usize == r) {
-                let data = &staged[c.var]
-                    [c.var_offset as usize..(c.var_offset + c.len) as usize];
-                win.put(agg_idx, buf * b + c.buf_offset as usize, data);
+                let data = src.chunk_data(i, c);
+                self.win.put(self.agg_idx, c.buf_offset as usize, data);
                 stats.puts += 1;
                 stats.put_bytes += c.len;
             }
-            // Close the access epoch of round r.
-            win.fence(&pcomm);
+            self.win.fence(&self.pcomm);
             stats.fences += 1;
+        }
 
-            // Aggregator crash: the fill of round r is lost with the
-            // crashed window. Drain the old aggregator's in-flight
-            // flushes (rounds < r stay durable), re-elect a standby with
-            // the dead candidate excluded, open a fresh window (a new
-            // fence epoch for the checker), and replay round r into it.
-            if crash_round == Some(r) {
-                let old_agg = agg_idx;
-                if my_idx == old_agg {
-                    for fs in &mut inflight {
-                        for f in fs.drain(..) {
-                            settle_flight(
-                                f,
-                                &win,
-                                my_idx,
-                                b,
-                                file,
-                                policy.op_timeout,
-                                &mut free_bufs,
-                            )?;
-                        }
-                    }
-                }
-                #[cfg(feature = "trace")]
-                if my_idx == 0 {
-                    if let Some(scope) = win.trace_scope() {
-                        scope.crash(part.members[old_agg]);
-                    }
-                }
-                let standby_cost = if my_idx == old_agg { f64::INFINITY } else { my_cost };
-                let (_, new_agg) = pcomm.allreduce_min_loc(standby_cost);
-                agg_idx = new_agg;
-                if my_idx == 0 {
-                    stats.reelections += 1;
-                    stats.faults_injected += 1;
-                }
-                if my_idx == agg_idx {
-                    stats.elected += 1;
-                }
-                win = Window::allocate(&pcomm, if my_idx == agg_idx { 2 * b } else { 0 });
-                #[cfg(feature = "trace")]
-                if let Some(tracer) = &cfg.tracer {
-                    let scope = TraceScope::new(
-                        Arc::clone(tracer),
-                        me,
-                        part.index as u32,
-                        part.members.clone(),
-                    );
-                    scope.set_round(r as u32);
-                    // Every member marks the epoch reset on its own lane
-                    // before any replayed put.
-                    scope.reelect(part.members[agg_idx]);
-                    win.set_trace_scope(scope);
-                }
-                base = r;
-                buf = 0;
-                for c in my_chunks.iter().filter(|c| c.round as usize == r) {
-                    let data = &staged[c.var]
-                        [c.var_offset as usize..(c.var_offset + c.len) as usize];
-                    win.put(agg_idx, c.buf_offset as usize, data);
-                    stats.puts += 1;
-                    stats.put_bytes += c.len;
-                }
-                win.fence(&pcomm);
-                stats.fences += 1;
+        if self.my_idx == self.agg_idx {
+            // Reclaim buffers from flushes that already completed before
+            // allocating fresh ones for this round's segments.
+            if cfg.pipelining && self.free_bufs.is_empty() {
+                self.harvest_completed((buf + 1) % 2, file, cfg)?;
             }
-
-            if my_idx == agg_idx {
-                let mut handles: Vec<Flight> = Vec::with_capacity(round.segments.len());
-                for (s, seg) in round.segments.iter().enumerate() {
-                    let hint =
-                        plan.and_then(|p| p.flush_fault(part.index as u32, r as u32, s as u32));
-                    if let Some(h) = &hint {
-                        // Within-budget by construction (the exhausting
-                        // round degrades above); count the injected
-                        // failures and record one Retry event each.
-                        stats.faults_injected += h.fail_attempts as u64;
-                        stats.retries += h.fail_attempts as u64;
-                        #[cfg(feature = "trace")]
-                        if let Some(scope) = win.trace_scope() {
-                            for _ in 0..h.fail_attempts {
-                                scope.retry(seg.file_offset, seg.len);
-                            }
-                        }
-                    }
-                    let mut data = free_bufs.pop().unwrap_or_default();
-                    data.resize(seg.len as usize, 0);
-                    win.read_local_into(my_idx, buf * b + seg.buf_offset as usize, &mut data);
-                    stats.flushes += 1;
-                    stats.flush_bytes += seg.len;
+            let mut handles: Vec<Flight> = Vec::with_capacity(round.segments.len());
+            for (s, seg) in round.segments.iter().enumerate() {
+                let hint =
+                    plan.and_then(|p| p.flush_fault(part.index as u32, r as u32, s as u32));
+                if let Some(h) = &hint {
+                    // Within-budget by construction (the exhausting
+                    // round degrades above); count the injected
+                    // failures and record one Retry event each.
+                    stats.faults_injected += h.fail_attempts as u64;
+                    stats.retries += h.fail_attempts as u64;
                     #[cfg(feature = "trace")]
-                    let h = file.iwrite_at_policy(
-                        seg.file_offset,
-                        data,
-                        policy,
-                        hint,
-                        win.trace_scope().map(|s| s.stamp()),
-                    );
-                    #[cfg(not(feature = "trace"))]
-                    let h = file.iwrite_at_policy(seg.file_offset, data, policy, hint);
-                    handles.push(Flight { handle: h, seg: *seg, slot: buf });
+                    if let Some(scope) = self.win.trace_scope() {
+                        for _ in 0..h.fail_attempts {
+                            scope.retry(seg.file_offset, seg.len);
+                        }
+                    }
                 }
-                if cfg.pipelining {
-                    inflight[buf] = handles;
-                    // Round r+1 fills the other buffer; its previous
-                    // flush (round r-1) must have drained first.
-                    for f in inflight[(buf + 1) % 2].drain(..) {
-                        settle_flight(
-                            f,
-                            &win,
-                            my_idx,
-                            b,
-                            file,
-                            policy.op_timeout,
-                            &mut free_bufs,
-                        )?;
-                    }
-                } else {
-                    for f in handles {
-                        settle_flight(
-                            f,
-                            &win,
-                            my_idx,
-                            b,
-                            file,
-                            policy.op_timeout,
-                            &mut free_bufs,
-                        )?;
-                    }
+                let mut data = self.free_bufs.pop().unwrap_or_default();
+                data.resize(seg.len as usize, 0);
+                self.win.read_local_into(self.my_idx, buf * b + seg.buf_offset as usize, &mut data);
+                stats.flushes += 1;
+                stats.flush_bytes += seg.len;
+                #[cfg(feature = "trace")]
+                let h = file.iwrite_at_policy(
+                    seg.file_offset,
+                    data,
+                    policy,
+                    hint,
+                    self.win.trace_scope().map(|s| s.stamp()),
+                );
+                #[cfg(not(feature = "trace"))]
+                let h = file.iwrite_at_policy(seg.file_offset, data, policy, hint);
+                handles.push(Flight { handle: h, seg: *seg, slot: buf });
+            }
+            if cfg.pipelining {
+                self.inflight[buf] = handles;
+                // Round r+1 fills the other buffer; its previous
+                // flush (round r-1) must have drained first.
+                self.drain_slot((buf + 1) % 2, file, cfg)?;
+            } else {
+                for f in handles {
+                    settle_flight(
+                        f,
+                        &self.win,
+                        self.my_idx,
+                        b,
+                        file,
+                        policy.op_timeout,
+                        &mut self.free_bufs,
+                    )?;
                 }
             }
-            // Release every member into round r+1 only after the
-            // aggregator confirmed the reused buffer is free.
-            win.fence(&pcomm);
-            stats.fences += 1;
         }
+        // Release every member into round r+1 only after the
+        // aggregator confirmed the reused buffer is free.
+        self.win.fence(&self.pcomm);
+        stats.fences += 1;
+        self.next_round = r + 1;
+        Ok(RoundOutcome::Ran)
+    }
 
-        if my_idx == agg_idx {
-            for fs in &mut inflight {
-                for f in fs.drain(..) {
-                    settle_flight(f, &win, my_idx, b, file, policy.op_timeout, &mut free_bufs)?;
+    /// Leave the partition: drain both in-flight slots in order, then
+    /// the closing barrier — all flushes of this partition are durable
+    /// before anyone leaves.
+    pub(crate) fn finish(&mut self, file: &SharedFile, cfg: &TapiocaConfig) -> Result<()> {
+        if self.my_idx == self.agg_idx {
+            self.drain_slot(0, file, cfg)?;
+            self.drain_slot(1, file, cfg)?;
+        }
+        self.pcomm.barrier();
+        Ok(())
+    }
+
+    /// Keep the reusable state for the next epoch. Only valid after
+    /// [`PartitionRun::finish`] on a fault-free run: a crash replaces
+    /// the window mid-run and a degrade abandons the pipeline, so both
+    /// invalidate the cache.
+    pub(crate) fn into_cache(self) -> CachedPart {
+        debug_assert!(
+            !self.degraded && self.crash_round.is_none(),
+            "faulted partitions must not be cached"
+        );
+        CachedPart {
+            pcomm: self.pcomm,
+            agg_idx: self.agg_idx,
+            my_cost: self.my_cost,
+            win: self.win,
+            free_bufs: self.free_bufs,
+        }
+    }
+}
+
+/// Run the write pipeline for this rank, batch-style. `staged[var]`
+/// holds the data of the rank's declared write `var`; lengths must
+/// match the declarations used to compute `schedule`.
+pub fn run_write_pipeline(
+    comm: &Comm,
+    schedule: &Schedule,
+    staged: &[Vec<u8>],
+    file: &SharedFile,
+    cfg: &TapiocaConfig,
+    topo: &dyn TopologyProvider,
+    epoch: u64,
+) -> Result<IoStats> {
+    let me = comm.rank();
+    let mut stats = IoStats::default();
+    let src = StagedSource(staged);
+
+    for part in &schedule.partitions {
+        if part.members.binary_search(&me).is_err() {
+            continue;
+        }
+        let my_chunks: Vec<Chunk> = schedule.chunks_by_rank[me]
+            .iter()
+            .filter(|c| c.partition == part.index)
+            .copied()
+            .collect();
+
+        let mut run = PartitionRun::enter(comm, part, cfg, topo, epoch, None, &mut stats);
+        while run.next_round < part.rounds.len() {
+            match run.run_round(part, &my_chunks, file, cfg, &src, &mut stats)? {
+                RoundOutcome::Ran => {}
+                RoundOutcome::Degraded => {
+                    let dr = run.next_round;
+                    for (i, c) in my_chunks.iter().enumerate() {
+                        if c.round as usize >= dr {
+                            file.write_at(c.file_offset, src.chunk_data(i, c))
+                                .map_err(|e| io_err("write_at", e))?;
+                        }
+                    }
+                    break;
                 }
             }
         }
-        // All flushes of this partition are durable before anyone leaves.
-        pcomm.barrier();
+        run.finish(file, cfg)?;
     }
     Ok(stats)
 }

@@ -3,110 +3,211 @@
 //! (Algorithm 2).
 //!
 //! ```text
-//! TAPIOCA_Init(count, type, ofst, 3);     ->  Tapioca::init(comm, file, decls, cfg)?
+//! TAPIOCA_Init(count, type, ofst, 3);     ->  Tapioca::builder(comm, file)
+//!                                                 .declarations(decls)
+//!                                                 .config(cfg)
+//!                                                 .build()?
 //! TAPIOCA_Write(f, offset, x, n, ...);    ->  io.write(offset, &x)?
 //! ```
 //!
-//! `init` allgathers the declarations, computes the round schedule, and
-//! is collective over the communicator. `write` stages the payload of
-//! one declared variable; once the last declared write has arrived the
-//! pipeline of [`crate::aggregation`] executes (puts, fences, elections,
-//! double-buffered flushes). Deviations from the paper are documented in
-//! `DESIGN.md`: user payloads are staged until the last declared write
-//! instead of being streamed per call — correctness-equivalent, one
-//! extra copy.
+//! [`SessionBuilder::build`] allgathers the declarations, computes the
+//! round schedule, and is collective over the communicator. `write`
+//! *streams* the payload of one declared variable straight into the
+//! round pipeline of [`crate::aggregation`]: as soon as every
+//! contribution this rank owes to round *r* of the current partition
+//! has arrived, that round's puts, fences, and double-buffered flush
+//! execute inside the `write` call — payload bytes flow from the
+//! caller's slice into the RMA window with no whole-payload staging
+//! copy. Bytes that arrive *before* the round that consumes them can
+//! run (out-of-order call sequences) are held in small per-chunk
+//! pending buffers and counted in [`IoStats::staging_copy_bytes`]; an
+//! in-order sequence copies nothing.
+//!
+//! A [`Session`] is reusable across **epochs**: once every declared
+//! write of an epoch has been issued (on every rank), the next `write`
+//! round starts the next epoch against the same schedule. The session
+//! keeps the allgathered declarations, the computed schedule, and — for
+//! fault-free configs — each partition's sub-communicator, election
+//! result, RMA window, and recycled flush buffers alive, so timestep
+//! loops stop re-paying allgather + `compute_schedule` + election every
+//! checkpoint.
+//!
+//! Every rank must issue **all** of its declared writes each epoch (in
+//! any order); the pipeline's collectives are only deadlock-free under
+//! that contract, which [`Session::finalize`] enforces loudly.
 //!
 //! Every entry point returns [`crate::error::Result`]: invalid configs,
 //! undeclared writes, and I/O failures that survive the retry budget
 //! surface as [`crate::TapiocaError`] values, never as panics (the one
-//! documented exception is [`Tapioca::finalize`], where panicking is the
-//! only alternative to deadlocking the peers).
+//! documented exception is [`Session::finalize`], where panicking is
+//! the only alternative to deadlocking the peers).
 
 use std::sync::Arc;
 
 use tapioca_mpi::{Comm, SharedFile};
 use tapioca_topology::TopologyProvider;
 
-use crate::aggregation::{run_read_pipeline, run_write_pipeline, IoStats};
+use crate::aggregation::{
+    run_read_pipeline, CachedPart, ChunkSource, IoStats, PartitionRun, RoundOutcome,
+};
 use crate::config::TapiocaConfig;
-use crate::error::{Result, TapiocaError};
+use crate::error::{io_err, Result, TapiocaError};
 use crate::placement::UniformTopology;
-use crate::schedule::{compute_schedule, Schedule, ScheduleParams, WriteDecl};
+use crate::schedule::{
+    compute_schedule, Chunk, RankStreamPlan, Schedule, ScheduleParams, WriteDecl,
+};
 
-/// Outcome of a `write` call.
+/// Outcome of a [`Session::write`] call.
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WriteOutcome {
-    /// Payload staged; more declared writes outstanding.
-    Staged,
-    /// This was the last declared write: the collective pipeline ran and
-    /// all data (of every rank) is flushed.
+    /// The payload was fed into the round pipeline; `rounds_completed`
+    /// rounds of this epoch have fully executed on this rank so far.
+    /// More declared writes of this epoch are outstanding.
+    Streamed {
+        /// Rounds of the current epoch completed on this rank, across
+        /// all partitions, after this call.
+        rounds_completed: u64,
+    },
+    /// This was the epoch's last declared write: the pipeline ran to
+    /// completion and all data (of every rank) is flushed.
     Flushed,
-    /// The pipeline ran and all data is durable, but at least one
+    /// The epoch completed and all data is durable, but at least one
     /// partition this rank participated in exhausted its retry budget
     /// and fell back to direct per-rank writes (see `DESIGN.md`,
     /// "Fault model & recovery").
     Degraded,
 }
 
-/// A TAPIOCA instance bound to one communicator and one file.
-pub struct Tapioca<'c> {
-    comm: &'c Comm,
-    file: SharedFile,
-    cfg: TapiocaConfig,
-    topo: Arc<dyn TopologyProvider>,
-    decls: Vec<WriteDecl>,
-    schedule: Schedule,
-    staged: Vec<Option<Vec<u8>>>,
-    epoch: u64,
-    flushed: bool,
-    stats: Option<IoStats>,
+/// Progress of one declared chunk through the current epoch.
+#[derive(Debug, Default)]
+enum ChunkState {
+    /// Payload not yet at hand.
+    #[default]
+    Waiting,
+    /// Payload arrived before its round could run; copied into a
+    /// pending buffer (counted in [`IoStats::staging_copy_bytes`]).
+    Pending(Vec<u8>),
+    /// Consumed by its round (or direct-written after a degrade).
+    Done,
 }
 
-impl std::fmt::Debug for Tapioca<'_> {
+/// [`ChunkSource`] of the streaming path: the variable being written
+/// right now is served from the caller's slice; earlier out-of-order
+/// arrivals from their pending buffers.
+struct StreamSource<'a> {
+    chunk_base: usize,
+    states: &'a [ChunkState],
+    live_var: usize,
+    live: &'a [u8],
+}
+
+impl ChunkSource for StreamSource<'_> {
+    fn chunk_data(&self, idx: usize, c: &Chunk) -> &[u8] {
+        match &self.states[self.chunk_base + idx] {
+            ChunkState::Pending(buf) => buf,
+            ChunkState::Waiting => {
+                debug_assert_eq!(c.var, self.live_var, "waiting chunk of a non-live var");
+                &self.live[c.var_offset as usize..(c.var_offset + c.len) as usize]
+            }
+            // A round runs at most once per epoch (crash replays re-read
+            // within the same run_round call), so a Done chunk is never
+            // requested again.
+            ChunkState::Done => unreachable!("chunk consumed twice in one epoch"),
+        }
+    }
+}
+
+/// Builder for a [`Session`] — the single entry point replacing the
+/// historical `init` / `init_with_topology` constructor pair.
+///
+/// ```no_run
+/// # use tapioca::{Session, TapiocaConfig, WriteDecl};
+/// # use tapioca_mpi::{Runtime, SharedFile};
+/// # Runtime::run(2, |comm| {
+/// let file = SharedFile::open_shared(&comm, "/tmp/out.bin");
+/// let r = comm.rank() as u64;
+/// let mut io = Session::builder(&comm, file)
+///     .declarations(vec![WriteDecl { offset: r * 64, len: 64 }])
+///     .config(TapiocaConfig { num_aggregators: 1, buffer_size: 32, ..Default::default() })
+///     .build()
+///     .unwrap();
+/// io.write(r * 64, &[7u8; 64]).unwrap();
+/// io.finalize();
+/// # });
+/// ```
+pub struct SessionBuilder<'c> {
+    comm: &'c Comm,
+    file: SharedFile,
+    decls: Vec<WriteDecl>,
+    cfg: TapiocaConfig,
+    topo: Option<Arc<dyn TopologyProvider>>,
+}
+
+impl std::fmt::Debug for SessionBuilder<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Tapioca")
+        f.debug_struct("SessionBuilder")
             .field("decls", &self.decls.len())
-            .field("epoch", &self.epoch)
-            .field("flushed", &self.flushed)
+            .field("topology", &self.topo.is_some())
             .finish()
     }
 }
 
-impl<'c> Tapioca<'c> {
-    /// Collective: declare this rank's upcoming writes and compute the
-    /// shared schedule. Uses the zero-information [`UniformTopology`]
-    /// (election degenerates to lowest rank).
-    ///
-    /// # Errors
-    /// [`TapiocaError::InvalidConfig`] if `cfg` fails validation. Every
-    /// rank computes the same verdict from the same config, so an error
-    /// return is collective too — no rank proceeds alone.
-    pub fn init(
-        comm: &'c Comm,
-        file: SharedFile,
-        decls: Vec<WriteDecl>,
-        cfg: TapiocaConfig,
-    ) -> Result<Tapioca<'c>> {
-        let topo = Arc::new(UniformTopology { num_ranks: comm.size() });
-        Self::init_with_topology(comm, file, decls, cfg, topo)
+impl<'c> SessionBuilder<'c> {
+    /// This rank's upcoming writes (default: none).
+    #[must_use]
+    pub fn declarations(mut self, decls: Vec<WriteDecl>) -> Self {
+        self.decls = decls;
+        self
     }
 
-    /// Collective: like [`Tapioca::init`] but with a real machine model,
-    /// enabling the topology-aware election.
+    /// The pipeline configuration (default: [`TapiocaConfig::default`]).
+    #[must_use]
+    pub fn config(mut self, cfg: TapiocaConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// A real machine model, enabling the topology-aware election
+    /// (default: the zero-information [`UniformTopology`], under which
+    /// the election degenerates to the lowest rank).
+    #[must_use]
+    pub fn topology(mut self, topo: Arc<dyn TopologyProvider>) -> Self {
+        self.topo = Some(topo);
+        self
+    }
+
+    /// Replace the current config with the autotuner's pick for this
+    /// machine/workload (see [`crate::autotune`]); strategy and fault
+    /// settings of the current config are kept as the search anchor.
     ///
     /// # Errors
-    /// [`TapiocaError::InvalidConfig`] if `cfg` fails validation; the
-    /// check runs *before* any collective call, so all ranks bail out
-    /// symmetrically.
-    pub fn init_with_topology(
-        comm: &'c Comm,
-        file: SharedFile,
-        decls: Vec<WriteDecl>,
-        cfg: TapiocaConfig,
-        topo: Arc<dyn TopologyProvider>,
-    ) -> Result<Tapioca<'c>> {
+    /// [`TapiocaError::InvalidConfig`] if the anchor config fails
+    /// validation or the tuner's simulations fail.
+    pub fn autotune(
+        mut self,
+        profile: &tapioca_topology::MachineProfile,
+        storage: &crate::sim_exec::StorageConfig,
+        spec: &crate::sim_exec::CollectiveSpec,
+    ) -> Result<Self> {
+        let outcome = crate::autotune::autotune_from(profile, storage, spec, &self.cfg)?;
+        self.cfg = outcome.best;
+        Ok(self)
+    }
+
+    /// Collective: allgather every rank's declarations, compute the
+    /// shared round schedule, and return the reusable [`Session`].
+    ///
+    /// # Errors
+    /// [`TapiocaError::InvalidConfig`] if the config fails validation;
+    /// the check runs *before* any collective call, so all ranks bail
+    /// out symmetrically.
+    pub fn build(self) -> Result<Session<'c>> {
+        let SessionBuilder { comm, file, decls, cfg, topo } = self;
         cfg.validate()?;
-        let epoch = comm.next_user_seq();
+        let topo =
+            topo.unwrap_or_else(|| Arc::new(UniformTopology { num_ranks: comm.size() }));
+        let seq = comm.next_user_seq();
 
         // Allgather declarations: (offset, len) pairs.
         let mut mine = Vec::with_capacity(decls.len() * 16);
@@ -133,19 +234,134 @@ impl<'c> Tapioca<'c> {
             buffer_size: cfg.buffer_size,
             align_to_buffer: true,
         });
-        let staged = vec![None; decls.len()];
-        Ok(Tapioca {
+        let plan = RankStreamPlan::new(&schedule, comm.rank());
+        let mut var_chunks: Vec<Vec<(usize, usize)>> = vec![Vec::new(); decls.len()];
+        for (pslot, pp) in plan.parts.iter().enumerate() {
+            for (li, c) in pp.chunks.iter().enumerate() {
+                var_chunks[c.var].push((pslot, li));
+            }
+        }
+        let nparts = plan.parts.len();
+        let nchunks = plan.total_chunks;
+        let ndecls = decls.len();
+        Ok(Session {
             comm,
             file,
             cfg,
             topo,
             decls,
             schedule,
-            staged,
-            epoch,
-            flushed: false,
-            stats: None,
+            plan,
+            var_chunks,
+            seq,
+            cache: std::iter::repeat_with(|| None).take(nparts).collect(),
+            avail: vec![false; ndecls],
+            issued: 0,
+            chunk_state: std::iter::repeat_with(ChunkState::default).take(nchunks).collect(),
+            cur_part: 0,
+            active: None,
+            degraded_from: vec![None; nparts],
+            rounds_completed: 0,
+            pool: Vec::new(),
+            epoch_stats: IoStats::default(),
+            last_stats: None,
+            epochs_completed: 0,
         })
+    }
+}
+
+/// A reusable TAPIOCA session bound to one communicator and one file:
+/// the streaming write pipeline plus everything worth keeping across
+/// epochs. See the [module docs](self) for the streaming and epoch
+/// semantics. `Tapioca` is an alias for this type.
+pub struct Session<'c> {
+    comm: &'c Comm,
+    file: SharedFile,
+    cfg: TapiocaConfig,
+    topo: Arc<dyn TopologyProvider>,
+    decls: Vec<WriteDecl>,
+    schedule: Schedule,
+    plan: RankStreamPlan,
+    /// Per declared var: its chunks as `(plan part slot, local index)`.
+    var_chunks: Vec<Vec<(usize, usize)>>,
+    seq: u64,
+    /// Per plan part: state kept from the previous epoch (fault-free
+    /// configs only).
+    cache: Vec<Option<CachedPart>>,
+    /// Per declared var: payload issued this epoch.
+    avail: Vec<bool>,
+    issued: usize,
+    /// Flat per-chunk progress, indexed `parts[p].chunk_base + local`.
+    chunk_state: Vec<ChunkState>,
+    cur_part: usize,
+    active: Option<PartitionRun>,
+    /// Per plan part: the degrade round, once the partition degraded
+    /// this epoch (late arrivals for it go straight to the file).
+    degraded_from: Vec<Option<usize>>,
+    rounds_completed: u64,
+    /// Recycled pending-chunk buffers.
+    pool: Vec<Vec<u8>>,
+    epoch_stats: IoStats,
+    last_stats: Option<IoStats>,
+    epochs_completed: u64,
+}
+
+/// Historical name of [`Session`], kept so existing code and the
+/// paper-facing docs (`TAPIOCA_Init` etc.) keep reading naturally.
+pub type Tapioca<'c> = Session<'c>;
+
+impl std::fmt::Debug for Session<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("decls", &self.decls.len())
+            .field("seq", &self.seq)
+            .field("issued", &self.issued)
+            .field("epochs_completed", &self.epochs_completed)
+            .finish()
+    }
+}
+
+impl<'c> Session<'c> {
+    /// Start building a session on `comm` writing to `file`.
+    pub fn builder(comm: &'c Comm, file: SharedFile) -> SessionBuilder<'c> {
+        SessionBuilder { comm, file, decls: Vec::new(), cfg: TapiocaConfig::default(), topo: None }
+    }
+
+    /// Collective: declare this rank's upcoming writes and compute the
+    /// shared schedule, with the zero-information [`UniformTopology`].
+    ///
+    /// # Errors
+    /// [`TapiocaError::InvalidConfig`] if `cfg` fails validation. Every
+    /// rank computes the same verdict from the same config, so an error
+    /// return is collective too — no rank proceeds alone.
+    #[deprecated(note = "use `Session::builder(comm, file).declarations(..).config(..).build()`")]
+    pub fn init(
+        comm: &'c Comm,
+        file: SharedFile,
+        decls: Vec<WriteDecl>,
+        cfg: TapiocaConfig,
+    ) -> Result<Session<'c>> {
+        Session::builder(comm, file).declarations(decls).config(cfg).build()
+    }
+
+    /// Collective: like `init` but with a real machine model, enabling
+    /// the topology-aware election.
+    ///
+    /// # Errors
+    /// [`TapiocaError::InvalidConfig`] if `cfg` fails validation; the
+    /// check runs *before* any collective call, so all ranks bail out
+    /// symmetrically.
+    #[deprecated(
+        note = "use `Session::builder(comm, file).declarations(..).config(..).topology(..).build()`"
+    )]
+    pub fn init_with_topology(
+        comm: &'c Comm,
+        file: SharedFile,
+        decls: Vec<WriteDecl>,
+        cfg: TapiocaConfig,
+        topo: Arc<dyn TopologyProvider>,
+    ) -> Result<Session<'c>> {
+        Session::builder(comm, file).declarations(decls).config(cfg).topology(topo).build()
     }
 
     /// The computed schedule (for inspection and tests).
@@ -153,28 +369,35 @@ impl<'c> Tapioca<'c> {
         &self.schedule
     }
 
-    /// Instrumentation counters of the executed write pipeline
-    /// (available once the last declared write has flushed).
+    /// Instrumentation counters of the most recently *completed* epoch
+    /// (`None` until the first epoch finishes).
     pub fn stats(&self) -> Option<&IoStats> {
-        self.stats.as_ref()
+        self.last_stats.as_ref()
     }
 
-    /// Stage the payload of the declared write at `offset`. When the
-    /// last declared write arrives, the collective pipeline runs (all
-    /// ranks reach it at their own last write).
+    /// Write epochs completed so far.
+    pub fn epochs_completed(&self) -> u64 {
+        self.epochs_completed
+    }
+
+    /// Stream the payload of the declared write at `offset` into the
+    /// round pipeline. Rounds whose contributions are now complete on
+    /// this rank execute before this call returns; the epoch's last
+    /// declared write drives the pipeline to completion.
     ///
     /// # Errors
     /// [`TapiocaError::InvalidConfig`] if `(offset, data.len())` matches
-    /// no outstanding declared write of this rank (detected locally,
-    /// before any collective call). I/O errors from the pipeline
-    /// propagate once the last declared write triggers the flush.
+    /// no outstanding declared write of this rank in the current epoch
+    /// (detected locally, before any collective call). I/O errors from
+    /// the pipeline propagate from whichever `write` call ran the
+    /// failing round.
     pub fn write(&mut self, offset: u64, data: &[u8]) -> Result<WriteOutcome> {
         let var = self
             .decls
             .iter()
             .enumerate()
             .position(|(i, d)| {
-                d.offset == offset && d.len == data.len() as u64 && self.staged[i].is_none()
+                d.offset == offset && d.len == data.len() as u64 && !self.avail[i]
             })
             .ok_or_else(|| {
                 TapiocaError::InvalidConfig(format!(
@@ -182,45 +405,209 @@ impl<'c> Tapioca<'c> {
                     data.len()
                 ))
             })?;
-        self.staged[var] = Some(data.to_vec());
-        if self.staged.iter().all(Option::is_some) {
-            self.flush()?;
-            if self.stats.as_ref().is_some_and(|s| s.degraded > 0) {
-                Ok(WriteOutcome::Degraded)
-            } else {
-                Ok(WriteOutcome::Flushed)
-            }
+        self.avail[var] = true;
+        self.issued += 1;
+        self.advance(var, data)?;
+        self.stash_or_direct(var, data)?;
+        if self.issued == self.decls.len() {
+            Ok(self.complete_epoch())
         } else {
-            Ok(WriteOutcome::Staged)
+            Ok(WriteOutcome::Streamed { rounds_completed: self.rounds_completed })
         }
     }
 
-    fn flush(&mut self) -> Result<()> {
-        let staged: Vec<Vec<u8>> = self
-            .staged
-            .iter()
-            .map(|o| o.clone().expect("all writes staged"))
-            .collect();
-        let stats = run_write_pipeline(
-            self.comm,
-            &self.schedule,
-            &staged,
-            &self.file,
-            &self.cfg,
-            self.topo.as_ref(),
-            self.epoch * 2,
-        )?;
-        self.stats = Some(stats);
-        self.flushed = true;
+    /// Drive the round pipeline as far as the issued payloads allow:
+    /// partitions in ascending order, rounds in ascending order within
+    /// each — the identical global total order of the batch driver, so
+    /// pausing between collectives is deadlock-free.
+    fn advance(&mut self, live_var: usize, live: &[u8]) -> Result<()> {
+        let Session {
+            comm,
+            file,
+            cfg,
+            topo,
+            schedule,
+            plan,
+            seq,
+            cache,
+            avail,
+            chunk_state,
+            cur_part,
+            active,
+            degraded_from,
+            rounds_completed,
+            pool,
+            epoch_stats,
+            ..
+        } = self;
+        while *cur_part < plan.parts.len() {
+            let pp = &plan.parts[*cur_part];
+            let part = &schedule.partitions[pp.part_index];
+            let nrounds = part.rounds.len();
+            let r = active.as_ref().map_or(0, |a| a.next_round);
+            if r < nrounds {
+                // Round-readiness: every chunk this rank owes to round r
+                // must be at hand (an empty range is vacuously ready —
+                // the rank only participates in the fences).
+                let (s, e) = pp.round_ranges[r];
+                if !pp.chunks[s..e].iter().all(|c| avail[c.var]) {
+                    break;
+                }
+            }
+            if active.is_none() {
+                // Enter the partition only once its first round is
+                // ready, so no rank sits in the election before it has
+                // anything to contribute.
+                *active = Some(PartitionRun::enter(
+                    comm,
+                    part,
+                    cfg,
+                    topo.as_ref(),
+                    *seq * 2,
+                    cache[*cur_part].take(),
+                    epoch_stats,
+                ));
+            }
+            let run = active.as_mut().expect("entered above");
+            if r == nrounds {
+                run.finish(file, cfg)?;
+                let run = active.take().expect("still active");
+                if cfg.faults.is_none() {
+                    cache[*cur_part] = Some(run.into_cache());
+                }
+                *cur_part += 1;
+                continue;
+            }
+            let outcome = {
+                let src = StreamSource {
+                    chunk_base: pp.chunk_base,
+                    states: chunk_state,
+                    live_var,
+                    live,
+                };
+                run.run_round(part, &pp.chunks, file, cfg, &src, epoch_stats)?
+            };
+            match outcome {
+                RoundOutcome::Ran => {
+                    let (s, e) = pp.round_ranges[r];
+                    for i in s..e {
+                        let gi = pp.chunk_base + i;
+                        if let ChunkState::Pending(mut b) =
+                            std::mem::replace(&mut chunk_state[gi], ChunkState::Done)
+                        {
+                            b.clear();
+                            pool.push(b);
+                        }
+                    }
+                    *rounds_completed += 1;
+                }
+                RoundOutcome::Degraded => {
+                    // Remaining rounds of this partition fall back to
+                    // direct per-rank writes: whatever is at hand now
+                    // goes to the file here; chunks of vars still
+                    // outstanding are written at their `write` call.
+                    let dr = run.next_round;
+                    for (i, c) in pp.chunks.iter().enumerate() {
+                        if (c.round as usize) < dr {
+                            continue;
+                        }
+                        let gi = pp.chunk_base + i;
+                        chunk_state[gi] = match std::mem::take(&mut chunk_state[gi]) {
+                            ChunkState::Done => ChunkState::Done,
+                            ChunkState::Pending(mut b) => {
+                                file.write_at(c.file_offset, &b)
+                                    .map_err(|e| io_err("write_at", e))?;
+                                b.clear();
+                                pool.push(b);
+                                ChunkState::Done
+                            }
+                            ChunkState::Waiting => {
+                                if c.var == live_var {
+                                    let d = &live[c.var_offset as usize
+                                        ..(c.var_offset + c.len) as usize];
+                                    file.write_at(c.file_offset, d)
+                                        .map_err(|e| io_err("write_at", e))?;
+                                    ChunkState::Done
+                                } else {
+                                    ChunkState::Waiting
+                                }
+                            }
+                        };
+                    }
+                    run.finish(file, cfg)?;
+                    *active = None;
+                    degraded_from[*cur_part] = Some(dr);
+                    *cur_part += 1;
+                }
+            }
+        }
         Ok(())
     }
 
+    /// Park the chunks of `var` that `advance` did not consume: copy
+    /// them into pending buffers (counted), or — when their partition
+    /// already degraded — write them straight to the file.
+    fn stash_or_direct(&mut self, var: usize, live: &[u8]) -> Result<()> {
+        for &(pslot, li) in &self.var_chunks[var] {
+            let pp = &self.plan.parts[pslot];
+            let c = pp.chunks[li];
+            let gi = pp.chunk_base + li;
+            if !matches!(self.chunk_state[gi], ChunkState::Waiting) {
+                continue;
+            }
+            let d = &live[c.var_offset as usize..(c.var_offset + c.len) as usize];
+            if self.degraded_from[pslot].is_some_and(|dr| c.round as usize >= dr) {
+                self.file.write_at(c.file_offset, d).map_err(|e| io_err("write_at", e))?;
+                self.chunk_state[gi] = ChunkState::Done;
+                continue;
+            }
+            let mut b = self.pool.pop().unwrap_or_default();
+            b.clear();
+            b.extend_from_slice(d);
+            self.chunk_state[gi] = ChunkState::Pending(b);
+            self.epoch_stats.staging_copy_bytes += c.len;
+        }
+        Ok(())
+    }
+
+    /// Close the epoch: publish its stats and reset the per-epoch
+    /// progress so the next `write` starts the next epoch.
+    fn complete_epoch(&mut self) -> WriteOutcome {
+        debug_assert_eq!(self.cur_part, self.plan.parts.len(), "all partitions finished");
+        let degraded = self.epoch_stats.degraded > 0;
+        self.last_stats = Some(self.epoch_stats);
+        self.epochs_completed += 1;
+        self.epoch_stats = IoStats::default();
+        self.avail.iter_mut().for_each(|a| *a = false);
+        self.issued = 0;
+        self.cur_part = 0;
+        self.rounds_completed = 0;
+        for st in &mut self.chunk_state {
+            *st = ChunkState::Waiting;
+        }
+        self.degraded_from.iter_mut().for_each(|d| *d = None);
+        if degraded {
+            WriteOutcome::Degraded
+        } else {
+            WriteOutcome::Flushed
+        }
+    }
+
     /// Collective two-phase read of every declared extent; returns one
-    /// buffer per declared write of this rank.
+    /// buffer per declared write of this rank. Only valid *between*
+    /// epochs (no partially-issued writes outstanding).
     ///
     /// # Errors
-    /// [`TapiocaError::Io`] if an aggregator's file read fails.
+    /// [`TapiocaError::InvalidConfig`] mid-epoch; [`TapiocaError::Io`]
+    /// if an aggregator's file read fails.
     pub fn read_declared(&self) -> Result<Vec<Vec<u8>>> {
+        if self.issued != 0 {
+            return Err(TapiocaError::InvalidConfig(format!(
+                "read_declared mid-epoch: {} of {} declared writes issued",
+                self.issued,
+                self.decls.len()
+            )));
+        }
         let lens: Vec<u64> = self.decls.iter().map(|d| d.len).collect();
         run_read_pipeline(
             self.comm,
@@ -229,21 +616,27 @@ impl<'c> Tapioca<'c> {
             &self.file,
             &self.cfg,
             self.topo.as_ref(),
-            self.epoch * 2 + 1,
+            self.seq * 2 + 1,
         )
     }
 
-    /// Finish the instance.
+    /// Finish the session.
     ///
     /// # Panics
-    /// Panics if this rank declared writes it never issued (the
-    /// collective pipeline would deadlock the other ranks otherwise, so
-    /// failing loudly here is the kind option).
+    /// Panics if this rank declared writes it never issued — in the
+    /// current epoch or ever (the collective pipeline would deadlock
+    /// the other ranks otherwise, so failing loudly here is the kind
+    /// option).
     pub fn finalize(self) {
         assert!(
-            self.decls.is_empty() || self.flushed,
+            self.issued == 0,
             "finalize with {} declared writes never issued",
-            self.staged.iter().filter(|o| o.is_none()).count()
+            self.decls.len() - self.issued
+        );
+        assert!(
+            self.decls.is_empty() || self.epochs_completed > 0,
+            "finalize with {} declared writes never issued",
+            self.decls.len()
         );
     }
 }
@@ -263,6 +656,15 @@ mod tests {
         TapiocaConfig { num_aggregators: aggr, buffer_size: buf, ..Default::default() }
     }
 
+    fn session<'c>(
+        comm: &'c Comm,
+        file: SharedFile,
+        decls: Vec<WriteDecl>,
+        cfg: TapiocaConfig,
+    ) -> Session<'c> {
+        Session::builder(comm, file).declarations(decls).config(cfg).build().unwrap()
+    }
+
     #[test]
     fn contiguous_blocks_roundtrip() {
         let path = tmp("blocks");
@@ -272,7 +674,7 @@ mod tests {
             let file = SharedFile::open_shared(&comm, &path);
             let r = comm.rank() as u64;
             let decls = vec![WriteDecl { offset: r * per, len: per }];
-            let mut io = Tapioca::init(&comm, file, decls, cfg(3, 96)).unwrap();
+            let mut io = session(&comm, file, decls, cfg(3, 96));
             let payload: Vec<u8> = (0..per).map(|i| (r * 7 + i) as u8).collect();
             assert_eq!(io.write(r * per, &payload).unwrap(), WriteOutcome::Flushed);
             io.finalize();
@@ -298,16 +700,22 @@ mod tests {
             let decls: Vec<WriteDecl> = (0..3u64)
                 .map(|v| WriteDecl { offset: v * (n as u64 * var_len) + r * var_len, len: var_len })
                 .collect();
-            let mut io = Tapioca::init(&comm, file, decls.clone(), cfg(2, 128)).unwrap();
+            let mut io = session(&comm, file, decls.clone(), cfg(2, 128));
             for (v, d) in decls.iter().enumerate() {
                 let payload = vec![10 * (v as u8 + 1) + r as u8; var_len as usize];
                 let outcome = io.write(d.offset, &payload).unwrap();
                 if v < 2 {
-                    assert_eq!(outcome, WriteOutcome::Staged);
+                    assert!(
+                        matches!(outcome, WriteOutcome::Streamed { .. }),
+                        "rank {r} var {v}: {outcome:?}"
+                    );
                 } else {
                     assert_eq!(outcome, WriteOutcome::Flushed);
                 }
             }
+            // In declaration order the rank's chunks arrive in pipeline
+            // order, so nothing is copied into pending buffers.
+            assert_eq!(io.stats().unwrap().staging_copy_bytes, 0, "rank {r}");
             io.finalize();
         });
         let bytes = std::fs::read(&path).unwrap();
@@ -321,6 +729,79 @@ mod tests {
     }
 
     #[test]
+    fn out_of_order_writes_are_staged_and_correct() {
+        // Same workload as above, but every rank issues its vars in
+        // reverse: later-region payloads wait in pending buffers.
+        let path = tmp("xyz-rev");
+        let n = 4;
+        let var_len = 64u64;
+        Runtime::run(n, |comm| {
+            let file = SharedFile::open_shared(&comm, &path);
+            let r = comm.rank() as u64;
+            let decls: Vec<WriteDecl> = (0..3u64)
+                .map(|v| WriteDecl { offset: v * (n as u64 * var_len) + r * var_len, len: var_len })
+                .collect();
+            let mut io = session(&comm, file, decls.clone(), cfg(2, 128));
+            for (v, d) in decls.iter().enumerate().rev() {
+                let payload = vec![10 * (v as u8 + 1) + r as u8; var_len as usize];
+                io.write(d.offset, &payload).unwrap();
+            }
+            assert!(
+                io.stats().unwrap().staging_copy_bytes > 0,
+                "rank {r}: reverse order must stage"
+            );
+            io.finalize();
+        });
+        let bytes = std::fs::read(&path).unwrap();
+        for v in 0..3u64 {
+            for r in 0..4u64 {
+                let base = (v * 256 + r * 64) as usize;
+                assert!(bytes[base..base + 64].iter().all(|&b| b == (10 * (v + 1) + r) as u8));
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_reuse_streams_repeated_timesteps() {
+        let path = tmp("epochs");
+        let n = 4;
+        let per = 96u64;
+        let epochs = 3u64;
+        Runtime::run(n, |comm| {
+            let file = SharedFile::open_shared(&comm, &path);
+            let r = comm.rank() as u64;
+            let decls = vec![WriteDecl { offset: r * per, len: per }];
+            let mut io = session(&comm, file, decls, cfg(2, 48));
+            let mut first: Option<IoStats> = None;
+            for e in 0..epochs {
+                let payload: Vec<u8> = (0..per).map(|i| (r * 13 + e * 31 + i) as u8).collect();
+                assert_eq!(io.write(r * per, &payload).unwrap(), WriteOutcome::Flushed);
+                let s = *io.stats().unwrap();
+                // Identical work every epoch: same elections, puts,
+                // fences, flushes (determinism of the reused session).
+                match &first {
+                    None => first = Some(s),
+                    Some(f) => assert_eq!(&s, f, "rank {r} epoch {e}"),
+                }
+                let back = io.read_declared().unwrap();
+                assert_eq!(back[0], payload, "rank {r} epoch {e}");
+            }
+            assert_eq!(io.epochs_completed(), epochs);
+            io.finalize();
+        });
+        // File holds the last epoch's bytes.
+        let bytes = std::fs::read(&path).unwrap();
+        for r in 0..n as u64 {
+            for i in 0..per {
+                assert_eq!(
+                    bytes[(r * per + i) as usize],
+                    (r * 13 + (epochs - 1) * 31 + i) as u8
+                );
+            }
+        }
+    }
+
+    #[test]
     fn read_back_through_two_phase_read() {
         let path = tmp("readback");
         let n = 6;
@@ -329,7 +810,7 @@ mod tests {
             let file = SharedFile::open_shared(&comm, &path);
             let r = comm.rank() as u64;
             let decls = vec![WriteDecl { offset: r * per, len: per }];
-            let mut io = Tapioca::init(&comm, file, decls, cfg(4, 64)).unwrap();
+            let mut io = session(&comm, file, decls, cfg(4, 64));
             let payload: Vec<u8> = (0..per).map(|i| (r * 31 + i * 3) as u8).collect();
             io.write(r * per, &payload).unwrap();
             let back = io.read_declared().unwrap();
@@ -359,7 +840,7 @@ mod tests {
             let file = SharedFile::open_shared(&comm, &path);
             let r = comm.rank();
             let decls = vec![WriteDecl { offset: offs2[r], len: sizes2[r] }];
-            let mut io = Tapioca::init(&comm, file, decls, cfg(3, 50)).unwrap();
+            let mut io = session(&comm, file, decls, cfg(3, 50));
             let payload = vec![r as u8 + 1; sizes2[r] as usize];
             io.write(offs2[r], &payload).unwrap();
             io.finalize();
@@ -379,13 +860,12 @@ mod tests {
             let file = SharedFile::open_shared(&comm, &path);
             let r = comm.rank() as u64;
             let decls = vec![WriteDecl { offset: r * 64, len: 64 }];
-            let mut io = Tapioca::init(&comm, file, decls, TapiocaConfig {
+            let mut io = session(&comm, file, decls, TapiocaConfig {
                 num_aggregators: 2,
                 buffer_size: 32,
                 pipelining: false,
                 ..Default::default()
-            })
-            .unwrap();
+            });
             io.write(r * 64, &[r as u8 + 9; 64]).unwrap();
             io.finalize();
         });
@@ -405,15 +885,13 @@ mod tests {
             let r = comm.rank() as u64;
             let f1 = SharedFile::open_shared(&comm, &p1);
             let mut io1 =
-                Tapioca::init(&comm, f1, vec![WriteDecl { offset: r * 8, len: 8 }], cfg(1, 8))
-                    .unwrap();
+                session(&comm, f1, vec![WriteDecl { offset: r * 8, len: 8 }], cfg(1, 8));
             io1.write(r * 8, &[1u8; 8]).unwrap();
             io1.finalize();
 
             let f2 = SharedFile::open_shared(&comm, &p2);
             let mut io2 =
-                Tapioca::init(&comm, f2, vec![WriteDecl { offset: r * 8, len: 8 }], cfg(2, 4))
-                    .unwrap();
+                session(&comm, f2, vec![WriteDecl { offset: r * 8, len: 8 }], cfg(2, 4));
             io2.write(r * 8, &[2u8; 8]).unwrap();
             io2.finalize();
         });
@@ -427,8 +905,7 @@ mod tests {
         Runtime::run(1, |comm| {
             let file = SharedFile::open_shared(&comm, &path);
             let mut io =
-                Tapioca::init(&comm, file, vec![WriteDecl { offset: 0, len: 8 }], cfg(1, 8))
-                    .unwrap();
+                session(&comm, file, vec![WriteDecl { offset: 0, len: 8 }], cfg(1, 8));
             let err = io.write(99, &[0u8; 8]).unwrap_err();
             assert!(matches!(err, TapiocaError::InvalidConfig(_)));
             assert!(err.to_string().contains("matches no outstanding declaration"));
@@ -439,13 +916,64 @@ mod tests {
     }
 
     #[test]
-    fn invalid_config_is_rejected_at_init() {
+    fn invalid_config_is_rejected_at_build() {
         let path = tmp("badcfg");
         Runtime::run(1, |comm| {
             let file = SharedFile::open_shared(&comm, &path);
-            let err =
-                Tapioca::init(&comm, file, vec![], cfg(0, 8)).map(|_| ()).unwrap_err();
+            let err = Session::builder(&comm, file)
+                .config(cfg(0, 8))
+                .build()
+                .map(|_| ())
+                .unwrap_err();
             assert!(matches!(err, TapiocaError::InvalidConfig(_)));
         });
+    }
+
+    #[test]
+    fn read_declared_mid_epoch_is_rejected() {
+        let path = tmp("midepoch");
+        Runtime::run(1, |comm| {
+            let file = SharedFile::open_shared(&comm, &path);
+            let decls =
+                vec![WriteDecl { offset: 0, len: 8 }, WriteDecl { offset: 8, len: 8 }];
+            let mut io = session(&comm, file, decls, cfg(1, 8));
+            io.write(0, &[1u8; 8]).unwrap();
+            let err = io.read_declared().unwrap_err();
+            assert!(matches!(err, TapiocaError::InvalidConfig(_)));
+            io.write(8, &[2u8; 8]).unwrap();
+            io.finalize();
+        });
+    }
+
+    #[allow(deprecated)]
+    #[test]
+    fn deprecated_init_shims_keep_the_old_call_shape() {
+        let p1 = tmp("shim1");
+        let p2 = tmp("shim2");
+        Runtime::run(2, |comm| {
+            let r = comm.rank() as u64;
+            let f1 = SharedFile::open_shared(&comm, &p1);
+            let mut io =
+                Tapioca::init(&comm, f1, vec![WriteDecl { offset: r * 8, len: 8 }], cfg(1, 8))
+                    .unwrap();
+            io.write(r * 8, &[3u8; 8]).unwrap();
+            io.finalize();
+
+            let f2 = SharedFile::open_shared(&comm, &p2);
+            let topo: Arc<dyn TopologyProvider> =
+                Arc::new(UniformTopology { num_ranks: comm.size() });
+            let mut io = Tapioca::init_with_topology(
+                &comm,
+                f2,
+                vec![WriteDecl { offset: r * 8, len: 8 }],
+                cfg(1, 8),
+                topo,
+            )
+            .unwrap();
+            io.write(r * 8, &[4u8; 8]).unwrap();
+            io.finalize();
+        });
+        assert!(std::fs::read(&p1).unwrap().iter().all(|&b| b == 3));
+        assert!(std::fs::read(&p2).unwrap().iter().all(|&b| b == 4));
     }
 }

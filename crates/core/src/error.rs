@@ -15,6 +15,7 @@ use tapioca_mpi::IoError;
 pub type Result<T> = std::result::Result<T, TapiocaError>;
 
 /// Why a TAPIOCA operation failed.
+#[non_exhaustive]
 #[derive(Debug)]
 pub enum TapiocaError {
     /// The configuration (or a call argument) violates an invariant.

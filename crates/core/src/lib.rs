@@ -16,7 +16,7 @@
 //! This crate contains the library itself plus two interchangeable
 //! execution backends:
 //!
-//! * **thread mode** ([`api::Tapioca`]) — runs the algorithm for real on
+//! * **thread mode** ([`api::Session`]) — runs the algorithm for real on
 //!   the in-process runtime of `tapioca-mpi` (threads, RMA windows,
 //!   files); used to verify correctness end to end;
 //! * **simulation mode** ([`sim_exec`]) — executes the *same schedule and
@@ -27,9 +27,7 @@
 //! ## Quick start (thread mode)
 //!
 //! ```
-//! use tapioca::api::Tapioca;
-//! use tapioca::config::TapiocaConfig;
-//! use tapioca::schedule::WriteDecl;
+//! use tapioca::prelude::*;
 //! use tapioca_mpi::{Runtime, SharedFile};
 //!
 //! let dir = std::env::temp_dir().join("tapioca-doc");
@@ -42,8 +40,11 @@
 //!     let file = SharedFile::open_shared(&comm, &path);
 //!     let rank = comm.rank() as u64;
 //!     // every rank writes 32 bytes at rank * 32
-//!     let decl = vec![WriteDecl { offset: rank * 32, len: 32 }];
-//!     let mut io = Tapioca::init(&comm, file, decl, cfg.clone()).unwrap();
+//!     let mut io = Session::builder(&comm, file)
+//!         .declarations(vec![WriteDecl { offset: rank * 32, len: 32 }])
+//!         .config(cfg.clone())
+//!         .build()
+//!         .unwrap();
 //!     io.write(rank * 32, &vec![rank as u8; 32]).unwrap();
 //!     io.finalize();
 //! });
@@ -64,7 +65,7 @@ pub mod schedule;
 pub mod sim_exec;
 pub mod stats;
 
-pub use api::Tapioca;
+pub use api::{Session, SessionBuilder, Tapioca, WriteOutcome};
 pub use config::TapiocaConfig;
 pub use error::{Result, TapiocaError};
 pub use placement::PlacementStrategy;
@@ -72,3 +73,15 @@ pub use schedule::{compute_schedule, Schedule, ScheduleParams, WriteDecl};
 // Fault-injection vocabulary, re-exported from the runtime crate so
 // simulation-only users need not name `tapioca_mpi` directly.
 pub use tapioca_mpi::{FaultPlan, FaultSpec, IoPolicy};
+
+/// One-stop imports for session users: `use tapioca::prelude::*;`
+/// brings in the builder-based session API, its declaration/config
+/// vocabulary, and the error types.
+pub mod prelude {
+    pub use crate::aggregation::IoStats;
+    pub use crate::api::{Session, SessionBuilder, Tapioca, WriteOutcome};
+    pub use crate::config::{ConfigBuilder, TapiocaConfig};
+    pub use crate::error::{Result, TapiocaError};
+    pub use crate::placement::PlacementStrategy;
+    pub use crate::schedule::WriteDecl;
+}

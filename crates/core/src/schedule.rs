@@ -139,6 +139,79 @@ impl Schedule {
     }
 }
 
+/// One partition of a [`RankStreamPlan`]: the rank's own chunks of the
+/// partition plus, per round, the index range of chunks that must be
+/// available before that round can execute on this rank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankPartPlan {
+    /// Index into `schedule.partitions`.
+    pub part_index: usize,
+    /// This rank's chunks of the partition, sorted by
+    /// `(round, file_offset)` — the order the pipeline consumes them.
+    pub chunks: Vec<Chunk>,
+    /// Flat offset of `chunks[0]` in the rank-wide chunk numbering
+    /// (partitions concatenated in ascending index order).
+    pub chunk_base: usize,
+    /// Per round `r` of the partition: half-open local index range into
+    /// `chunks` of this rank's round-`r` contributions. Empty ranges
+    /// mean the rank only participates in the round's fences.
+    pub round_ranges: Vec<(usize, usize)>,
+}
+
+/// Per-rank round-readiness view of a [`Schedule`]: which chunks gate
+/// which round, in the exact global total order the pipeline executes
+/// (partitions ascending, rounds ascending within each partition).
+///
+/// The streaming session uses this to decide, after each `write()`,
+/// how far the round pipeline can advance: round `r` of partition `p`
+/// is *ready* once every declared variable owning a chunk in
+/// `parts[p].round_ranges[r]` has been issued.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankStreamPlan {
+    /// Partitions this rank participates in, ascending by index.
+    pub parts: Vec<RankPartPlan>,
+    /// Total chunk count across all partitions (flat numbering bound).
+    pub total_chunks: usize,
+}
+
+impl RankStreamPlan {
+    /// Build the streaming view of `rank` from a computed schedule.
+    pub fn new(schedule: &Schedule, rank: Rank) -> RankStreamPlan {
+        let mut parts: Vec<RankPartPlan> = Vec::new();
+        let chunks = &schedule.chunks_by_rank[rank];
+        let mut i = 0;
+        let mut chunk_base = 0;
+        while i < chunks.len() {
+            let p = chunks[i].partition;
+            let mut j = i;
+            while j < chunks.len() && chunks[j].partition == p {
+                j += 1;
+            }
+            let part_chunks = chunks[i..j].to_vec();
+            let nrounds = schedule.partitions[p].rounds.len();
+            let mut round_ranges = vec![(0usize, 0usize); nrounds];
+            let mut k = 0;
+            for (r, range) in round_ranges.iter_mut().enumerate() {
+                let start = k;
+                while k < part_chunks.len() && part_chunks[k].round as usize == r {
+                    k += 1;
+                }
+                *range = (start, k);
+            }
+            debug_assert_eq!(k, part_chunks.len(), "chunk rounds within partition bounds");
+            parts.push(RankPartPlan {
+                part_index: p,
+                chunks: part_chunks,
+                chunk_base,
+                round_ranges,
+            });
+            chunk_base += j - i;
+            i = j;
+        }
+        RankStreamPlan { parts, total_chunks: chunk_base }
+    }
+}
+
 /// Compute the schedule from every rank's declarations.
 ///
 /// `decls[rank]` lists that rank's declared writes. Declarations may
@@ -356,6 +429,58 @@ mod tests {
         for round in &p.rounds {
             assert_eq!(round.bytes, 64);
             assert_eq!(round.segments.len(), 1);
+        }
+    }
+
+    #[test]
+    fn rank_stream_plan_partitions_and_round_ranges() {
+        // 4 ranks x 64 B, 2 partitions, 32 B buffers -> 4 rounds each;
+        // rank 1 only contributes to partition 0, rounds 2 and 3.
+        let s = compute_schedule(&dense_decls(4, 64), ScheduleParams {
+            num_aggregators: 2,
+            buffer_size: 32,
+            align_to_buffer: true,
+        });
+        let plan = RankStreamPlan::new(&s, 1);
+        assert_eq!(plan.parts.len(), 1);
+        let pp = &plan.parts[0];
+        assert_eq!(pp.part_index, 0);
+        assert_eq!(pp.chunk_base, 0);
+        assert_eq!(pp.chunks, s.chunks_by_rank[1]);
+        assert_eq!(pp.round_ranges.len(), 4);
+        assert_eq!(pp.round_ranges[0], (0, 0));
+        assert_eq!(pp.round_ranges[1], (0, 0));
+        assert_eq!(pp.round_ranges[2], (0, 1));
+        assert_eq!(pp.round_ranges[3], (1, 2));
+        assert_eq!(plan.total_chunks, 2);
+    }
+
+    #[test]
+    fn rank_stream_plan_flat_numbering_spans_partitions() {
+        // One rank writing across both partitions: 1 rank, 128 B, 2 aggrs.
+        let s = compute_schedule(
+            &[vec![WriteDecl { offset: 0, len: 128 }]],
+            ScheduleParams { num_aggregators: 2, buffer_size: 32, align_to_buffer: true },
+        );
+        assert_eq!(s.partitions.len(), 2);
+        let plan = RankStreamPlan::new(&s, 0);
+        assert_eq!(plan.parts.len(), 2);
+        assert_eq!(plan.parts[0].chunk_base, 0);
+        assert_eq!(plan.parts[1].chunk_base, plan.parts[0].chunks.len());
+        assert_eq!(
+            plan.total_chunks,
+            plan.parts.iter().map(|p| p.chunks.len()).sum::<usize>()
+        );
+        assert_eq!(plan.total_chunks, s.chunks_by_rank[0].len());
+        // ranges cover each partition's chunks exactly, in order
+        for pp in &plan.parts {
+            let mut k = 0;
+            for (start, end) in &pp.round_ranges {
+                assert_eq!(*start, k);
+                assert!(*end >= *start);
+                k = *end;
+            }
+            assert_eq!(k, pp.chunks.len());
         }
     }
 

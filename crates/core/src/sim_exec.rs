@@ -623,98 +623,183 @@ pub(crate) fn plan_group(
     Ok(GroupPlan { sched, members_global, choices, crashes, degrade_round })
 }
 
-/// End-to-end TAPIOCA simulation: schedule, elect, compile, execute.
+/// A reusable simulation session: the compiled plan DAG of one
+/// collective spec — schedule, election, crash compilation, trace
+/// bookkeeping — kept alive so weather-restart-style timestep loops
+/// re-execute the collective without re-paying the planning phase.
+/// The simulator-side mirror of the thread-mode [`crate::api::Session`]
+/// epoch reuse, so the two executors keep the same cost structure.
+pub struct SimSession<'a> {
+    profile: &'a MachineProfile,
+    storage: StorageConfig,
+    cfg: TapiocaConfig,
+    plan: ExecutionPlan,
+    ncrashes: u64,
+    #[cfg(feature = "trace")]
+    group_infos: Vec<GroupTraceInfo>,
+    epochs: u64,
+}
+
+impl std::fmt::Debug for SimSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimSession")
+            .field("ops", &self.plan.ops.len())
+            .field("ncrashes", &self.ncrashes)
+            .field("epochs", &self.epochs)
+            .finish()
+    }
+}
+
+impl<'a> SimSession<'a> {
+    /// Compile `spec` into a reusable execution plan: schedule, elect,
+    /// compile crashes, and record trace bookkeeping. Pure planning —
+    /// nothing is simulated until [`SimSession::run_epoch`].
+    ///
+    /// `cfg.num_aggregators` is interpreted *per file group*, matching
+    /// the paper's "16 aggregators per Pset" phrasing.
+    ///
+    /// # Errors
+    /// [`TapiocaError::InvalidConfig`] if the config fails validation or
+    /// the spec is inconsistent (rank/declaration mismatch, ranks beyond
+    /// the machine).
+    pub fn build(
+        profile: &'a MachineProfile,
+        storage: &StorageConfig,
+        spec: &CollectiveSpec,
+        cfg: &TapiocaConfig,
+    ) -> Result<SimSession<'a>> {
+        cfg.validate()?;
+        let machine = &profile.machine;
+        let mut plan = ExecutionPlan::new();
+        let mut ncrashes = 0u64;
+        #[cfg(feature = "trace")]
+        let mut group_infos: Vec<GroupTraceInfo> = Vec::new();
+        #[cfg(feature = "trace")]
+        let mut partition_base = 0u32;
+
+        for group in &spec.groups {
+            let GroupPlan { sched, choices, crashes, .. } =
+                plan_group(machine, group, cfg, spec.mode)?;
+            ncrashes += crashes.len() as u64;
+
+            let ranks = &group.ranks;
+            let node_of = |local: Rank| machine.node_of_rank(ranks[local]);
+            let file = group.file;
+            #[cfg(feature = "trace")]
+            let crashes_for_trace = crashes.clone();
+            let _op_range = append_tapioca_plan(&mut plan, &TapiocaPlanInput {
+                schedule: &sched,
+                aggregator_choice: &choices,
+                node_of_rank: &node_of,
+                file_of_partition: &|_| file,
+                mode: spec.mode,
+                pipelining: cfg.pipelining,
+                entry_deps: Vec::new(),
+                wave_base: 0,
+                crashes,
+            });
+            #[cfg(feature = "trace")]
+            {
+                let elections = sched
+                    .partitions
+                    .iter()
+                    .map(|part| {
+                        if part.members.is_empty() {
+                            None
+                        } else {
+                            Some((
+                                group.ranks[part.members[0]],
+                                group.ranks[part.members[choices[part.index]]],
+                                part.total_bytes(),
+                            ))
+                        }
+                    })
+                    .collect();
+                let crash_info = sched
+                    .partitions
+                    .iter()
+                    .map(|part| {
+                        crashes_for_trace.iter().find(|c| c.partition == part.index).map(|c| {
+                            (
+                                group.ranks[part.members[choices[part.index]]],
+                                group.ranks[part.members[c.standby]],
+                                c.round,
+                            )
+                        })
+                    })
+                    .collect();
+                group_infos.push(GroupTraceInfo {
+                    ops: _op_range,
+                    partition_base,
+                    elections,
+                    crashes: crash_info,
+                });
+                partition_base += sched.partitions.len() as u32;
+            }
+        }
+        Ok(SimSession {
+            profile,
+            storage: *storage,
+            cfg: cfg.clone(),
+            plan,
+            ncrashes,
+            #[cfg(feature = "trace")]
+            group_infos,
+            epochs: 0,
+        })
+    }
+
+    /// Execute the compiled plan once (one epoch / timestep). The fault
+    /// plan is re-derived purely each epoch, so every epoch injects the
+    /// identical faults — exactly like the thread runtime re-running a
+    /// reused session.
+    ///
+    /// With the `trace` feature, a tracer in the session's config
+    /// receives the simulated collective's events per epoch (see
+    /// `emit_sim_trace`); size it for the machine's global rank count
+    /// (`Tracer::new(machine.num_ranks())`).
+    ///
+    /// # Errors
+    /// [`TapiocaError::InvalidConfig`] on a storage/profile kind
+    /// mismatch.
+    pub fn run_epoch(&mut self) -> Result<SimReport> {
+        let mut report = simulate_faulty(
+            self.profile,
+            &self.storage,
+            &self.plan,
+            self.cfg.faults.as_ref(),
+            &self.cfg.io_policy,
+        )?;
+        report.reelections += self.ncrashes;
+        report.faults_injected += self.ncrashes;
+        #[cfg(feature = "trace")]
+        if let Some(tracer) = &self.cfg.tracer {
+            emit_sim_trace(tracer, &self.plan, &report, &self.group_infos);
+        }
+        self.epochs += 1;
+        Ok(report)
+    }
+
+    /// Epochs executed so far.
+    pub fn epochs_completed(&self) -> u64 {
+        self.epochs
+    }
+}
+
+/// End-to-end TAPIOCA simulation: schedule, elect, compile, execute —
+/// one [`SimSession`] built and run for a single epoch. Timestep loops
+/// should build the session once and call [`SimSession::run_epoch`]
+/// repeatedly instead.
 ///
-/// `cfg.num_aggregators` is interpreted *per file group*, matching the
-/// paper's "16 aggregators per Pset" phrasing.
-///
-/// With the `trace` feature, a tracer in `cfg.tracer` receives the
-/// simulated collective's events (see `emit_sim_trace`); size it for
-/// the machine's global rank count (`Tracer::new(machine.num_ranks())`).
+/// # Errors
+/// See [`SimSession::build`] and [`SimSession::run_epoch`].
 pub fn run_tapioca_sim(
     profile: &MachineProfile,
     storage: &StorageConfig,
     spec: &CollectiveSpec,
     cfg: &TapiocaConfig,
 ) -> Result<SimReport> {
-    cfg.validate()?;
-    let machine = &profile.machine;
-    let mut plan = ExecutionPlan::new();
-    let mut ncrashes = 0u64;
-    #[cfg(feature = "trace")]
-    let mut group_infos: Vec<GroupTraceInfo> = Vec::new();
-    #[cfg(feature = "trace")]
-    let mut partition_base = 0u32;
-
-    for group in &spec.groups {
-        let GroupPlan { sched, choices, crashes, .. } =
-            plan_group(machine, group, cfg, spec.mode)?;
-        ncrashes += crashes.len() as u64;
-
-        let ranks = &group.ranks;
-        let node_of = |local: Rank| machine.node_of_rank(ranks[local]);
-        let file = group.file;
-        #[cfg(feature = "trace")]
-        let crashes_for_trace = crashes.clone();
-        let _op_range = append_tapioca_plan(&mut plan, &TapiocaPlanInput {
-            schedule: &sched,
-            aggregator_choice: &choices,
-            node_of_rank: &node_of,
-            file_of_partition: &|_| file,
-            mode: spec.mode,
-            pipelining: cfg.pipelining,
-            entry_deps: Vec::new(),
-            wave_base: 0,
-            crashes,
-        });
-        #[cfg(feature = "trace")]
-        {
-            let elections = sched
-                .partitions
-                .iter()
-                .map(|part| {
-                    if part.members.is_empty() {
-                        None
-                    } else {
-                        Some((
-                            group.ranks[part.members[0]],
-                            group.ranks[part.members[choices[part.index]]],
-                            part.total_bytes(),
-                        ))
-                    }
-                })
-                .collect();
-            let crash_info = sched
-                .partitions
-                .iter()
-                .map(|part| {
-                    crashes_for_trace.iter().find(|c| c.partition == part.index).map(|c| {
-                        (
-                            group.ranks[part.members[choices[part.index]]],
-                            group.ranks[part.members[c.standby]],
-                            c.round,
-                        )
-                    })
-                })
-                .collect();
-            group_infos.push(GroupTraceInfo {
-                ops: _op_range,
-                partition_base,
-                elections,
-                crashes: crash_info,
-            });
-            partition_base += sched.partitions.len() as u32;
-        }
-    }
-    let mut report =
-        simulate_faulty(profile, storage, &plan, cfg.faults.as_ref(), &cfg.io_policy)?;
-    report.reelections += ncrashes;
-    report.faults_injected += ncrashes;
-    #[cfg(feature = "trace")]
-    if let Some(tracer) = &cfg.tracer {
-        emit_sim_trace(tracer, &plan, &report, &group_infos);
-    }
-    Ok(report)
+    SimSession::build(profile, storage, spec, cfg)?.run_epoch()
 }
 
 #[cfg(test)]
@@ -768,6 +853,27 @@ mod tests {
         // cannot exceed the Pset ceiling (2 bridge links of 1.8 GiB/s)
         let ceiling = 3.6 * (1u64 << 30) as f64;
         assert!(rep.bandwidth <= ceiling * 1.001, "bw {} above physics", rep.bandwidth);
+    }
+
+    #[test]
+    fn sim_session_epochs_are_deterministic_and_match_one_shot() {
+        let profile = mira_profile(128, 4);
+        let spec = mira_spec(128, 4, MIB);
+        let cfg = TapiocaConfig {
+            num_aggregators: 8,
+            buffer_size: 4 * MIB,
+            ..Default::default()
+        };
+        let storage = StorageConfig::Gpfs(GpfsTunables::mira_optimized());
+        let one_shot = run_tapioca_sim(&profile, &storage, &spec, &cfg).unwrap();
+        let mut session = SimSession::build(&profile, &storage, &spec, &cfg).unwrap();
+        for epoch in 0..3 {
+            let rep = session.run_epoch().unwrap();
+            assert_eq!(rep.elapsed, one_shot.elapsed, "epoch {epoch} diverged");
+            assert_eq!(rep.bytes, one_shot.bytes);
+            assert_eq!(rep.reelections, one_shot.reelections);
+        }
+        assert_eq!(session.epochs_completed(), 3);
     }
 
     #[test]

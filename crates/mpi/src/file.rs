@@ -141,6 +141,23 @@ impl IoHandle {
         }
     }
 
+    /// Non-blocking [`IoHandle::wait_parts`]: if the operation already
+    /// completed, returns its parts (reclaimed buffer and error, if
+    /// any); otherwise hands the handle back untouched, still in
+    /// flight. Streaming drain loops use this to reclaim the buffers
+    /// of finished flushes opportunistically, without ever blocking
+    /// the round pipeline on an operation that is not done yet.
+    ///
+    /// # Errors
+    /// `Err(self)` when the operation is still in flight.
+    pub fn try_parts(self) -> std::result::Result<(Option<Vec<u8>>, Option<IoError>), IoHandle> {
+        if self.notify.is_done() {
+            Ok(self.notify.wait_take())
+        } else {
+            Err(self)
+        }
+    }
+
     /// Non-consuming completion test.
     pub fn test(&self) -> bool {
         self.notify.is_done()
@@ -469,6 +486,32 @@ mod tests {
         assert_eq!(f.read_at(3, 16).unwrap(), vec![9u8; 16]);
         // zero-byte flushes have no buffer to give back
         assert_eq!(f.iwrite_at(0, vec![]).wait_reclaim().unwrap(), None);
+    }
+
+    #[test]
+    fn try_parts_is_nonblocking() {
+        let f = SharedFile::create(tmp("tryparts")).unwrap();
+        // A stalled write is still in flight: try_parts hands the
+        // handle back instead of blocking.
+        let hint = FaultHint { fail_attempts: 0, delay: Duration::from_millis(100) };
+        let h = iwrite_policy(&f, 0, vec![3u8; 8], IoPolicy::default(), Some(hint));
+        let h = match h.try_parts() {
+            Err(h) => h,
+            Ok(_) => panic!("stalled write reported done immediately"),
+        };
+        h.wait().unwrap();
+        // Once complete, try_parts returns the reclaimed buffer.
+        let h2 = f.iwrite_at(16, vec![4u8; 8]);
+        while !h2.test() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        match h2.try_parts() {
+            Ok((buf, err)) => {
+                assert_eq!(buf, Some(vec![4u8; 8]));
+                assert!(err.is_none());
+            }
+            Err(_) => panic!("completed write still reported in flight"),
+        }
     }
 
     #[test]

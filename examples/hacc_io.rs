@@ -12,8 +12,7 @@
 //!
 //! Every byte of both output files is verified.
 
-use tapioca::api::Tapioca;
-use tapioca::config::TapiocaConfig;
+use tapioca::prelude::*;
 use tapioca_baseline::romio::{collective_write, MpiIoConfig};
 use tapioca_mpi::{Runtime, SharedFile};
 use tapioca_workloads::hacc::{HaccIo, Layout, PARTICLE_BYTES};
@@ -43,7 +42,11 @@ fn run_tapioca(w: &HaccIo, path: &std::path::Path) {
         let file = SharedFile::open_shared(&comm, path);
         let rank = comm.rank() as u64;
         let decls = w.decls_of_rank(rank);
-        let mut io = Tapioca::init(&comm, file, decls.clone(), cfg.clone()).unwrap();
+        let mut io = Session::builder(&comm, file)
+            .declarations(decls.clone())
+            .config(cfg.clone())
+            .build()
+            .unwrap();
         for (v, d) in decls.iter().enumerate() {
             io.write(d.offset, &w.payload(rank, v)).unwrap();
         }

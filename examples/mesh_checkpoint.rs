@@ -10,8 +10,7 @@
 //! buffers (the schedule statistics printed below show 100% fill), and
 //! the output is verified cell by cell.
 
-use tapioca::api::Tapioca;
-use tapioca::config::TapiocaConfig;
+use tapioca::prelude::*;
 use tapioca::stats::schedule_stats;
 use tapioca_mpi::{Runtime, SharedFile};
 use tapioca_workloads::grid::GridDecomp;
@@ -39,12 +38,15 @@ fn main() {
         let file = SharedFile::open_shared(&comm, &p);
         let rank = comm.rank();
         let decls = g.decls_of_rank(rank);
-        let mut io = Tapioca::init(&comm, file, decls.clone(), TapiocaConfig {
-            num_aggregators: 4,
-            buffer_size: 4096,
-            ..Default::default()
-        })
-        .unwrap();
+        let mut io = Session::builder(&comm, file)
+            .declarations(decls.clone())
+            .config(TapiocaConfig {
+                num_aggregators: 4,
+                buffer_size: 4096,
+                ..Default::default()
+            })
+            .build()
+            .unwrap();
         let st = schedule_stats(io.schedule());
         // fill each run with its cells' values
         let ncols = 96u64;

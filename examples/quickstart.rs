@@ -7,9 +7,7 @@
 //! it through the aggregation pipeline (2 aggregators, double-buffered),
 //! and verify the bytes round-trip.
 
-use tapioca::api::Tapioca;
-use tapioca::config::TapiocaConfig;
-use tapioca::schedule::WriteDecl;
+use tapioca::prelude::*;
 use tapioca_mpi::{Runtime, SharedFile};
 
 fn main() {
@@ -33,7 +31,11 @@ fn main() {
 
         // 1. Declare the upcoming write (TAPIOCA_Init).
         let decls = vec![WriteDecl { offset: rank * BYTES_PER_RANK, len: BYTES_PER_RANK }];
-        let mut io = Tapioca::init(&comm, file, decls, cfg.clone()).unwrap();
+        let mut io = Session::builder(&comm, file)
+            .declarations(decls)
+            .config(cfg.clone())
+            .build()
+            .unwrap();
 
         // 2. Issue it (TAPIOCA_Write). The last declared write triggers
         //    the collective aggregation pipeline.

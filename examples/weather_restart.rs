@@ -10,11 +10,14 @@
 //! (all pressure, then all u-wind, ...). Exactly the access pattern of
 //! the paper's Algorithm 2: several declared writes per rank at strided
 //! offsets — the case where TAPIOCA's cross-variable scheduling shines.
+//!
+//! The model runs several timesteps and re-checkpoints after each one
+//! through a single reused [`Session`]: the declaration allgather,
+//! schedule, and aggregator election are paid once, then every
+//! subsequent epoch streams straight into the pipeline.
 
-use tapioca::api::Tapioca;
-use tapioca::config::TapiocaConfig;
-use tapioca::schedule::WriteDecl;
-use tapioca::sim_exec::{run_tapioca_sim, CollectiveSpec, GroupSpec, StorageConfig};
+use tapioca::prelude::*;
+use tapioca::sim_exec::{CollectiveSpec, GroupSpec, SimSession, StorageConfig};
 use tapioca_baseline::sim::run_mpiio_sim;
 use tapioca_baseline::romio::MpiIoConfig;
 use tapioca_mpi::{Runtime, SharedFile};
@@ -49,31 +52,42 @@ fn main() {
         ..Default::default()
     };
 
-    println!("checkpointing {} fields x {RANKS} subdomains ({} KiB each)...",
+    const TIMESTEPS: u64 = 3;
+    println!("checkpointing {} fields x {RANKS} subdomains ({} KiB each), {TIMESTEPS} timesteps...",
         FIELDS.len(), bytes_per_field / 1024);
     Runtime::run(RANKS, |comm| {
         let file = SharedFile::open_shared(&comm, &path);
         let rank = comm.rank() as u64;
         let decls = field_decls(rank, RANKS as u64, bytes_per_field);
-        let mut io = Tapioca::init(&comm, file, decls.clone(), cfg.clone()).unwrap();
-        for (f, d) in decls.iter().enumerate() {
-            // a recognisable synthetic field: value = f(field, rank, cell)
-            let data: Vec<u8> = (0..d.len)
-                .map(|i| (f as u64 * 101 + rank * 13 + i / 8) as u8)
-                .collect();
-            io.write(d.offset, &data).unwrap();
+        // One session for the whole run: the allgather, schedule, and
+        // election happen here, then every timestep reuses them.
+        let mut io = Session::builder(&comm, file)
+            .declarations(decls.clone())
+            .config(cfg.clone())
+            .build()
+            .unwrap();
+        for step in 0..TIMESTEPS {
+            for (f, d) in decls.iter().enumerate() {
+                // a recognisable synthetic field: value = f(step, field, rank, cell)
+                let data: Vec<u8> = (0..d.len)
+                    .map(|i| (step * 59 + f as u64 * 101 + rank * 13 + i / 8) as u8)
+                    .collect();
+                io.write(d.offset, &data).unwrap();
+            }
         }
-        // restart: read the checkpoint back and verify
+        // restart: read the final checkpoint back and verify
         let restored = io.read_declared().unwrap();
+        let last = TIMESTEPS - 1;
         for (f, (d, r)) in decls.iter().zip(&restored).enumerate() {
             assert_eq!(r.len() as u64, d.len);
             assert!(r.iter().enumerate().all(|(i, &b)| {
-                b == (f as u64 * 101 + rank * 13 + i as u64 / 8) as u8
+                b == (last * 59 + f as u64 * 101 + rank * 13 + i as u64 / 8) as u8
             }), "field {f} of rank {rank} corrupted");
         }
+        assert_eq!(io.epochs_completed(), TIMESTEPS);
         io.finalize();
     });
-    println!("checkpoint verified through restart read on all ranks.\n");
+    println!("all {TIMESTEPS} checkpoints verified through restart read on all ranks.\n");
     std::fs::remove_file(&path).ok();
 
     // ---- part 2: what would this cost at machine scale?
@@ -96,7 +110,10 @@ fn main() {
         buffer_size: 16 * MIB,
         ..Default::default()
     };
-    let t = run_tapioca_sim(&profile, &storage, &spec, &sim_cfg).unwrap();
+    // Plan once, simulate one epoch per timestep — the simulator-side
+    // mirror of the reused thread-mode session above.
+    let mut sim = SimSession::build(&profile, &storage, &spec, &sim_cfg).unwrap();
+    let t = sim.run_epoch().unwrap();
     let b = run_mpiio_sim(&profile, &storage, &spec, &MpiIoConfig {
         cb_aggregators: 192,
         cb_buffer_size: 16 * MIB,

@@ -4,10 +4,8 @@
 //! tuning sweep feeds the pipeline while exploring, so both the thread
 //! runtime and the tuner itself must take them without panicking.
 
-use tapioca::api::Tapioca;
 use tapioca::autotune::{autotune, empirical_sweep};
-use tapioca::config::TapiocaConfig;
-use tapioca::schedule::WriteDecl;
+use tapioca::prelude::*;
 use tapioca::sim_exec::{CollectiveSpec, GroupSpec, StorageConfig};
 use tapioca_mpi::{Runtime, SharedFile};
 use tapioca_pfs::{AccessMode, LustreTunables};
@@ -30,7 +28,8 @@ fn write_then_read_back(name: &str, ranks: usize, decls_of: impl Fn(u64) -> Vec<
         let r = comm.rank() as u64;
         let decls = decls_of(r);
         let cfg = TapiocaConfig { num_aggregators: 2.min(ranks), buffer_size: 1024, ..Default::default() };
-        let mut io = Tapioca::init(&comm, file, decls.clone(), cfg).unwrap();
+        let mut io =
+            Session::builder(&comm, file).declarations(decls.clone()).config(cfg).build().unwrap();
         for d in &decls {
             io.write(d.offset, &expected_range(seed, d.offset, d.len as usize)).unwrap();
         }

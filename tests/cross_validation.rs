@@ -6,9 +6,8 @@
 //! * the simulation executor must run the *same schedule objects* thread
 //!   mode runs, and its reports must obey physical invariants.
 
-use tapioca::api::Tapioca;
-use tapioca::config::TapiocaConfig;
-use tapioca::schedule::{compute_schedule, ScheduleParams, WriteDecl};
+use tapioca::prelude::*;
+use tapioca::schedule::{compute_schedule, ScheduleParams};
 use tapioca::sim_exec::{run_tapioca_sim, CollectiveSpec, GroupSpec, StorageConfig};
 use tapioca_baseline::romio::{collective_write, MpiIoConfig};
 use tapioca_baseline::sim::run_mpiio_sim;
@@ -34,12 +33,15 @@ fn tapioca_and_baseline_write_identical_files() {
         let file = SharedFile::open_shared(&comm, &p_t);
         let r = comm.rank() as u64;
         let decls = wl.decls_of_rank(r);
-        let mut io = Tapioca::init(&comm, file, decls.clone(), TapiocaConfig {
-            num_aggregators: 3,
-            buffer_size: 2048,
-            ..Default::default()
-        })
-        .unwrap();
+        let mut io = Session::builder(&comm, file)
+            .declarations(decls.clone())
+            .config(TapiocaConfig {
+                num_aggregators: 3,
+                buffer_size: 2048,
+                ..Default::default()
+            })
+            .build()
+            .unwrap();
         for (v, d) in decls.iter().enumerate() {
             io.write(d.offset, &wl.payload(r, v)).unwrap();
         }
@@ -79,12 +81,15 @@ fn schedules_agree_between_modes() {
         let file = SharedFile::open_shared(&comm, &path);
         let r = comm.rank() as u64;
         let decls = wl.decls_of_rank(r);
-        let mut io = Tapioca::init(&comm, file, decls.clone(), TapiocaConfig {
-            num_aggregators: 4,
-            buffer_size: 1024,
-            ..Default::default()
-        })
-        .unwrap();
+        let mut io = Session::builder(&comm, file)
+            .declarations(decls.clone())
+            .config(TapiocaConfig {
+                num_aggregators: 4,
+                buffer_size: 1024,
+                ..Default::default()
+            })
+            .build()
+            .unwrap();
         let sched = io.schedule().clone();
         for (v, d) in decls.iter().enumerate() {
             io.write(d.offset, &wl.payload(r, v)).unwrap();

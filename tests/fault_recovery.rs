@@ -11,10 +11,7 @@
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use tapioca::aggregation::IoStats;
-use tapioca::api::{Tapioca, WriteOutcome};
-use tapioca::config::TapiocaConfig;
-use tapioca::schedule::WriteDecl;
+use tapioca::prelude::*;
 use tapioca::sim_exec::{run_tapioca_sim, CollectiveSpec, GroupSpec, SimReport, StorageConfig};
 use tapioca::{FaultPlan, FaultSpec, IoPolicy};
 use tapioca_check::{check, ViolationKind};
@@ -67,7 +64,11 @@ fn run_thread(name: &str, cfg: &TapiocaConfig) -> (Vec<u8>, Vec<(WriteOutcome, I
     Runtime::run(NRANKS, move |comm| {
         let file = SharedFile::open_shared(&comm, &path2);
         let r = comm.rank();
-        let mut io = Tapioca::init(&comm, file, decls_for(r), cfg.clone()).unwrap();
+        let mut io = Session::builder(&comm, file)
+            .declarations(decls_for(r))
+            .config(cfg.clone())
+            .build()
+            .unwrap();
         let outcome = io.write(r as u64 * PER_RANK, &payload_for(r)).unwrap();
         let stats = *io.stats().expect("pipeline ran");
         io.finalize();

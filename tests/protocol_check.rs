@@ -4,9 +4,7 @@
 
 use std::sync::Arc;
 
-use tapioca::api::Tapioca;
-use tapioca::config::TapiocaConfig;
-use tapioca::schedule::WriteDecl;
+use tapioca::prelude::*;
 use tapioca::sim_exec::{run_tapioca_sim, CollectiveSpec, GroupSpec, StorageConfig};
 use tapioca_check::{check, parse_jsonl, ViolationKind};
 use tapioca_mpi::{Runtime, SharedFile};
@@ -39,9 +37,12 @@ fn thread_trace(
     let body = move |comm: tapioca_mpi::Comm| {
         let file = SharedFile::open_shared(&comm, &path2);
         let mine = decls[comm.rank()].clone();
-        let mut io =
-            Tapioca::init_with_topology(&comm, file, mine.clone(), cfg.clone(), machine.clone())
-                .unwrap();
+        let mut io = Session::builder(&comm, file)
+            .declarations(mine.clone())
+            .config(cfg.clone())
+            .topology(machine.clone())
+            .build()
+            .unwrap();
         for d in &mine {
             io.write(d.offset, &vec![0x5Au8; d.len as usize]).unwrap();
         }

@@ -1,10 +1,7 @@
 //! Cross-crate integration: end-to-end byte correctness of the TAPIOCA
 //! pipeline on the thread runtime, across configurations and workloads.
 
-use tapioca::api::Tapioca;
-use tapioca::config::TapiocaConfig;
-use tapioca::placement::PlacementStrategy;
-use tapioca::schedule::WriteDecl;
+use tapioca::prelude::*;
 use tapioca_mpi::{Runtime, SharedFile};
 use tapioca_workloads::datagen::{expected_range, verify_slice};
 use tapioca_workloads::hacc::{HaccIo, Layout};
@@ -31,7 +28,8 @@ fn roundtrip_dense(name: &str, ranks: usize, per: u64, aggr: usize, buf: u64, pi
             strategy: PlacementStrategy::TopologyAware,
             ..Default::default()
         };
-        let mut io = Tapioca::init(&comm, file, decls, cfg).unwrap();
+        let mut io =
+            Session::builder(&comm, file).declarations(decls).config(cfg).build().unwrap();
         io.write(r * per, &expected_range(seed, r * per, per as usize)).unwrap();
         io.finalize();
     });
@@ -82,12 +80,15 @@ fn hacc_both_layouts_through_tapioca() {
             let file = SharedFile::open_shared(&comm, &path);
             let r = comm.rank() as u64;
             let decls = wl.decls_of_rank(r);
-            let mut io = Tapioca::init(&comm, file, decls.clone(), TapiocaConfig {
-                num_aggregators: 3,
-                buffer_size: 4096,
-                ..Default::default()
-            })
-            .unwrap();
+            let mut io = Session::builder(&comm, file)
+                .declarations(decls.clone())
+                .config(TapiocaConfig {
+                    num_aggregators: 3,
+                    buffer_size: 4096,
+                    ..Default::default()
+                })
+                .build()
+                .unwrap();
             for (v, d) in decls.iter().enumerate() {
                 io.write(d.offset, &wl.payload(r, v)).unwrap();
             }
@@ -119,12 +120,15 @@ fn io_stats_match_the_schedule() {
         let file = SharedFile::open_shared(&comm, &path);
         let r = comm.rank() as u64;
         let decls = vec![WriteDecl { offset: r * per, len: per }];
-        let mut io = Tapioca::init(&comm, file, decls, TapiocaConfig {
-            num_aggregators: 3,
-            buffer_size: 512,
-            ..Default::default()
-        })
-        .unwrap();
+        let mut io = Session::builder(&comm, file)
+            .declarations(decls)
+            .config(TapiocaConfig {
+                num_aggregators: 3,
+                buffer_size: 512,
+                ..Default::default()
+            })
+            .build()
+            .unwrap();
         io.write(r * per, &expected_range(5, r * per, per as usize)).unwrap();
         let s = *io.stats().expect("flushed");
         io.finalize();
@@ -151,12 +155,15 @@ fn write_then_two_phase_read_roundtrip() {
         let r = comm.rank() as u64;
         let per = 700u64;
         let decls = vec![WriteDecl { offset: r * per, len: per }];
-        let mut io = Tapioca::init(&comm, file, decls, TapiocaConfig {
-            num_aggregators: 4,
-            buffer_size: 333,
-            ..Default::default()
-        })
-        .unwrap();
+        let mut io = Session::builder(&comm, file)
+            .declarations(decls)
+            .config(TapiocaConfig {
+                num_aggregators: 4,
+                buffer_size: 333,
+                ..Default::default()
+            })
+            .build()
+            .unwrap();
         let payload = expected_range(7, r * per, per as usize);
         io.write(r * per, &payload).unwrap();
         let back = io.read_declared().unwrap();
@@ -177,12 +184,15 @@ fn repeated_operations_on_one_communicator() {
             let r = comm.rank() as u64;
             let per = 256 + 64 * epoch as u64;
             let decls = vec![WriteDecl { offset: r * per, len: per }];
-            let mut io = Tapioca::init(&comm, file, decls, TapiocaConfig {
-                num_aggregators: 2 + epoch,
-                buffer_size: 128,
-                ..Default::default()
-            })
-            .unwrap();
+            let mut io = Session::builder(&comm, file)
+                .declarations(decls)
+                .config(TapiocaConfig {
+                    num_aggregators: 2 + epoch,
+                    buffer_size: 128,
+                    ..Default::default()
+                })
+                .build()
+                .unwrap();
             io.write(r * per, &expected_range(epoch as u64, r * per, per as usize)).unwrap();
             io.finalize();
         }
@@ -229,13 +239,16 @@ mod props {
                 let file = SharedFile::open_shared(&comm, &path2);
                 let r = comm.rank();
                 let decls = vec![WriteDecl { offset: offsets2[r], len: sizes2[r] }];
-                let mut io = Tapioca::init(&comm, file, decls, TapiocaConfig {
-                    num_aggregators: aggr,
-                    buffer_size: buf,
-                    pipelining,
-                    ..Default::default()
-                })
-                .unwrap();
+                let mut io = Session::builder(&comm, file)
+                    .declarations(decls)
+                    .config(TapiocaConfig {
+                        num_aggregators: aggr,
+                        buffer_size: buf,
+                        pipelining,
+                        ..Default::default()
+                    })
+                    .build()
+                    .unwrap();
                 io.write(offsets2[r], &expected_range(99, offsets2[r], sizes2[r] as usize))
                     .unwrap();
                 io.finalize();

@@ -15,9 +15,7 @@
 use std::sync::Arc;
 
 use tapioca::analyze::{derive_symbolic, StaticViolation, SymbolicSchedule};
-use tapioca::api::Tapioca;
-use tapioca::config::TapiocaConfig;
-use tapioca::schedule::WriteDecl;
+use tapioca::prelude::*;
 use tapioca::sim_exec::{run_tapioca_sim, CollectiveSpec, GroupSpec, StorageConfig};
 use tapioca_check::static_::{conformance, conformance_as, detect_executor, Executor};
 use tapioca_mpi::{FaultPlan, FaultSpec, Runtime, SharedFile};
@@ -70,9 +68,12 @@ fn thread_trace(
         let file = SharedFile::open_shared(&comm, &path2);
         let r = comm.rank();
         let mine = decls[r].clone();
-        let mut io =
-            Tapioca::init_with_topology(&comm, file, mine.clone(), cfg.clone(), machine.clone())
-                .unwrap();
+        let mut io = Session::builder(&comm, file)
+            .declarations(mine.clone())
+            .config(cfg.clone())
+            .topology(machine.clone())
+            .build()
+            .unwrap();
         for d in &mine {
             io.write(d.offset, &vec![0xC3u8; d.len as usize]).unwrap();
         }

@@ -21,9 +21,7 @@
 
 use std::sync::Arc;
 
-use tapioca::api::Tapioca;
-use tapioca::config::TapiocaConfig;
-use tapioca::schedule::WriteDecl;
+use tapioca::prelude::*;
 use tapioca::sim_exec::{run_tapioca_sim, CollectiveSpec, GroupSpec, StorageConfig};
 use tapioca_mpi::{Runtime, SharedFile};
 use tapioca_pfs::{AccessMode, LustreTunables};
@@ -79,9 +77,12 @@ fn thread_structural(
         let file = SharedFile::open_shared(&comm, &path2);
         let r = comm.rank();
         let mine = decls[r].clone();
-        let mut io =
-            Tapioca::init_with_topology(&comm, file, mine.clone(), cfg.clone(), machine.clone())
-                .unwrap();
+        let mut io = Session::builder(&comm, file)
+            .declarations(mine.clone())
+            .config(cfg.clone())
+            .topology(machine.clone())
+            .build()
+            .unwrap();
         for d in &mine {
             io.write(d.offset, &vec![0xA5u8; d.len as usize]).unwrap();
         }
@@ -177,9 +178,12 @@ fn thread_trace_has_sync_events_the_structure_ignores() {
         let file = SharedFile::open_shared(&comm, &path2);
         let r = comm.rank();
         let mine = decls[r].clone();
-        let mut io =
-            Tapioca::init_with_topology(&comm, file, mine.clone(), tcfg.clone(), machine.clone())
-                .unwrap();
+        let mut io = Session::builder(&comm, file)
+            .declarations(mine.clone())
+            .config(tcfg.clone())
+            .topology(machine.clone())
+            .build()
+            .unwrap();
         for d in &mine {
             io.write(d.offset, &vec![0u8; d.len as usize]).unwrap();
         }
