@@ -6,7 +6,8 @@
 //! {"t_ns":1200,"rank":3,"partition":0,"round":1,"phase":"aggregation","op":"rma_put","bytes":512,"offset":2048,"peer":0}
 //! ```
 //!
-//! `offset` and `peer` are optional (omitted at their sentinel values).
+//! `offset` and `peer` are optional (omitted at their sentinel
+//! values), as is `coalesced` (omitted when 0).
 //! The workspace is std-only, so this is a hand-rolled parser for
 //! exactly this shape: flat objects, integer and plain-word string
 //! values, no escapes or nesting. Unknown keys are ignored so the
@@ -44,6 +45,7 @@ fn parse_line(line: &str) -> Result<TraceEvent, String> {
     let mut bytes = None;
     let mut offset = NO_OFFSET;
     let mut peer = NO_PEER;
+    let mut coalesced = 0u32;
     for field in body.split(',') {
         let (key, value) = field.split_once(':').ok_or("expected \"key\":value")?;
         let key = key.trim().trim_matches('"');
@@ -56,6 +58,7 @@ fn parse_line(line: &str) -> Result<TraceEvent, String> {
             "bytes" => bytes = Some(parse_u64(value)?),
             "offset" => offset = parse_u64(value)?,
             "peer" => peer = parse_u64(value)? as usize,
+            "coalesced" => coalesced = parse_u64(value)? as u32,
             "phase" => {
                 phase = Some(match value.trim_matches('"') {
                     "aggregation" => Phase::Aggregation,
@@ -90,6 +93,7 @@ fn parse_line(line: &str) -> Result<TraceEvent, String> {
         bytes: bytes.ok_or("missing bytes")?,
         peer,
         offset,
+        coalesced,
     })
 }
 
@@ -114,6 +118,7 @@ mod tests {
                 bytes: 64,
                 offset: 128,
                 peer: 0,
+                coalesced: 0,
             },
             TraceEvent {
                 t_ns: 9,
@@ -125,6 +130,7 @@ mod tests {
                 bytes: 64,
                 offset: 4096,
                 peer: NO_PEER,
+                coalesced: 0,
             },
             TraceEvent {
                 t_ns: 12,
@@ -136,6 +142,7 @@ mod tests {
                 bytes: 0,
                 offset: NO_OFFSET,
                 peer: NO_PEER,
+                coalesced: 0,
             },
         ]);
         let mut buf = Vec::new();

@@ -21,6 +21,7 @@ fn ev(t: u64, rank: usize, round: u32, op: TraceOp, bytes: u64, offset: u64) -> 
         bytes,
         offset,
         peer: if op == TraceOp::RmaPut { 0 } else { NO_PEER },
+        coalesced: 0,
     }
 }
 
@@ -241,6 +242,7 @@ fn collective_cycle_names_the_deadlocked_ranks() {
         bytes: 0,
         offset: NO_OFFSET,
         peer: NO_PEER,
+        coalesced: 0,
     };
     let evs = vec![mk(10, 0, 0), mk(20, 0, 1), mk(10, 1, 1), mk(20, 1, 0)];
     let v = check(&Trace::from_events(evs));
@@ -265,6 +267,7 @@ fn conflicting_elections_are_caught() {
         bytes: 64,
         offset: NO_OFFSET,
         peer: winner,
+        coalesced: 0,
     };
     let v = check(&Trace::from_events(vec![mk(0, 0), mk(1, 1)]));
     assert_eq!(
@@ -296,6 +299,7 @@ fn recovery_events() -> Vec<TraceEvent> {
             bytes,
             offset,
             peer,
+            coalesced: 0,
         }
     };
     vec![

@@ -66,18 +66,20 @@
 //!   which performs the direct writes (the batch driver immediately;
 //!   the streaming session as the remaining bytes arrive).
 
-use tapioca_mpi::{Comm, IoError, IoHandle, SharedFile, Window};
+use std::sync::Arc;
+
+use tapioca_mpi::{Comm, DepositBoard, IoError, IoHandle, Rank, SharedFile, Window};
 use tapioca_topology::TopologyProvider;
 
-#[cfg(feature = "trace")]
-use std::sync::Arc;
 #[cfg(feature = "trace")]
 use tapioca_trace::TraceScope;
 
 use crate::config::TapiocaConfig;
 use crate::error::{io_err, Result};
 use crate::placement::election_cost;
-use crate::schedule::{Chunk, FlushSegment, PartitionInfo, Schedule};
+use crate::schedule::{
+    compute_coalesce_plan, Chunk, CoalescePlan, FlushSegment, PartitionInfo, Schedule,
+};
 
 /// Key namespace so several `Tapioca` instances on one communicator
 /// never collide in the subgroup registry.
@@ -95,7 +97,8 @@ pub struct IoStats {
     /// Partitions this rank was elected aggregator of (re-elections
     /// included).
     pub elected: usize,
-    /// One-sided puts issued (one per chunk; crash replays re-count).
+    /// One-sided wire puts issued: one per uncoalesced chunk plus one
+    /// per merged run led by this rank (crash replays re-count).
     pub puts: u64,
     /// Bytes deposited via puts.
     pub put_bytes: u64,
@@ -118,6 +121,13 @@ pub struct IoStats {
     /// per-rank writes (every member counts its own participation, so
     /// each rank can report a degraded outcome).
     pub degraded: u64,
+    /// Merged puts issued by this rank as a node leader (each replaces
+    /// `>= 2` ordinary puts on the wire).
+    pub coalesced_puts: u64,
+    /// This rank's chunks that travelled inside a merged put (deposited
+    /// into a node leader's gather buffer instead of being put
+    /// individually).
+    pub coalesced_chunks: u64,
     /// Bytes copied into pending staging buffers by the streaming
     /// session because they arrived before (or after) the round that
     /// consumes them could run. Zero for in-order call sequences — the
@@ -140,6 +150,8 @@ impl IoStats {
         self.retries += other.retries;
         self.reelections += other.reelections;
         self.degraded += other.degraded;
+        self.coalesced_puts += other.coalesced_puts;
+        self.coalesced_chunks += other.coalesced_chunks;
         self.staging_copy_bytes += other.staging_copy_bytes;
     }
 }
@@ -173,13 +185,12 @@ struct Flight {
     slot: usize,
 }
 
-/// Settle the completed (or failed) parts of one flush: recycle the
-/// reclaimed buffer on success, fall back to a synchronous direct write
-/// of the same bytes on failure (from the reclaimed buffer when the
-/// worker handed it back, else re-read from the window slot).
-#[allow(clippy::too_many_arguments)]
+/// Settle one completed (or failed) zero-copy flush: nothing to do on
+/// success (the worker drained the window views in place); on failure,
+/// fall back to a synchronous direct write of the same bytes, re-read
+/// from the window slot — it is only refilled two rounds after the
+/// flush launch, so its bytes are intact even after a timeout.
 fn settle_parts(
-    buf: Option<Vec<u8>>,
     err: Option<IoError>,
     seg: FlushSegment,
     slot: usize,
@@ -187,26 +198,13 @@ fn settle_parts(
     my_idx: usize,
     b: usize,
     file: &SharedFile,
-    free_bufs: &mut Vec<Vec<u8>>,
 ) -> Result<()> {
     match err {
-        None => {
-            free_bufs.extend(buf);
-            Ok(())
-        }
+        None => Ok(()),
         Some(_) => {
-            let data = match buf {
-                Some(d) => d,
-                None => {
-                    // Timed out: the worker still owns the buffer, but
-                    // the window slot it was filled from is only reused
-                    // two rounds later — its bytes are still intact.
-                    let mut d = vec![0u8; seg.len as usize];
-                    win.read_local_into(my_idx, slot * b + seg.buf_offset as usize, &mut d);
-                    d
-                }
-            };
-            file.write_at(seg.file_offset, &data).map_err(|e| io_err("write_at", e))
+            let mut d = vec![0u8; seg.len as usize];
+            win.read_local_into(my_idx, slot * b + seg.buf_offset as usize, &mut d);
+            file.write_at(seg.file_offset, &d).map_err(|e| io_err("write_at", e))
         }
     }
 }
@@ -219,11 +217,10 @@ fn settle_flight(
     b: usize,
     file: &SharedFile,
     timeout: std::time::Duration,
-    free_bufs: &mut Vec<Vec<u8>>,
 ) -> Result<()> {
     let Flight { handle, seg, slot } = f;
-    let (buf, err) = handle.wait_parts_timeout(Some(timeout));
-    settle_parts(buf, err, seg, slot, win, my_idx, b, file, free_bufs)
+    let (_, err) = handle.wait_parts_timeout(Some(timeout));
+    settle_parts(err, seg, slot, win, my_idx, b, file)
 }
 
 /// What [`PartitionRun::run_round`] did.
@@ -239,18 +236,36 @@ pub(crate) enum RoundOutcome {
     Degraded,
 }
 
+/// Per-rank coalescing state of one partition: the shared run plan,
+/// the node-leader gather window (one full aggregation buffer on
+/// leaders, empty elsewhere, finely paned so concurrent member
+/// deposits rarely contend), and the deposit board tracking how many
+/// chunks of the leader's runs have landed this round. Deposits land
+/// at their chunk's `buf_offset`, so every run the leader owns in a
+/// round reads its packed range directly; fences separate rounds, so
+/// a single gather buffer (no double buffering) suffices. The
+/// rendezvous is wait-free: the depositor whose counter bump reaches
+/// the round's expected total (a pure function of the plan) forwards
+/// the leader's merged runs itself and retires the count, so no
+/// thread ever blocks waiting for co-members.
+pub(crate) struct GatherCtx {
+    plan: Arc<CoalescePlan>,
+    gather: Window,
+    board: DepositBoard,
+}
+
 /// Partition state worth keeping across epochs when the declarations —
 /// and therefore the schedule and the election inputs — are unchanged:
 /// the sub-communicator, the MINLOC winner and this rank's cost, the
-/// RMA window (with both pipeline buffers), and the recycled flush
-/// buffers. Only cacheable for fault-free configs (a crash replaces the
+/// RMA window (with both pipeline buffers), and the coalescing gather
+/// state. Only cacheable for fault-free configs (a crash replaces the
 /// window mid-run).
 pub(crate) struct CachedPart {
     pcomm: Comm,
     agg_idx: usize,
     my_cost: f64,
     win: Window,
-    free_bufs: Vec<Vec<u8>>,
+    coalesce: Option<GatherCtx>,
 }
 
 /// The live pipeline state of one partition on this rank, between
@@ -266,7 +281,7 @@ pub(crate) struct PartitionRun {
     my_cost: f64,
     win: Window,
     inflight: [Vec<Flight>; 2],
-    free_bufs: Vec<Vec<u8>>,
+    coalesce: Option<GatherCtx>,
     /// First round replayed through a re-elected standby; window slot
     /// of round r is (r - base) % 2 so the fresh window starts at 0.
     base: usize,
@@ -286,6 +301,7 @@ impl PartitionRun {
     /// window allocation — is skipped entirely; the trace scope and the
     /// election event are still re-recorded so every epoch's trace is
     /// self-contained.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn enter(
         comm: &Comm,
         part: &PartitionInfo,
@@ -293,12 +309,13 @@ impl PartitionRun {
         topo: &dyn TopologyProvider,
         epoch: u64,
         cache: Option<CachedPart>,
+        coalesce: Option<&Arc<CoalescePlan>>,
         stats: &mut IoStats,
     ) -> PartitionRun {
         let b = cfg.buffer_size as usize;
         #[allow(unused_mut)]
-        let (pcomm, agg_idx, my_cost, mut win, free_bufs) = match cache {
-            Some(c) => (c.pcomm, c.agg_idx, c.my_cost, c.win, c.free_bufs),
+        let (pcomm, agg_idx, my_cost, mut win, coalesce) = match cache {
+            Some(c) => (c.pcomm, c.agg_idx, c.my_cost, c.win, c.coalesce),
             None => {
                 let pcomm = comm.subgroup(&part.members, subgroup_key(epoch, part.index));
                 let my_idx = pcomm.rank();
@@ -316,8 +333,33 @@ impl PartitionRun {
                     my_idx,
                 );
                 let (_, agg_idx) = pcomm.allreduce_min_loc(my_cost);
-                let win = Window::allocate(&pcomm, if my_idx == agg_idx { 2 * b } else { 0 });
-                (pcomm, agg_idx, my_cost, win, Vec::new())
+                // One pane per pipeline slot: a flush draining slot A
+                // in place coexists with round r+1's puts filling
+                // slot B instead of serializing on one region lock.
+                let win = Window::allocate_paned(
+                    &pcomm,
+                    if my_idx == agg_idx { 2 * b } else { 0 },
+                    b,
+                );
+                let ctx = coalesce.and_then(|plan| {
+                    if !plan.runs().iter().any(|run| run.partition == part.index) {
+                        return None;
+                    }
+                    // Collective pair: every member agrees on whether
+                    // the partition has runs (the plan is pure shared
+                    // data) and passes through both allocations.
+                    let leads = plan.runs().iter().any(|run| {
+                        run.partition == part.index && run.leader == part.members[my_idx]
+                    });
+                    let gather = Window::allocate_paned(
+                        &pcomm,
+                        if leads { b } else { 0 },
+                        (b / 16).max(64),
+                    );
+                    let board = DepositBoard::allocate(&pcomm);
+                    Some(GatherCtx { plan: Arc::clone(plan), gather, board })
+                });
+                (pcomm, agg_idx, my_cost, win, ctx)
             }
         };
         let my_idx = pcomm.rank();
@@ -372,7 +414,7 @@ impl PartitionRun {
             my_cost,
             win,
             inflight: [Vec::new(), Vec::new()],
-            free_bufs,
+            coalesce,
             base: 0,
             crash_round,
             degrade_at,
@@ -385,51 +427,69 @@ impl PartitionRun {
     fn drain_slot(&mut self, slot: usize, file: &SharedFile, cfg: &TapiocaConfig) -> Result<()> {
         let b = cfg.buffer_size as usize;
         for f in std::mem::take(&mut self.inflight[slot]) {
-            settle_flight(
-                f,
-                &self.win,
-                self.my_idx,
-                b,
-                file,
-                cfg.io_policy.op_timeout,
-                &mut self.free_bufs,
-            )?;
+            settle_flight(f, &self.win, self.my_idx, b, file, cfg.io_policy.op_timeout)?;
         }
         Ok(())
     }
 
-    /// Opportunistic, non-blocking drain: settle whichever flights of
-    /// `slot` already completed (reclaiming their buffers into
-    /// `free_bufs`) and keep the rest in flight, order preserved. The
-    /// streaming path uses this so a round never blocks on a flush that
-    /// the double-buffer discipline does not require to be finished yet.
-    fn harvest_completed(
-        &mut self,
-        slot: usize,
-        file: &SharedFile,
-        cfg: &TapiocaConfig,
-    ) -> Result<()> {
-        let b = cfg.buffer_size as usize;
-        let flights = std::mem::take(&mut self.inflight[slot]);
-        for f in flights {
-            match f.handle.try_parts() {
-                Ok((buf, err)) => settle_parts(
-                    buf,
-                    err,
-                    f.seg,
-                    f.slot,
-                    &self.win,
-                    self.my_idx,
-                    b,
-                    file,
-                    &mut self.free_bufs,
-                )?,
-                Err(handle) => {
-                    self.inflight[slot].push(Flight { handle, seg: f.seg, slot: f.slot })
-                }
-            }
+    /// Completer half of coalescing for round `r`: forward every run
+    /// `leader_global` leads this round as **one** merged put from the
+    /// leader's gather buffer into the aggregator's slot. Called by
+    /// whichever co-located depositor's counter bump completed the
+    /// round's expected total — possibly the leader itself, possibly a
+    /// co-member — so the traced operation is pinned to the leader's
+    /// lane via `put_from`'s `lane` argument, keeping the wire-put
+    /// schedule deterministic for the static conformance bridge.
+    #[allow(clippy::too_many_arguments)]
+    fn forward_merged_runs(
+        &self,
+        part: &PartitionInfo,
+        r: usize,
+        leader_global: Rank,
+        leader_local: usize,
+        buf: usize,
+        b: usize,
+        stats: &mut IoStats,
+    ) {
+        let ctx = self.coalesce.as_ref().expect("completer fires only with coalescing active");
+        for run in ctx.plan.runs_led_by(part.index, r as u32, leader_global) {
+            self.win.put_from(
+                self.agg_idx,
+                buf * b + run.buf_offset as usize,
+                &ctx.gather,
+                leader_local,
+                run.buf_offset as usize,
+                run.len as usize,
+                run.chunks.len() as u32,
+                leader_global,
+            );
+            stats.puts += 1;
+            stats.coalesced_puts += 1;
         }
-        Ok(())
+    }
+
+    /// Re-issue this rank's merged puts of round `r` into a fresh
+    /// post-crash window (slot 0). The gather buffer survived the
+    /// crash with its bytes intact and the round's completer retired
+    /// the deposit count before the lost fill's fence, so no member
+    /// re-deposits and each leader replays its own runs directly.
+    fn replay_merged_runs(&mut self, part: &PartitionInfo, r: usize, stats: &mut IoStats) {
+        let Some(ctx) = self.coalesce.as_ref() else { return };
+        let me = part.members[self.my_idx];
+        for run in ctx.plan.runs_led_by(part.index, r as u32, me) {
+            self.win.put_from(
+                self.agg_idx,
+                run.buf_offset as usize,
+                &ctx.gather,
+                self.my_idx,
+                run.buf_offset as usize,
+                run.len as usize,
+                run.chunks.len() as u32,
+                me,
+            );
+            stats.puts += 1;
+            stats.coalesced_puts += 1;
+        }
     }
 
     /// Execute round `self.next_round` of `part`. `chunks` is this
@@ -493,9 +553,42 @@ impl PartitionRun {
                 continue;
             }
             let data = src.chunk_data(i, c);
-            self.win.put(self.agg_idx, buf * b + c.buf_offset as usize, data);
-            stats.puts += 1;
-            stats.put_bytes += c.len;
+            match self.coalesce.as_ref().and_then(|ctx| ctx.plan.run_for_chunk(c)) {
+                Some(run) => {
+                    // Intra-node staging, not a wire op: deposit into
+                    // the node leader's gather buffer and bump its
+                    // deposit counter. Untraced — only the merged put
+                    // is a window access the checker models. The
+                    // depositor whose bump completes the round's
+                    // expected total (a pure function of the plan, so
+                    // exactly one member observes it) retires the
+                    // count and forwards the leader's packed runs
+                    // inline; nobody ever blocks on the board.
+                    let leader_global = run.leader;
+                    let leader = part
+                        .members
+                        .binary_search(&leader_global)
+                        .expect("run leader is a partition member");
+                    let ctx = self.coalesce.as_ref().unwrap();
+                    ctx.gather.put(leader, c.buf_offset as usize, data);
+                    stats.put_bytes += c.len;
+                    stats.coalesced_chunks += 1;
+                    let expected: u64 = ctx
+                        .plan
+                        .runs_led_by(part.index, r as u32, leader_global)
+                        .map(|rn| rn.chunks.len() as u64)
+                        .sum();
+                    if ctx.board.add(leader, 1) == expected {
+                        ctx.board.sub(leader, expected);
+                        self.forward_merged_runs(part, r, leader_global, leader, buf, b, stats);
+                    }
+                }
+                None => {
+                    self.win.put(self.agg_idx, buf * b + c.buf_offset as usize, data);
+                    stats.puts += 1;
+                    stats.put_bytes += c.len;
+                }
+            }
         }
         // Close the access epoch of round r.
         self.win.fence(&self.pcomm);
@@ -528,8 +621,11 @@ impl PartitionRun {
             if self.my_idx == self.agg_idx {
                 stats.elected += 1;
             }
-            self.win =
-                Window::allocate(&self.pcomm, if self.my_idx == self.agg_idx { 2 * b } else { 0 });
+            self.win = Window::allocate_paned(
+                &self.pcomm,
+                if self.my_idx == self.agg_idx { 2 * b } else { 0 },
+                b,
+            );
             #[cfg(feature = "trace")]
             if let Some(tracer) = &cfg.tracer {
                 let scope = TraceScope::new(
@@ -550,21 +646,24 @@ impl PartitionRun {
                 if c.round as usize != r {
                     continue;
                 }
+                if let Some(ctx) = &self.coalesce {
+                    if ctx.plan.run_for_chunk(c).is_some() {
+                        // Already deposited before the lost fill; the
+                        // leader alone replays the merged put below.
+                        continue;
+                    }
+                }
                 let data = src.chunk_data(i, c);
                 self.win.put(self.agg_idx, c.buf_offset as usize, data);
                 stats.puts += 1;
                 stats.put_bytes += c.len;
             }
+            self.replay_merged_runs(part, r, stats);
             self.win.fence(&self.pcomm);
             stats.fences += 1;
         }
 
         if self.my_idx == self.agg_idx {
-            // Reclaim buffers from flushes that already completed before
-            // allocating fresh ones for this round's segments.
-            if cfg.pipelining && self.free_bufs.is_empty() {
-                self.harvest_completed((buf + 1) % 2, file, cfg)?;
-            }
             let mut handles: Vec<Flight> = Vec::with_capacity(round.segments.len());
             for (s, seg) in round.segments.iter().enumerate() {
                 let hint =
@@ -582,21 +681,28 @@ impl PartitionRun {
                         }
                     }
                 }
-                let mut data = self.free_bufs.pop().unwrap_or_default();
-                data.resize(seg.len as usize, 0);
-                self.win.read_local_into(self.my_idx, buf * b + seg.buf_offset as usize, &mut data);
+                // Zero-copy flush: hand the worker refcounted views of
+                // the window slot instead of copying it into an owned
+                // buffer. The slot is refilled two rounds later, after
+                // this flush has drained, so the bytes stay stable for
+                // the write and for the failure fallback's re-read.
+                let view = self.win.segment(
+                    self.my_idx,
+                    buf * b + seg.buf_offset as usize,
+                    seg.len as usize,
+                );
                 stats.flushes += 1;
                 stats.flush_bytes += seg.len;
                 #[cfg(feature = "trace")]
                 let h = file.iwrite_at_policy(
                     seg.file_offset,
-                    data,
+                    view,
                     policy,
                     hint,
                     self.win.trace_scope().map(|s| s.stamp()),
                 );
                 #[cfg(not(feature = "trace"))]
-                let h = file.iwrite_at_policy(seg.file_offset, data, policy, hint);
+                let h = file.iwrite_at_policy(seg.file_offset, view, policy, hint);
                 handles.push(Flight { handle: h, seg: *seg, slot: buf });
             }
             if cfg.pipelining {
@@ -606,15 +712,7 @@ impl PartitionRun {
                 self.drain_slot((buf + 1) % 2, file, cfg)?;
             } else {
                 for f in handles {
-                    settle_flight(
-                        f,
-                        &self.win,
-                        self.my_idx,
-                        b,
-                        file,
-                        policy.op_timeout,
-                        &mut self.free_bufs,
-                    )?;
+                    settle_flight(f, &self.win, self.my_idx, b, file, policy.op_timeout)?;
                 }
             }
         }
@@ -652,7 +750,7 @@ impl PartitionRun {
             agg_idx: self.agg_idx,
             my_cost: self.my_cost,
             win: self.win,
-            free_bufs: self.free_bufs,
+            coalesce: self.coalesce,
         }
     }
 }
@@ -672,6 +770,9 @@ pub fn run_write_pipeline(
     let me = comm.rank();
     let mut stats = IoStats::default();
     let src = StagedSource(staged);
+    let coalesce: Option<Arc<CoalescePlan>> = cfg
+        .coalescing
+        .then(|| Arc::new(compute_coalesce_plan(schedule, |rk| topo.node_of_rank(rk))));
 
     for part in &schedule.partitions {
         if part.members.binary_search(&me).is_err() {
@@ -683,7 +784,8 @@ pub fn run_write_pipeline(
             .copied()
             .collect();
 
-        let mut run = PartitionRun::enter(comm, part, cfg, topo, epoch, None, &mut stats);
+        let mut run =
+            PartitionRun::enter(comm, part, cfg, topo, epoch, None, coalesce.as_ref(), &mut stats);
         while run.next_round < part.rounds.len() {
             match run.run_round(part, &my_chunks, file, cfg, &src, &mut stats)? {
                 RoundOutcome::Ran => {}

@@ -54,7 +54,8 @@ use crate::config::TapiocaConfig;
 use crate::error::{io_err, Result, TapiocaError};
 use crate::placement::UniformTopology;
 use crate::schedule::{
-    compute_schedule, Chunk, RankStreamPlan, Schedule, ScheduleParams, WriteDecl,
+    compute_coalesce_plan, compute_schedule, Chunk, CoalescePlan, RankStreamPlan, Schedule,
+    ScheduleParams, WriteDecl,
 };
 
 /// Outcome of a [`Session::write`] call.
@@ -235,6 +236,9 @@ impl<'c> SessionBuilder<'c> {
             align_to_buffer: true,
         });
         let plan = RankStreamPlan::new(&schedule, comm.rank());
+        let coalesce = cfg
+            .coalescing
+            .then(|| Arc::new(compute_coalesce_plan(&schedule, |rk| topo.node_of_rank(rk))));
         let mut var_chunks: Vec<Vec<(usize, usize)>> = vec![Vec::new(); decls.len()];
         for (pslot, pp) in plan.parts.iter().enumerate() {
             for (li, c) in pp.chunks.iter().enumerate() {
@@ -252,6 +256,7 @@ impl<'c> SessionBuilder<'c> {
             decls,
             schedule,
             plan,
+            coalesce,
             var_chunks,
             seq,
             cache: std::iter::repeat_with(|| None).take(nparts).collect(),
@@ -282,6 +287,11 @@ pub struct Session<'c> {
     decls: Vec<WriteDecl>,
     schedule: Schedule,
     plan: RankStreamPlan,
+    /// Intra-node put-coalescing runs shared by every partition entry
+    /// this session makes (`None` unless `cfg.coalescing`); computed
+    /// once — the schedule and placement are fixed for the session's
+    /// lifetime, so the plan is too.
+    coalesce: Option<Arc<CoalescePlan>>,
     /// Per declared var: its chunks as `(plan part slot, local index)`.
     var_chunks: Vec<Vec<(usize, usize)>>,
     seq: u64,
@@ -428,6 +438,7 @@ impl<'c> Session<'c> {
             topo,
             schedule,
             plan,
+            coalesce,
             seq,
             cache,
             avail,
@@ -465,6 +476,7 @@ impl<'c> Session<'c> {
                     topo.as_ref(),
                     *seq * 2,
                     cache[*cur_part].take(),
+                    coalesce.as_ref(),
                     epoch_stats,
                 ));
             }

@@ -89,6 +89,11 @@ pub struct Candidate {
     pub strategy: PlacementStrategy,
     /// Double-buffered flush pipeline on/off.
     pub pipelining: bool,
+    /// Intra-node put coalescing on/off. Model-scored only: the flow
+    /// simulator already batches transfers per (round, source node), so
+    /// its bandwidth is coalescing-invariant and the dimension is
+    /// excluded from [`Candidate::sim_key`].
+    pub coalescing: bool,
     /// Buffer/staging tier.
     pub tier: TierAssignment,
 }
@@ -103,14 +108,17 @@ impl Candidate {
             buffer_size: self.buffer_size,
             strategy: self.strategy,
             pipelining: self.pipelining,
+            coalescing: self.coalescing,
             ..base.clone()
         }
     }
 
-    /// Hash of the *simulator-visible* dimensions (tier excluded): two
-    /// candidates with equal keys produce bit-identical `run_tapioca_sim`
-    /// results, which is the memoization contract of
-    /// [`crate::autotune::cache::SimCache`].
+    /// Hash of the *simulator-visible* dimensions (tier and coalescing
+    /// excluded): two candidates with equal keys produce bit-identical
+    /// `run_tapioca_sim` results, which is the memoization contract of
+    /// [`crate::autotune::cache::SimCache`]. Coalescing is excluded
+    /// because the flow simulator batches per (round, source node)
+    /// regardless — only ω and the thread executor see the difference.
     pub fn sim_key(&self) -> u64 {
         let strat = match self.strategy {
             PlacementStrategy::TopologyAware => 1u64,
@@ -161,6 +169,9 @@ struct GroupFacts {
     bytes: f64,
     /// Members (for capping the useful aggregator count).
     ranks: usize,
+    /// Mean co-located members per compute node — the merge factor an
+    /// intra-node coalescing run can reach.
+    rpn: f64,
     agg: StrategyTimes,
 }
 
@@ -204,6 +215,11 @@ const MODEL_LNET_GATEWAYS: f64 = 8.0;
 
 /// Node-local SSD write bandwidth (burst buffer), bytes/s.
 const SSD_WRITE_BW: f64 = 2.0 * GIB as f64;
+
+/// Cost of one intra-node gather deposit as a fraction of the network
+/// injection latency: a shared-memory store plus a counter bump, far
+/// below a NIC doorbell but not free.
+const INTRA_DEPOSIT_FRACTION: f64 = 0.1;
 
 /// The cost model: build once per `(profile, storage, spec)`, then call
 /// [`CostModel::score`] per candidate.
@@ -306,7 +322,31 @@ impl CostModel {
         // and the memory-side staging copy into the tier's buffers.
         let fence_overhead = rounds as f64 * 4.0 * self.latency;
         let copy = g.bytes / parts as f64 / cand.tier.buffer_bw();
-        let t_agg = g.agg.of(cand.strategy) / parts as f64 + fence_overhead + copy;
+
+        // Per-op latency of the write-plane window fill: every RMA put
+        // pays one injection latency. Raw mode issues one put per member
+        // per round. Coalescing folds each node's co-located members
+        // into one merged put per round (a ~rpn× op reduction) but pays
+        // an intra-node deposit per member plus one extra staging pass
+        // through the leader's gather buffer — so it only wins when the
+        // latency saved on many small puts beats the added copy, which
+        // is exactly the high-ranks-per-node, small-chunk regime. Reads
+        // drain through a different (uncoalesced) pipeline and carry no
+        // such term.
+        let members = (g.ranks as f64 / parts as f64).max(1.0);
+        let t_ops = if self.mode != AccessMode::Write {
+            0.0
+        } else if cand.coalescing && g.rpn >= 2.0 {
+            let wire = (members / g.rpn).ceil().max(1.0);
+            rounds as f64
+                * self.latency
+                * (wire + members * INTRA_DEPOSIT_FRACTION)
+                + g.bytes / parts as f64 / cand.tier.buffer_bw()
+        } else {
+            rounds as f64 * members * self.latency
+        };
+        let t_agg =
+            g.agg.of(cand.strategy) / parts as f64 + fence_overhead + copy + t_ops;
 
         // I/O phase: backend service time for the group's bytes.
         let t_io = match &self.storage {
@@ -393,6 +433,11 @@ fn group_facts(
         bytes[s] += w as f64;
     }
 
+    let rpn = if nodes.is_empty() {
+        1.0
+    } else {
+        group.ranks.len() as f64 / nodes.len() as f64
+    };
     let io: IoNodeId = machine.io_nodes_for(&group.ranks).first().copied().unwrap_or(0);
     let l = machine.latency();
     let nn = nodes.len();
@@ -431,6 +476,7 @@ fn group_facts(
         span,
         bytes: total as f64,
         ranks: group.ranks.len().max(1),
+        rpn,
         agg: StrategyTimes {
             topo_aware: min,
             rank_order: t[0],
@@ -468,6 +514,7 @@ mod tests {
             buffer_size: buffer,
             strategy: PlacementStrategy::TopologyAware,
             pipelining: true,
+            coalescing: false,
             tier: TierAssignment::DramDirect,
         }
     }
@@ -551,11 +598,40 @@ mod tests {
     }
 
     #[test]
-    fn sim_keys_ignore_the_tier_dimension() {
+    fn sim_keys_ignore_the_tier_and_coalescing_dimensions() {
         let a = cand(8, MIB);
         let b = Candidate { tier: TierAssignment::McdramBurstBuffer, ..a };
         assert_eq!(a.sim_key(), b.sim_key());
+        let co = Candidate { coalescing: true, ..a };
+        assert_eq!(a.sim_key(), co.sim_key());
         let c = Candidate { aggregators: 9, ..a };
         assert_ne!(a.sim_key(), c.sim_key());
+    }
+
+    #[test]
+    fn coalescing_wins_on_dense_nodes_and_loses_on_sparse_ones() {
+        // 16 ranks/node, many small chunks: the merged-put latency
+        // saving dominates the extra gather copy.
+        let dense = theta_profile(16, 16);
+        let storage = StorageConfig::Lustre(LustreTunables::theta_optimized());
+        let spec = theta_spec(256, 8 * 1024);
+        let m = CostModel::new(&dense, &storage, &spec).unwrap();
+        let raw = cand(8, MIB);
+        let co = Candidate { coalescing: true, ..raw };
+        assert!(
+            m.score(&co) < m.score(&raw),
+            "16 rpn small chunks must favour coalescing: {} vs {}",
+            m.score(&co),
+            m.score(&raw)
+        );
+
+        // 1 rank/node: no runs can form, so coalescing must not be
+        // scored cheaper than raw.
+        let sparse = theta_profile(64, 1);
+        let spec = theta_spec(64, 4 * MIB);
+        let m = CostModel::new(&sparse, &storage, &spec).unwrap();
+        let raw = cand(8, MIB);
+        let co = Candidate { coalescing: true, ..raw };
+        assert!(m.score(&co) >= m.score(&raw), "1 rpn has nothing to merge");
     }
 }

@@ -2,7 +2,8 @@
 //!
 //! Stage 1 (*coarse*) enumerates the full multi-dimensional grid —
 //! aggregator count × buffer size × placement strategy × pipelining ×
-//! tier assignment — and scores every point with the analytic model ω
+//! coalescing × tier assignment — and scores every point with the
+//! analytic model ω
 //! ([`CostModel`]), which costs arithmetic, not simulations. Stage 2
 //! (*refine*) densifies the aggregator ladder around the coarse winner
 //! and rescores. Stage 3 (*confirm*) hands the model's short-list — plus
@@ -45,6 +46,11 @@ pub struct SearchSpace {
     pub strategies: Vec<PlacementStrategy>,
     /// Pipelining on/off.
     pub pipelining: Vec<bool>,
+    /// Intra-node put coalescing on/off. Like the tier, this dimension
+    /// is decided by ω alone: the flow simulator's bandwidth is
+    /// coalescing-invariant (it batches per node already), so the
+    /// short-list dedup keeps whichever variant the model prefers.
+    pub coalescing: Vec<bool>,
     /// Tier assignments (KNL tiers only exist on Lustre machines).
     pub tiers: Vec<TierAssignment>,
 }
@@ -104,6 +110,7 @@ impl SearchSpace {
                 PlacementStrategy::RankOrder,
             ],
             pipelining: vec![true, false],
+            coalescing: vec![false, true],
             tiers,
         })
     }
@@ -114,6 +121,7 @@ impl SearchSpace {
             * self.buffers.len()
             * self.strategies.len()
             * self.pipelining.len()
+            * self.coalescing.len()
             * self.tiers.len()
     }
 
@@ -124,14 +132,17 @@ impl SearchSpace {
             for &buffer_size in &self.buffers {
                 for &strategy in &self.strategies {
                     for &pipelining in &self.pipelining {
-                        for &tier in &self.tiers {
-                            out.push(Candidate {
-                                aggregators,
-                                buffer_size,
-                                strategy,
-                                pipelining,
-                                tier,
-                            });
+                        for &coalescing in &self.coalescing {
+                            for &tier in &self.tiers {
+                                out.push(Candidate {
+                                    aggregators,
+                                    buffer_size,
+                                    strategy,
+                                    pipelining,
+                                    coalescing,
+                                    tier,
+                                });
+                            }
                         }
                     }
                 }
@@ -253,6 +264,7 @@ pub fn autotune_from(
         buffer_size: rule.buffer_size,
         strategy: rule.strategy,
         pipelining: rule.pipelining,
+        coalescing: false,
         tier: TierAssignment::DramDirect,
     };
     if shortlist.iter().all(|c| c.sim_key() != rule_cand.sim_key()) {

@@ -29,6 +29,14 @@ pub struct TapiocaConfig {
     pub pipelining: bool,
     /// Aggregator election strategy.
     pub strategy: PlacementStrategy,
+    /// Merge intra-node contiguous puts into one RMA operation per
+    /// (node, round): co-located ranks deposit into a node leader's
+    /// gather buffer and the leader forwards the packed range as a
+    /// single put. Off by default — the autotuner enables it when the
+    /// ω(A) per-op latency saved exceeds the gather overhead (high
+    /// ranks-per-node, many small chunks). File bytes are bit-identical
+    /// either way.
+    pub coalescing: bool,
     /// Deterministic fault schedule consumed by both executors. `None`
     /// (the default) injects nothing; recovery machinery stays off the
     /// hot path entirely.
@@ -57,6 +65,7 @@ impl PartialEq for TapiocaConfig {
         self.num_aggregators == other.num_aggregators
             && self.buffer_size == other.buffer_size
             && self.pipelining == other.pipelining
+            && self.coalescing == other.coalescing
             && self.strategy == other.strategy
             && self.faults == other.faults
             && self.io_policy == other.io_policy
@@ -70,6 +79,7 @@ impl Default for TapiocaConfig {
             num_aggregators: 16,
             buffer_size: 16 * 1024 * 1024,
             pipelining: true,
+            coalescing: false,
             strategy: PlacementStrategy::TopologyAware,
             faults: None,
             io_policy: IoPolicy::default(),
@@ -164,6 +174,13 @@ impl ConfigBuilder {
     #[must_use]
     pub fn pipelining(mut self, on: bool) -> Self {
         self.cfg.pipelining = on;
+        self
+    }
+
+    /// Enable/disable intra-node put coalescing.
+    #[must_use]
+    pub fn coalescing(mut self, on: bool) -> Self {
+        self.cfg.coalescing = on;
         self
     }
 

@@ -356,6 +356,155 @@ pub fn compute_schedule(decls: &[Vec<WriteDecl>], params: ScheduleParams) -> Sch
     Schedule { params, span: (lo, hi), partitions, chunks_by_rank }
 }
 
+/// A maximal group of same-(partition, round) chunks from ranks
+/// co-located on one node whose aggregation-buffer extents are
+/// contiguous: instead of one RMA put per chunk, the members deposit
+/// into the `leader`'s node-local gather buffer and the leader forwards
+/// the packed range as **one** merged put of `len` bytes at
+/// `buf_offset`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoalescedRun {
+    /// Partition the run belongs to.
+    pub partition: usize,
+    /// Round within the partition.
+    pub round: u32,
+    /// Node hosting every producing rank of the run.
+    pub node: usize,
+    /// Rank issuing the merged put: the member producing the run's
+    /// lowest-offset chunk (deterministic, always a run member).
+    pub leader: Rank,
+    /// Destination offset of the merged put inside the aggregation
+    /// buffer (= the first chunk's `buf_offset`).
+    pub buf_offset: u64,
+    /// Total merged length, bytes (= sum of the chunks' lengths).
+    pub len: u64,
+    /// The original chunks, ascending by `buf_offset`, back to back.
+    pub chunks: Vec<Chunk>,
+}
+
+/// Which puts of a [`Schedule`] merge into [`CoalescedRun`]s under a
+/// given rank-to-node placement. Pure data: every rank computes an
+/// identical plan from the shared schedule, like the schedule itself.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoalescePlan {
+    runs: Vec<CoalescedRun>,
+    /// (partition, round, rank, buf_offset) -> index into `runs`.
+    by_chunk: std::collections::BTreeMap<(usize, u32, Rank, u64), usize>,
+    /// (partition, round, leader) -> indices into `runs`, ascending by
+    /// `buf_offset`.
+    by_leader: std::collections::BTreeMap<(usize, u32, Rank), Vec<usize>>,
+}
+
+impl CoalescePlan {
+    /// All runs, grouped by (partition, round), ascending.
+    pub fn runs(&self) -> &[CoalescedRun] {
+        &self.runs
+    }
+
+    /// Whether no puts coalesce under this plan.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// The run a chunk belongs to, if it coalesces.
+    pub fn run_for_chunk(&self, c: &Chunk) -> Option<&CoalescedRun> {
+        self.by_chunk
+            .get(&(c.partition, c.round, c.rank, c.buf_offset))
+            .map(|&i| &self.runs[i])
+    }
+
+    /// The merged puts `leader` issues in (partition, round), ascending
+    /// by buffer offset.
+    pub fn runs_led_by(
+        &self,
+        partition: usize,
+        round: u32,
+        leader: Rank,
+    ) -> impl Iterator<Item = &CoalescedRun> {
+        self.by_leader
+            .get(&(partition, round, leader))
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.runs[i])
+    }
+
+    /// Chunks the plan folds into merged puts, across all runs.
+    pub fn total_coalesced_chunks(&self) -> usize {
+        self.runs.iter().map(|r| r.chunks.len()).sum()
+    }
+
+    /// Wire put count under this plan: every coalesced run becomes one
+    /// operation, every other chunk stays its own put.
+    pub fn wire_put_count(&self, schedule: &Schedule) -> usize {
+        let total: usize = schedule.chunks_by_rank.iter().map(Vec::len).sum();
+        total - self.total_coalesced_chunks() + self.runs.len()
+    }
+}
+
+/// Find every maximal run of contiguous-in-buffer chunks produced by
+/// ranks sharing a node, per (partition, round). Runs of at least two
+/// chunks coalesce; singletons stay ordinary puts. `node_of` maps a
+/// rank to its node (e.g. [`tapioca_topology::TopologyProvider::node_of_rank`]).
+///
+/// Invariants (proved per run by construction, tested below):
+/// - chunks are back to back: `chunks[i].buf_offset + chunks[i].len ==
+///   chunks[i+1].buf_offset`, so the merged put's bytes are the exact
+///   concatenation of the members' chunk bytes — file output is
+///   bit-identical to the uncoalesced path;
+/// - all producing ranks map to `node`, so deposits into the leader's
+///   gather buffer are intra-node traffic;
+/// - `leader` produces `chunks[0]` and therefore participates in the
+///   round.
+pub fn compute_coalesce_plan(
+    schedule: &Schedule,
+    node_of: impl Fn(Rank) -> usize,
+) -> CoalescePlan {
+    use std::collections::BTreeMap;
+    let mut groups: BTreeMap<(usize, u32), Vec<Chunk>> = BTreeMap::new();
+    for chunks in &schedule.chunks_by_rank {
+        for c in chunks {
+            groups.entry((c.partition, c.round)).or_default().push(*c);
+        }
+    }
+    let mut plan = CoalescePlan::default();
+    for ((partition, round), mut cs) in groups {
+        // Chunk buffer extents within one round are disjoint, so this
+        // order is total.
+        cs.sort_by_key(|c| c.buf_offset);
+        let mut i = 0;
+        while i < cs.len() {
+            let node = node_of(cs[i].rank);
+            let mut j = i + 1;
+            while j < cs.len()
+                && node_of(cs[j].rank) == node
+                && cs[j - 1].buf_offset + cs[j - 1].len == cs[j].buf_offset
+            {
+                j += 1;
+            }
+            if j - i >= 2 {
+                let chunks = cs[i..j].to_vec();
+                let run_idx = plan.runs.len();
+                for c in &chunks {
+                    plan.by_chunk.insert((partition, round, c.rank, c.buf_offset), run_idx);
+                }
+                let leader = chunks[0].rank;
+                plan.by_leader.entry((partition, round, leader)).or_default().push(run_idx);
+                plan.runs.push(CoalescedRun {
+                    partition,
+                    round,
+                    node,
+                    leader,
+                    buf_offset: chunks[0].buf_offset,
+                    len: chunks.iter().map(|c| c.len).sum(),
+                    chunks,
+                });
+            }
+            i = j;
+        }
+    }
+    plan
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -621,6 +770,106 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+    #[test]
+    fn coalesce_merges_co_located_contiguous_chunks() {
+        // 16 ranks on one node (mira-style rpn=16), one contiguous block
+        // each: every round's 16 puts fold into a single merged put.
+        let s = compute_schedule(
+            &dense_decls(16, 64),
+            ScheduleParams { num_aggregators: 1, buffer_size: 256, align_to_buffer: true },
+        );
+        let plan = compute_coalesce_plan(&s, |r| r / 16);
+        let nrounds = s.partitions[0].rounds.len();
+        assert_eq!(plan.runs().len(), nrounds, "one merged run per round");
+        for run in plan.runs() {
+            assert_eq!(run.node, 0);
+            assert_eq!(run.len, 256);
+            assert!(run.chunks.len() >= 2);
+            // back-to-back chunks, leader produces the first one
+            for w in run.chunks.windows(2) {
+                assert_eq!(w[0].buf_offset + w[0].len, w[1].buf_offset);
+            }
+            assert_eq!(run.leader, run.chunks[0].rank);
+            assert_eq!(run.buf_offset, run.chunks[0].buf_offset);
+        }
+        // every chunk resolves to its run, and lookups agree with runs_led_by
+        let total: usize = s.chunks_by_rank.iter().map(Vec::len).sum();
+        assert_eq!(plan.total_coalesced_chunks(), total);
+        assert_eq!(plan.wire_put_count(&s), nrounds);
+        for chunks in &s.chunks_by_rank {
+            for c in chunks {
+                let run = plan.run_for_chunk(c).expect("all chunks coalesce here");
+                assert!(run.chunks.contains(c));
+                assert!(plan
+                    .runs_led_by(run.partition, run.round, run.leader)
+                    .any(|r| r == run));
+            }
+        }
+    }
+
+    #[test]
+    fn coalesce_runs_split_at_node_boundaries() {
+        // 8 ranks, 4 per node: contiguous buffer extents split into one
+        // run per node, never mixing nodes.
+        let s = compute_schedule(
+            &dense_decls(8, 32),
+            ScheduleParams { num_aggregators: 1, buffer_size: 256, align_to_buffer: true },
+        );
+        let plan = compute_coalesce_plan(&s, |r| r / 4);
+        assert_eq!(plan.runs().len(), 2);
+        for run in plan.runs() {
+            assert_eq!(run.chunks.len(), 4);
+            assert!(run.chunks.iter().all(|c| c.rank / 4 == run.node));
+        }
+        assert_eq!(plan.wire_put_count(&s), 2);
+    }
+
+    #[test]
+    fn coalesce_skips_singletons_and_gaps() {
+        // One rank per node: nothing is co-located, nothing coalesces.
+        let s = compute_schedule(
+            &dense_decls(4, 32),
+            ScheduleParams { num_aggregators: 1, buffer_size: 128, align_to_buffer: true },
+        );
+        let none = compute_coalesce_plan(&s, |r| r);
+        assert!(none.is_empty());
+        assert_eq!(none.wire_put_count(&s), 4);
+        assert!(none.run_for_chunk(&s.chunks_by_rank[0][0]).is_none());
+
+        // Interleaved file extents from different nodes break contiguity
+        // in node terms: ranks 0,2 on node 0 and 1,3 on node 1, writing
+        // alternating blocks. Adjacent buffer extents alternate nodes, so
+        // no run forms.
+        let decls: Vec<Vec<WriteDecl>> = (0..4u64)
+            .map(|r| vec![WriteDecl { offset: r * 32, len: 32 }])
+            .collect();
+        let s = compute_schedule(
+            &decls,
+            ScheduleParams { num_aggregators: 1, buffer_size: 128, align_to_buffer: true },
+        );
+        let plan = compute_coalesce_plan(&s, |r| r % 2);
+        assert!(plan.is_empty(), "alternating nodes never form a run");
+    }
+
+    #[test]
+    fn coalesce_plan_is_deterministic_and_covers_partial_runs() {
+        // Mixed shape: 6 ranks, nodes of 3 — node 0 = ranks 0..3,
+        // node 1 = ranks 3..6. With dense declarations both node groups
+        // form runs; recomputation yields the identical plan.
+        let s = compute_schedule(
+            &dense_decls(6, 48),
+            ScheduleParams { num_aggregators: 2, buffer_size: 96, align_to_buffer: true },
+        );
+        let a = compute_coalesce_plan(&s, |r| r / 3);
+        let b = compute_coalesce_plan(&s, |r| r / 3);
+        assert_eq!(a, b);
+        for run in a.runs() {
+            let merged: u64 = run.chunks.iter().map(|c| c.len).sum();
+            assert_eq!(run.len, merged);
+            // run extents never cross the round's buffer
+            assert!(run.buf_offset + run.len <= 96);
         }
     }
 }

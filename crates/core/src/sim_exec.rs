@@ -420,6 +420,7 @@ fn emit_sim_trace(
                 bytes,
                 offset: NO_OFFSET,
                 peer: agg,
+                coalesced: 0,
             });
             // Injected crash: demotion + standby re-election, recorded
             // on the lowest member's lane like thread mode does.
@@ -435,6 +436,7 @@ fn emit_sim_trace(
                         bytes: 0,
                         offset: NO_OFFSET,
                         peer,
+                        coalesced: 0,
                     });
                 }
             }
@@ -458,6 +460,7 @@ fn emit_sim_trace(
                     bytes: bytes.round() as u64,
                     offset: NO_OFFSET,
                     peer: agg,
+                    coalesced: 0,
                 }),
                 OpKind::Flush { len, offset, .. } => tracer.record(TraceEvent {
                     t_ns,
@@ -469,6 +472,7 @@ fn emit_sim_trace(
                     bytes: len,
                     offset,
                     peer: NO_PEER,
+                    coalesced: 0,
                 }),
             }
         }

@@ -30,8 +30,61 @@ use crate::comm::{Comm, RegistryKind};
 use crate::fault::{backoff, FaultHint, IoError, IoPolicy};
 use crate::lock_ok;
 use crate::perturb::Perturber;
+use crate::rma::WinSegment;
 #[cfg(feature = "trace")]
 use tapioca_trace::TraceStamp;
+
+/// Payload of a non-blocking write.
+///
+/// `Owned` is the classic staged path: the submitter hands the buffer
+/// over and gets it back through [`IoHandle::wait_reclaim`]. `Segments`
+/// is the zero-copy path: refcounted [`WinSegment`] views into RMA
+/// window panes, drained in place by the worker — no payload copy is
+/// made anywhere between the window and the file descriptor. Segment
+/// submissions have no buffer to reclaim (`wait_reclaim` yields
+/// `None`); on failure the submitter re-reads the window region for the
+/// direct-write fallback, which holds the same bytes until the slot is
+/// reused two rounds later.
+#[derive(Debug)]
+pub enum JobData {
+    /// An owned buffer, returned to the submitter on completion.
+    Owned(Vec<u8>),
+    /// In-place window views, written back-to-back at the file offset.
+    Segments(Vec<WinSegment>),
+}
+
+impl JobData {
+    /// Total payload length in bytes.
+    pub fn len(&self) -> usize {
+        match self {
+            JobData::Owned(d) => d.len(),
+            JobData::Segments(s) => s.iter().map(WinSegment::len).sum(),
+        }
+    }
+
+    /// Whether the payload carries no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl From<Vec<u8>> for JobData {
+    fn from(d: Vec<u8>) -> JobData {
+        JobData::Owned(d)
+    }
+}
+
+impl From<WinSegment> for JobData {
+    fn from(s: WinSegment) -> JobData {
+        JobData::Segments(vec![s])
+    }
+}
+
+impl From<Vec<WinSegment>> for JobData {
+    fn from(s: Vec<WinSegment>) -> JobData {
+        JobData::Segments(s)
+    }
+}
 
 /// Completion notification for a non-blocking write. Carries the
 /// written buffer back so drain loops can recycle it, and the error
@@ -173,7 +226,7 @@ impl IoHandle {
 
 struct Job {
     offset: u64,
-    data: Vec<u8>,
+    data: JobData,
     notify: Arc<Notify>,
     /// Retry budget and backoff for this operation.
     policy: IoPolicy,
@@ -204,6 +257,28 @@ impl Drop for FileInner {
     }
 }
 
+/// Apply one payload at `offset`. Segment payloads are written part by
+/// part at advancing offsets, each part read in place under its pane
+/// lock. Safe to repeat on retry: the viewed window bytes are stable
+/// until the submitter reuses the slot, which happens only after the
+/// handle settles.
+fn write_payload(worker_file: &File, data: &JobData, offset: u64) -> std::io::Result<()> {
+    match data {
+        JobData::Owned(d) => worker_file.write_all_at(d, offset),
+        JobData::Segments(segs) => {
+            let mut off = offset;
+            for s in segs {
+                s.for_each_part(|part| -> std::io::Result<()> {
+                    worker_file.write_all_at(part, off)?;
+                    off += part.len() as u64;
+                    Ok(())
+                })?;
+            }
+            Ok(())
+        }
+    }
+}
+
 /// Run one job's write with bounded retry; `None` on success.
 fn run_job(worker_file: &File, job: &Job) -> Option<IoError> {
     let mut attempt: u32 = 0;
@@ -217,7 +292,7 @@ fn run_job(worker_file: &File, job: &Job) -> Option<IoError> {
         let res = if injected {
             Err(std::io::Error::new(ErrorKind::Interrupted, "injected transient flush failure"))
         } else {
-            worker_file.write_all_at(&job.data, job.offset)
+            write_payload(worker_file, &job.data, job.offset)
         };
         match res {
             Ok(()) => return None,
@@ -297,7 +372,13 @@ impl SharedFile {
                         }
                     }
                     let Job { data, notify, .. } = job;
-                    notify.signal(Some(data), error);
+                    // Only owned buffers come back; segment views simply
+                    // drop their window refcounts.
+                    let reclaimed = match data {
+                        JobData::Owned(d) => Some(d),
+                        JobData::Segments(_) => None,
+                    };
+                    notify.signal(reclaimed, error);
                 }
             })?;
         Ok(SharedFile {
@@ -335,12 +416,21 @@ impl SharedFile {
     }
 
     /// Non-blocking positioned write: returns immediately; the I/O
-    /// worker applies writes in submission order.
-    pub fn iwrite_at(&self, offset: u64, data: Vec<u8>) -> IoHandle {
+    /// worker applies writes in submission order. Accepts an owned
+    /// buffer (staged path) or [`WinSegment`] views (zero-copy path) —
+    /// anything `Into<JobData>`.
+    pub fn iwrite_at(&self, offset: u64, data: impl Into<JobData>) -> IoHandle {
         #[cfg(feature = "trace")]
-        return self.submit(offset, data, IoPolicy::default(), None, None);
+        return self.submit(offset, data.into(), IoPolicy::default(), None, None);
         #[cfg(not(feature = "trace"))]
-        self.submit(offset, data, IoPolicy::default(), None)
+        self.submit(offset, data.into(), IoPolicy::default(), None)
+    }
+
+    /// Non-blocking vectored write of refcounted window views: the
+    /// worker drains the segments in place, back to back starting at
+    /// `offset`, without copying the payload out of the window.
+    pub fn iwrite_at_vectored(&self, offset: u64, segments: Vec<WinSegment>) -> IoHandle {
+        self.iwrite_at(offset, segments)
     }
 
     /// Non-blocking positioned write under an explicit retry policy,
@@ -348,15 +438,15 @@ impl SharedFile {
     pub fn iwrite_at_policy(
         &self,
         offset: u64,
-        data: Vec<u8>,
+        data: impl Into<JobData>,
         policy: IoPolicy,
         hint: Option<FaultHint>,
         #[cfg(feature = "trace")] stamp: Option<TraceStamp>,
     ) -> IoHandle {
         #[cfg(feature = "trace")]
-        return self.submit(offset, data, policy, hint, stamp);
+        return self.submit(offset, data.into(), policy, hint, stamp);
         #[cfg(not(feature = "trace"))]
-        self.submit(offset, data, policy, hint)
+        self.submit(offset, data.into(), policy, hint)
     }
 
     /// Non-blocking positioned write that records a flush-completion
@@ -366,16 +456,16 @@ impl SharedFile {
     pub fn iwrite_at_traced(
         &self,
         offset: u64,
-        data: Vec<u8>,
+        data: impl Into<JobData>,
         stamp: Option<TraceStamp>,
     ) -> IoHandle {
-        self.submit(offset, data, IoPolicy::default(), None, stamp)
+        self.submit(offset, data.into(), IoPolicy::default(), None, stamp)
     }
 
     fn submit(
         &self,
         offset: u64,
-        data: Vec<u8>,
+        data: JobData,
         policy: IoPolicy,
         hint: Option<FaultHint>,
         #[cfg(feature = "trace")] stamp: Option<TraceStamp>,
@@ -438,7 +528,7 @@ mod tests {
     fn iwrite_policy(
         f: &SharedFile,
         offset: u64,
-        data: Vec<u8>,
+        data: impl Into<JobData>,
         policy: IoPolicy,
         hint: Option<FaultHint>,
     ) -> IoHandle {
@@ -472,7 +562,7 @@ mod tests {
     #[test]
     fn empty_iwrite_is_immediately_ready() {
         let f = SharedFile::create(tmp("empty")).unwrap();
-        let h = f.iwrite_at(0, vec![]);
+        let h = f.iwrite_at(0, Vec::<u8>::new());
         assert!(h.test());
         h.wait().unwrap();
     }
@@ -485,7 +575,7 @@ mod tests {
         assert_eq!(buf, vec![9u8; 16]);
         assert_eq!(f.read_at(3, 16).unwrap(), vec![9u8; 16]);
         // zero-byte flushes have no buffer to give back
-        assert_eq!(f.iwrite_at(0, vec![]).wait_reclaim().unwrap(), None);
+        assert_eq!(f.iwrite_at(0, Vec::<u8>::new()).wait_reclaim().unwrap(), None);
     }
 
     #[test]
@@ -598,6 +688,48 @@ mod tests {
         drop(f);
         let f = SharedFile::open(tmp("stall")).unwrap();
         assert_eq!(f.read_at(0, 4).unwrap(), vec![1u8; 4]);
+    }
+
+    #[test]
+    fn vectored_iwrite_drains_window_in_place() {
+        use crate::comm::make_world;
+        use crate::rma::Window;
+        let f = SharedFile::create(tmp("vectored")).unwrap();
+        let c = make_world(1).into_iter().next().unwrap();
+        // two-pane window: segments may span pane boundaries
+        let win = Window::allocate_paned(&c, 32, 16);
+        let payload: Vec<u8> = (0..32u8).collect();
+        win.put(0, 0, &payload);
+        // two views submitted as one vectored write: [8..24) then [24..32)
+        let h = f.iwrite_at_vectored(100, vec![win.segment(0, 8, 16), win.segment(0, 24, 8)]);
+        let reclaimed = h.wait_reclaim().unwrap();
+        assert_eq!(reclaimed, None, "segment submissions have no buffer to give back");
+        assert_eq!(f.read_at(100, 24).unwrap(), payload[8..32]);
+    }
+
+    #[test]
+    fn failed_vectored_write_leaves_window_readable_for_fallback() {
+        use crate::comm::make_world;
+        use crate::rma::Window;
+        let f = SharedFile::create(tmp("vecfail")).unwrap();
+        let c = make_world(1).into_iter().next().unwrap();
+        let win = Window::allocate(&c, 16);
+        win.put(0, 0, &[6u8; 16]);
+        let policy = IoPolicy {
+            max_retries: 1,
+            base_backoff: Duration::from_micros(10),
+            op_timeout: Duration::from_secs(5),
+        };
+        let hint = FaultHint { fail_attempts: u32::MAX, delay: Duration::ZERO };
+        let h = iwrite_policy(&f, 0, win.segment(0, 0, 16), policy, Some(hint));
+        let (buf, err) = h.wait_parts();
+        assert_eq!(buf, None);
+        assert!(matches!(err, Some(IoError::Exhausted { .. })), "got {err:?}");
+        // the submitter's fallback re-reads the same bytes from the window
+        let mut d = [0u8; 16];
+        win.read_local_into(0, 0, &mut d);
+        assert_eq!(d, [6u8; 16]);
+        assert_eq!(f.len().unwrap(), 0, "nothing durable");
     }
 
     #[cfg(feature = "trace")]

@@ -54,9 +54,9 @@ pub mod sync;
 
 pub use comm::Comm;
 pub use fault::{FaultHint, FaultPlan, FaultSpec, IoError, IoPolicy};
-pub use file::{IoHandle, SharedFile};
+pub use file::{IoHandle, JobData, SharedFile};
 pub use perturb::Perturber;
-pub use rma::Window;
+pub use rma::{DepositBoard, WinSegment, Window};
 pub use runtime::Runtime;
 
 /// Lock a mutex, recovering from poisoning.

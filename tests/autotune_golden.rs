@@ -111,9 +111,9 @@ fn golden_mira_ior_read() {
     check(
         &Golden {
             name: "mira/ior/read",
-            aggregators: 8,
+            aggregators: 16,
             buffer: 4 * MIB,
-            strategy: PlacementStrategy::TopologyAware,
+            strategy: PlacementStrategy::RankOrder,
             pipelining: true,
             tier: TierAssignment::DramDirect,
         },
@@ -149,7 +149,7 @@ fn golden_mira_hacc_read() {
     check(
         &Golden {
             name: "mira/hacc/read",
-            aggregators: 8,
+            aggregators: 16,
             buffer: 4 * MIB,
             strategy: PlacementStrategy::TopologyAware,
             pipelining: true,
